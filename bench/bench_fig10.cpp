@@ -1,0 +1,15 @@
+//===- bench/bench_fig10.cpp - Regenerates Figure 10 ----------------------==//
+//
+// Speedup boxplots (min/25%/median/75%/max, normalized to the default VM)
+// for Evolve and Rep over all 11 benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiments.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("%s\n", evm::harness::runFig10(20090301).c_str());
+  return 0;
+}

@@ -1,0 +1,16 @@
+//===- bench/bench_fig8.cpp - Regenerates Figure 8 (a) and (b) ------------==//
+//
+// Temporal curves of confidence, prediction accuracy, and Evolve-vs-Rep
+// speedup across runs, for Mtrt (a) and RayTracer (b).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiments.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("%s\n", evm::harness::runFig8("Mtrt", 20090301).c_str());
+  std::printf("%s\n", evm::harness::runFig8("RayTracer", 20090301).c_str());
+  return 0;
+}

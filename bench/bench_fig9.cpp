@@ -1,0 +1,18 @@
+//===- bench/bench_fig9.cpp - Regenerates Figure 9 (a) and (b) ------------==//
+//
+// Correlation between default running time and Evolve/Rep speedup, rows
+// sorted by default time, for Mtrt (a) and Compress (b).  The expected
+// shape: speedups grow with running time, then diminish for very long runs
+// as warmup savings amortize away.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiments.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("%s\n", evm::harness::runFig9("Mtrt", 20090301).c_str());
+  std::printf("%s\n", evm::harness::runFig9("Compress", 20090301).c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/bench_ml.cpp - Learning microbenchmarks ----------------------==//
+//
+// Host-time scaling of classification-tree construction and prediction
+// with dataset size — the "offline model construction" stage the paper
+// keeps off the application's clock, and the prediction the evolvable VM
+// charges per run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/ClassificationTree.h"
+#include "ml/CrossValidation.h"
+#include "ml/Dataset.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace evm;
+using namespace evm::ml;
+
+namespace {
+
+Dataset makeDataset(size_t Rows, uint64_t Seed) {
+  Dataset D;
+  Rng R(Seed);
+  for (size_t I = 0; I != Rows; ++I) {
+    xicl::FeatureVector FV;
+    double Size = R.nextDouble(0, 1000);
+    FV.append(xicl::Feature::numeric("size", Size));
+    FV.append(xicl::Feature::numeric("depth", R.nextDouble(1, 4)));
+    FV.append(xicl::Feature::categorical(
+        "fmt", R.nextBool(0.5) ? "pdf" : "txt"));
+    FV.append(xicl::Feature::numeric("noise", R.nextDouble(0, 1)));
+    int Label = Size < 200 ? 0 : Size < 600 ? 1 : 2;
+    D.addExample(FV, Label);
+  }
+  return D;
+}
+
+void BM_TreeBuild(benchmark::State &State) {
+  Dataset D = makeDataset(static_cast<size_t>(State.range(0)), 42);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ClassificationTree::build(D));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_TreeBuild)->Range(8, 512)->Complexity();
+
+void BM_TreePredict(benchmark::State &State) {
+  Dataset D = makeDataset(256, 42);
+  ClassificationTree Tree = ClassificationTree::build(D);
+  Example E = D.example(17);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tree.predict(E));
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_KFoldCv(benchmark::State &State) {
+  Dataset D = makeDataset(128, 42);
+  Rng R(7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kFoldAccuracy(D, 5, R));
+}
+BENCHMARK(BM_KFoldCv);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+//===- bench/bench_sensitivity.cpp - Sec. V.B.3 sensitivity studies -------==//
+//
+// (a) Confidence-threshold sweep on Mtrt: higher THc narrows the speedup
+//     range (max down, worst case up).
+// (b) Input-arrival-order sensitivity on RayTracer: Rep's worst case moves
+//     with the order; Evolve's guard keeps it stable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiments.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("%s\n", evm::harness::runSensitivity(20090301).c_str());
+  return 0;
+}

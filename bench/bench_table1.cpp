@@ -1,0 +1,16 @@
+//===- bench/bench_table1.cpp - Regenerates the paper's Table I -----------==//
+//
+// For each of the 11 benchmarks: input-set size, default running-time range
+// (seconds on the virtual clock), raw vs tree-selected feature counts, and
+// the evolvable VM's final confidence and mean prediction accuracy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiments.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("%s\n", evm::harness::runTable1(20090301).c_str());
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- bench/bench_vm_micro.cpp - Execution-engine microbenchmarks --------==//
+//
+// Host-time throughput of the two execution tiers and the sampling
+// machinery: how many virtual cycles per host second the simulator
+// delivers (relevant for reproducing the paper's experiments in minutes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Assembler.h"
+#include "vm/Aos.h"
+#include "vm/Engine.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace evm;
+
+namespace {
+
+const char *ChunkedProgram = R"(
+func main(1) locals 3
+  const_i 0
+  store_local 1
+  const_i 0
+  store_local 2
+loop:
+  load_local 2
+  load_local 0
+  lt
+  br_false done
+  load_local 1
+  load_local 2
+  call work
+  add
+  store_local 1
+  load_local 2
+  const_i 1
+  add
+  store_local 2
+  br loop
+done:
+  load_local 1
+  ret
+end
+func work(1) locals 4
+  const_i 0
+  store_local 1
+  const_f 0.0
+  store_local 2
+inner:
+  load_local 1
+  const_i 200
+  lt
+  br_false out
+  load_local 2
+  load_local 0
+  const_f 0.01
+  mul
+  sin
+  load_local 1
+  const_i 1
+  add
+  sqrt
+  mul
+  add
+  store_local 2
+  load_local 1
+  const_i 1
+  add
+  store_local 1
+  br inner
+out:
+  load_local 2
+  const_f 100.0
+  mul
+  f2i
+  ret
+end
+)";
+
+class ForceLevel : public vm::CompilationPolicy {
+public:
+  explicit ForceLevel(vm::OptLevel L) : L(L) {}
+  std::optional<vm::OptLevel>
+  onFirstInvocation(const vm::MethodRuntimeInfo &) override {
+    if (L == vm::OptLevel::Baseline)
+      return std::nullopt;
+    return L;
+  }
+
+private:
+  vm::OptLevel L;
+};
+
+void BM_ExecuteTier(benchmark::State &State) {
+  auto M = bc::assembleModule(ChunkedProgram);
+  vm::TimingModel TM;
+  vm::OptLevel L = vm::levelFromIndex(static_cast<int>(State.range(0)));
+  uint64_t VirtualCycles = 0;
+  for (auto _ : State) {
+    ForceLevel Policy(L);
+    vm::ExecutionEngine Engine(*M, TM, &Policy);
+    auto R = Engine.run({bc::Value::makeInt(100)}, 1ULL << 40);
+    benchmark::DoNotOptimize(R);
+    VirtualCycles += R ? R->Cycles : 0;
+  }
+  State.counters["virt_cycles/s"] = benchmark::Counter(
+      static_cast<double>(VirtualCycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecuteTier)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_AdaptiveRun(benchmark::State &State) {
+  auto M = bc::assembleModule(ChunkedProgram);
+  vm::TimingModel TM;
+  for (auto _ : State) {
+    vm::AdaptivePolicy Policy(TM);
+    vm::ExecutionEngine Engine(*M, TM, &Policy);
+    benchmark::DoNotOptimize(
+        Engine.run({bc::Value::makeInt(100)}, 1ULL << 40));
+  }
+}
+BENCHMARK(BM_AdaptiveRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+//===- bench/bench_xicl.cpp - XICL translation microbenchmarks ------------==//
+//
+// Host-time throughput of spec parsing and command-line translation; the
+// virtual-clock overhead these feed is reported by bench_overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+#include "xicl/Spec.h"
+#include "xicl/Translator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace evm;
+
+namespace {
+
+void BM_ParseSpec(benchmark::State &State) {
+  wl::Workload W = wl::buildRouteExample(1, 2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(xicl::parseSpec(W.XiclSpec));
+}
+BENCHMARK(BM_ParseSpec);
+
+void BM_BuildFVector(benchmark::State &State) {
+  wl::Workload W = wl::buildRouteExample(1, 8);
+  auto Spec = xicl::parseSpec(W.XiclSpec);
+  xicl::XFMethodRegistry Registry;
+  W.registerMethods(Registry);
+  xicl::FileStore Files;
+  W.populateFileStore(Files);
+  xicl::XICLTranslator T(Spec.takeValue(), &Registry, &Files);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        T.buildFVector(W.Inputs[I % W.Inputs.size()].CommandLine));
+    ++I;
+  }
+}
+BENCHMARK(BM_BuildFVector);
+
+void BM_TranslateAllWorkloads(benchmark::State &State) {
+  auto All = wl::buildAllWorkloads(1);
+  for (auto _ : State) {
+    for (const wl::Workload &W : All) {
+      auto Spec = xicl::parseSpec(W.XiclSpec);
+      xicl::XFMethodRegistry Registry;
+      W.registerMethods(Registry);
+      xicl::FileStore Files;
+      W.populateFileStore(Files);
+      xicl::XICLTranslator T(Spec.takeValue(), &Registry, &Files);
+      benchmark::DoNotOptimize(T.buildFVector(W.Inputs[0].CommandLine));
+    }
+  }
+}
+BENCHMARK(BM_TranslateAllWorkloads);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+//===- examples/interactive_session.cpp - updateV/done interactivity ------==//
+//
+// The paper's Sec. III-B3/B4: an application passes values it computes at
+// run time (or at interactive points) into the shared feature vector via
+// XICLFeatureVector.updateV(), then calls done() so the VM can (re)predict.
+//
+// This example models an interactive query console: each "user command"
+// carries a query size the command line never mentioned.  The application
+// publishes it through the FeatureChannel; the VM predicts a per-method
+// strategy for the upcoming request from the updated vector.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Assembler.h"
+#include "evolve/EvolvePolicy.h"
+#include "evolve/ModelBuilder.h"
+#include "evolve/Strategy.h"
+#include "ml/Confidence.h"
+#include "vm/Aos.h"
+#include "vm/Engine.h"
+#include "xicl/RuntimeChannel.h"
+
+#include <cstdio>
+
+using namespace evm;
+
+namespace {
+
+// serve(size): one interactive request (a scan of `size` records).
+const char *ConsoleProgram = R"(
+func main(1) locals 2
+  load_local 0
+  call serve
+  ret
+end
+func serve(1) locals 3
+  const_i 0
+  store_local 1
+  const_i 0
+  store_local 2
+scan:
+  load_local 1
+  load_local 0
+  lt
+  br_false out
+  load_local 2
+  load_local 1
+  const_i 2654435761
+  mul
+  const_i 16
+  shr
+  xor
+  store_local 2
+  load_local 1
+  const_i 1
+  add
+  store_local 1
+  br scan
+out:
+  load_local 2
+  ret
+end
+)";
+
+} // namespace
+
+int main() {
+  auto Module = bc::assembleModule(ConsoleProgram);
+  if (!Module) {
+    std::printf("assembly error: %s\n", Module.getError().message().c_str());
+    return 1;
+  }
+  vm::TimingModel TM;
+  std::vector<size_t> Sizes = evolve::methodSizes(*Module);
+
+  evolve::ModelBuilder Model(Module->numFunctions());
+  ml::ConfidenceTracker Confidence; // gamma = THc = 0.7
+
+  // The interactive channel: the application updates features at each
+  // interactive point; done() triggers the VM-side prediction callback.
+  xicl::FeatureChannel Channel;
+  std::optional<evolve::MethodLevelStrategy> Pending;
+  Channel.setDoneCallback([&](const xicl::FeatureVector &FV) {
+    if (Confidence.confident())
+      Pending = Model.predict(FV);
+    else
+      Pending.reset();
+  });
+
+  std::printf("interactive console under cross-request learning\n");
+  std::printf("%-8s %-8s %-10s %s\n", "request", "size", "conf", "path");
+
+  const int64_t Requests[] = {400,    90000, 700,    120000, 350,
+                              140000, 600,   100000, 80000,  500};
+  for (size_t R = 0; R != sizeof(Requests) / sizeof(Requests[0]); ++R) {
+    int64_t Size = Requests[R];
+
+    // Interactive point: the app just parsed the user's command and knows
+    // the request size — publish it and ask for a (re)prediction.
+    Channel.updateV("mrequest.size",
+                    xicl::Feature::numeric("", static_cast<double>(Size)));
+    Channel.done();
+
+    // Execute the request with the predicted strategy, or reactively.
+    vm::RunResult Result;
+    bool Predicted = Pending.has_value();
+    if (Predicted) {
+      evolve::EvolvePolicy Policy(*Pending);
+      vm::ExecutionEngine Engine(*Module, TM, &Policy);
+      Result = *Engine.run({bc::Value::makeInt(Size)}, 1ULL << 40);
+    } else {
+      vm::AdaptivePolicy Policy(TM);
+      vm::ExecutionEngine Engine(*Module, TM, &Policy);
+      Result = *Engine.run({bc::Value::makeInt(Size)}, 1ULL << 40);
+    }
+
+    // Posterior evaluation + model update (paper Fig. 7).
+    evolve::MethodLevelStrategy Ideal =
+        evolve::idealStrategyFromProfile(TM, Result.PerMethod, Sizes);
+    if (auto Predictable = Model.predict(Channel.vector())) {
+      double Acc =
+          evolve::predictionAccuracy(*Predictable, Ideal, Result.PerMethod);
+      Confidence.update(Acc);
+    }
+    Model.addRun(Channel.vector(), Ideal);
+    Model.rebuild();
+
+    std::printf("%-8zu %-8lld %-10.3f %s\n", R + 1,
+                static_cast<long long>(Size), Confidence.value(),
+                Predicted ? "predicted" : "default");
+  }
+
+  std::printf("\nafter %d requests the channel saw %d updateV calls and %d "
+              "done() points\n",
+              10, Channel.numUpdates(), Channel.numDoneCalls());
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- bytecode/Builder.cpp -----------------------------------------------==//
+
+#include "bytecode/Builder.h"
+#include "bytecode/Verifier.h"
+
+#include <cassert>
+
+using namespace evm;
+using namespace evm::bc;
+
+FunctionBuilder::FunctionBuilder(std::string Name, uint32_t NumParams)
+    : Name(std::move(Name)), NumParams(NumParams), NextLocal(NumParams) {}
+
+uint32_t FunctionBuilder::allocLocal() { return NextLocal++; }
+
+FunctionBuilder::Label FunctionBuilder::makeLabel() {
+  LabelTargets.push_back(UnboundTarget);
+  return static_cast<Label>(LabelTargets.size() - 1);
+}
+
+void FunctionBuilder::bind(Label L) {
+  assert(L < LabelTargets.size() && "unknown label");
+  assert(LabelTargets[L] == UnboundTarget && "label bound twice");
+  LabelTargets[L] = static_cast<int64_t>(Code.size());
+}
+
+void FunctionBuilder::emit(Opcode Op, int64_t Operand) {
+  assert(!getOpcodeInfo(Op).IsBranch &&
+         "use the label-based branch emitters for branches");
+  Code.push_back(Instr{Op, Operand});
+}
+
+void FunctionBuilder::emitBranch(Opcode Op, Label L) {
+  assert(L < LabelTargets.size() && "unknown label");
+  Fixups.emplace_back(Code.size(), L);
+  Code.push_back(Instr{Op, 0});
+}
+
+void FunctionBuilder::incrementLocal(uint32_t Slot, int64_t Delta) {
+  loadLocal(Slot);
+  constInt(Delta);
+  emit(Opcode::Add);
+  storeLocal(Slot);
+}
+
+Function FunctionBuilder::finish() {
+  for (const auto &[Position, L] : Fixups) {
+    assert(LabelTargets[L] != UnboundTarget && "branch to unbound label");
+    Code[Position].Operand = LabelTargets[L];
+  }
+  Fixups.clear();
+
+  Function F;
+  F.Name = Name;
+  F.NumParams = NumParams;
+  F.NumLocals = NextLocal;
+  F.Code = std::move(Code);
+  return F;
+}
+
+MethodId ModuleBuilder::declareFunction(std::string Name, uint32_t NumParams) {
+  Builders.push_back(
+      std::make_unique<FunctionBuilder>(std::move(Name), NumParams));
+  return static_cast<MethodId>(Builders.size() - 1);
+}
+
+FunctionBuilder &ModuleBuilder::functionBuilder(MethodId Id) {
+  assert(Id < Builders.size() && "undeclared function");
+  return *Builders[Id];
+}
+
+ErrorOr<Module> ModuleBuilder::build() {
+  Module M;
+  for (auto &Builder : Builders)
+    M.addFunction(Builder->finish());
+  if (Error Err = verifyModule(M); !Err.message().empty())
+    return Err;
+  return M;
+}

@@ -1,0 +1,104 @@
+//===- bytecode/Builder.h - Programmatic bytecode construction -----------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FunctionBuilder/ModuleBuilder: the API the workload analogues use to
+/// construct MiniVM programs.  Labels give forward-branch patching; the
+/// two-phase declare/define split on ModuleBuilder lets mutually recursive
+/// methods reference each other by MethodId.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_BYTECODE_BUILDER_H
+#define EVM_BYTECODE_BUILDER_H
+
+#include "bytecode/Module.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace bc {
+
+/// Builds one function's bytecode with label-based control flow.
+///
+/// The builder enforces nothing about stack discipline; run the verifier on
+/// the finished module (ModuleBuilder::build does so automatically).
+class FunctionBuilder {
+public:
+  /// An opaque label handle; create with makeLabel, place with bind.
+  using Label = uint32_t;
+
+  FunctionBuilder(std::string Name, uint32_t NumParams);
+
+  /// Reserves a fresh local slot (beyond the parameters).
+  uint32_t allocLocal();
+
+  /// Creates an unbound label for a future bind().
+  Label makeLabel();
+  /// Binds \p L to the next emitted instruction.
+  void bind(Label L);
+
+  // Raw emission; branch operands must use the label overloads below.
+  void emit(Opcode Op, int64_t Operand = 0);
+
+  // Convenience emitters (thin wrappers over emit).
+  void constInt(int64_t V) { emit(Opcode::ConstInt, V); }
+  void constFloat(double V) { emit(Opcode::ConstFloat, Instr::encodeFloat(V)); }
+  void loadLocal(uint32_t Slot) { emit(Opcode::LoadLocal, Slot); }
+  void storeLocal(uint32_t Slot) { emit(Opcode::StoreLocal, Slot); }
+  void call(MethodId Callee) { emit(Opcode::Call, Callee); }
+  void ret() { emit(Opcode::Ret); }
+
+  void br(Label L) { emitBranch(Opcode::Br, L); }
+  void brTrue(Label L) { emitBranch(Opcode::BrTrue, L); }
+  void brFalse(Label L) { emitBranch(Opcode::BrFalse, L); }
+
+  /// Emits `locals[Slot] = locals[Slot] + Delta` (a common induction step).
+  void incrementLocal(uint32_t Slot, int64_t Delta);
+
+  /// Current instruction count (useful for size-sensitive tests).
+  size_t codeSize() const { return Code.size(); }
+
+  /// Patches labels and produces the Function.  Asserts all used labels are
+  /// bound.
+  Function finish();
+
+private:
+  void emitBranch(Opcode Op, Label L);
+
+  std::string Name;
+  uint32_t NumParams;
+  uint32_t NextLocal;
+  std::vector<Instr> Code;
+  static constexpr int64_t UnboundTarget = -1;
+  std::vector<int64_t> LabelTargets; ///< instruction index per label
+  std::vector<std::pair<size_t, Label>> Fixups;
+};
+
+/// Builds a whole module in two phases: declare every function (so calls can
+/// reference forward MethodIds), then define bodies via functionBuilder().
+class ModuleBuilder {
+public:
+  /// Declares a function and returns its (stable) MethodId.
+  MethodId declareFunction(std::string Name, uint32_t NumParams);
+
+  /// The builder for a declared function's body.
+  FunctionBuilder &functionBuilder(MethodId Id);
+
+  /// Finishes all function builders, assembles the module, and verifies it.
+  ErrorOr<Module> build();
+
+private:
+  std::vector<std::unique_ptr<FunctionBuilder>> Builders;
+};
+
+} // namespace bc
+} // namespace evm
+
+#endif // EVM_BYTECODE_BUILDER_H

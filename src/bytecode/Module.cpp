@@ -1,0 +1,41 @@
+//===- bytecode/Module.cpp ------------------------------------------------==//
+
+#include "bytecode/Module.h"
+
+#include <cassert>
+
+using namespace evm;
+using namespace evm::bc;
+
+MethodId Module::addFunction(Function F) {
+  assert(!NameIndex.count(F.Name) && "duplicate function name");
+  assert(F.NumLocals >= F.NumParams && "params must fit in locals");
+  MethodId Id = static_cast<MethodId>(Functions.size());
+  NameIndex.emplace(F.Name, Id);
+  Functions.push_back(std::move(F));
+  return Id;
+}
+
+const Function &Module::function(MethodId Id) const {
+  assert(Id < Functions.size() && "method id out of range");
+  return Functions[Id];
+}
+
+Function &Module::function(MethodId Id) {
+  assert(Id < Functions.size() && "method id out of range");
+  return Functions[Id];
+}
+
+std::optional<MethodId> Module::findFunction(const std::string &Name) const {
+  auto It = NameIndex.find(Name);
+  if (It == NameIndex.end())
+    return std::nullopt;
+  return It->second;
+}
+
+size_t Module::totalCodeSize() const {
+  size_t Total = 0;
+  for (const Function &F : Functions)
+    Total += F.Code.size();
+  return Total;
+}

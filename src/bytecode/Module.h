@@ -1,0 +1,73 @@
+//===- bytecode/Module.h - Functions and modules --------------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static program model: a Module holds Functions ("Java methods" in the
+/// paper's terms); each function owns its bytecode, arity, and local-slot
+/// count.  MethodId indices into the module are the unit the paper's
+/// predictor assigns optimization levels to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_BYTECODE_MODULE_H
+#define EVM_BYTECODE_MODULE_H
+
+#include "bytecode/Opcode.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace evm {
+namespace bc {
+
+/// Index of a function within its module; the paper's per-method unit.
+using MethodId = uint32_t;
+
+/// A single method: name, arity, local slots, and straight bytecode.
+///
+/// Parameters occupy locals [0, NumParams); every function returns exactly
+/// one value via Ret.
+struct Function {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t NumLocals = 0; ///< total local slots, >= NumParams
+  std::vector<Instr> Code;
+
+  size_t size() const { return Code.size(); }
+};
+
+/// A program: an ordered list of functions plus a name index.  Execution
+/// starts at the function named "main".
+class Module {
+public:
+  /// Appends \p F; asserts the name is unique.  Returns its MethodId.
+  MethodId addFunction(Function F);
+
+  const Function &function(MethodId Id) const;
+  Function &function(MethodId Id);
+
+  /// Finds a function by name.
+  std::optional<MethodId> findFunction(const std::string &Name) const;
+
+  uint32_t numFunctions() const {
+    return static_cast<uint32_t>(Functions.size());
+  }
+
+  /// Total bytecode size across all functions.
+  size_t totalCodeSize() const;
+
+private:
+  std::vector<Function> Functions;
+  std::unordered_map<std::string, MethodId> NameIndex;
+};
+
+} // namespace bc
+} // namespace evm
+
+#endif // EVM_BYTECODE_MODULE_H

@@ -1,0 +1,104 @@
+//===- bytecode/Opcode.cpp ------------------------------------------------==//
+
+#include "bytecode/Opcode.h"
+#include "bytecode/Value.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace evm;
+using namespace evm::bc;
+
+std::string Value::str() const {
+  if (isInt())
+    return formatString("%lld", static_cast<long long>(asInt()));
+  return formatString("%gf", asFloat());
+}
+
+namespace {
+
+struct TableEntry {
+  Opcode Op;
+  OpcodeInfo Info;
+};
+
+// Pops of -1 marks the dynamic-arity Call opcode.
+const TableEntry OpcodeTable[] = {
+    {Opcode::ConstInt, {"const_i", 0, 1, true, false, false}},
+    {Opcode::ConstFloat, {"const_f", 0, 1, true, false, false}},
+    {Opcode::Pop, {"pop", 1, 0, false, false, false}},
+    {Opcode::Dup, {"dup", 1, 2, false, false, false}},
+    {Opcode::Swap, {"swap", 2, 2, false, false, false}},
+    {Opcode::LoadLocal, {"load_local", 0, 1, true, false, false}},
+    {Opcode::StoreLocal, {"store_local", 1, 0, true, false, false}},
+    {Opcode::Add, {"add", 2, 1, false, false, false}},
+    {Opcode::Sub, {"sub", 2, 1, false, false, false}},
+    {Opcode::Mul, {"mul", 2, 1, false, false, false}},
+    {Opcode::Div, {"div", 2, 1, false, false, false}},
+    {Opcode::Mod, {"mod", 2, 1, false, false, false}},
+    {Opcode::Neg, {"neg", 1, 1, false, false, false}},
+    {Opcode::And, {"and", 2, 1, false, false, false}},
+    {Opcode::Or, {"or", 2, 1, false, false, false}},
+    {Opcode::Xor, {"xor", 2, 1, false, false, false}},
+    {Opcode::Shl, {"shl", 2, 1, false, false, false}},
+    {Opcode::Shr, {"shr", 2, 1, false, false, false}},
+    {Opcode::Not, {"not", 1, 1, false, false, false}},
+    {Opcode::Eq, {"eq", 2, 1, false, false, false}},
+    {Opcode::Ne, {"ne", 2, 1, false, false, false}},
+    {Opcode::Lt, {"lt", 2, 1, false, false, false}},
+    {Opcode::Le, {"le", 2, 1, false, false, false}},
+    {Opcode::Gt, {"gt", 2, 1, false, false, false}},
+    {Opcode::Ge, {"ge", 2, 1, false, false, false}},
+    {Opcode::I2F, {"i2f", 1, 1, false, false, false}},
+    {Opcode::F2I, {"f2i", 1, 1, false, false, false}},
+    {Opcode::Sqrt, {"sqrt", 1, 1, false, false, false}},
+    {Opcode::Sin, {"sin", 1, 1, false, false, false}},
+    {Opcode::Cos, {"cos", 1, 1, false, false, false}},
+    {Opcode::Floor, {"floor", 1, 1, false, false, false}},
+    {Opcode::Abs, {"abs", 1, 1, false, false, false}},
+    {Opcode::Min, {"min", 2, 1, false, false, false}},
+    {Opcode::Max, {"max", 2, 1, false, false, false}},
+    {Opcode::Br, {"br", 0, 0, true, true, true}},
+    {Opcode::BrTrue, {"br_true", 1, 0, true, true, false}},
+    {Opcode::BrFalse, {"br_false", 1, 0, true, true, false}},
+    {Opcode::Call, {"call", -1, 1, true, false, false}},
+    {Opcode::Ret, {"ret", 1, 0, false, false, true}},
+    {Opcode::NewArr, {"newarr", 1, 1, false, false, false}},
+    {Opcode::HLoad, {"hload", 1, 1, false, false, false}},
+    {Opcode::HStore, {"hstore", 2, 0, false, false, false}},
+    {Opcode::Nop, {"nop", 0, 0, false, false, false}},
+};
+
+static_assert(sizeof(OpcodeTable) / sizeof(OpcodeTable[0]) == NumOpcodes,
+              "opcode table out of sync with the Opcode enum");
+
+} // namespace
+
+const OpcodeInfo &bc::getOpcodeInfo(Opcode Op) {
+  unsigned Index = static_cast<unsigned>(Op);
+  assert(Index < NumOpcodes && "invalid opcode");
+  assert(OpcodeTable[Index].Op == Op && "opcode table order mismatch");
+  return OpcodeTable[Index].Info;
+}
+
+std::optional<Opcode> bc::parseOpcodeMnemonic(std::string_view Mnemonic) {
+  for (const TableEntry &Entry : OpcodeTable)
+    if (Entry.Info.Mnemonic == Mnemonic)
+      return Entry.Op;
+  return std::nullopt;
+}
+
+double Instr::floatOperand() const {
+  double F;
+  static_assert(sizeof(F) == sizeof(Operand), "double/operand size mismatch");
+  std::memcpy(&F, &Operand, sizeof(F));
+  return F;
+}
+
+int64_t Instr::encodeFloat(double F) {
+  int64_t Bits;
+  std::memcpy(&Bits, &F, sizeof(Bits));
+  return Bits;
+}

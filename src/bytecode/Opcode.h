@@ -1,0 +1,118 @@
+//===- bytecode/Opcode.h - MiniVM stack-bytecode instruction set ---------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM instruction set: a compact JVM-like stack bytecode.  Methods
+/// are compiled from this form by the baseline interpreter (level -1) and
+/// the optimizing JIT (levels 0/1/2), exactly mirroring the tiered structure
+/// the paper's prediction targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_BYTECODE_OPCODE_H
+#define EVM_BYTECODE_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace evm {
+namespace bc {
+
+/// Every MiniVM opcode.  Operand use is per-opcode: constants carry an
+/// immediate, local accesses an index, branches a code offset, calls a
+/// function index; the rest ignore the operand.
+enum class Opcode : uint8_t {
+  // Constants.
+  ConstInt,   ///< push imm (int)
+  ConstFloat, ///< push imm (double, bit-cast into the operand)
+  // Stack shuffling.
+  Pop,  ///< drop top
+  Dup,  ///< duplicate top
+  Swap, ///< swap top two
+  // Locals.
+  LoadLocal,  ///< push locals[operand]
+  StoreLocal, ///< locals[operand] = pop
+  // Arithmetic (int/float polymorphic with promotion).
+  Add,
+  Sub,
+  Mul,
+  Div, ///< traps on integer division by zero
+  Mod, ///< traps on integer modulo by zero
+  Neg,
+  // Bitwise/logic (integer-only; traps on float operands).
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Not, ///< logical not: pushes 1 if falsy else 0
+  // Comparisons (push int 0/1).
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  // Conversions and math intrinsics.
+  I2F,
+  F2I,
+  Sqrt,
+  Sin,
+  Cos,
+  Floor,
+  Abs,
+  Min,
+  Max,
+  // Control flow.  Branch operands are absolute instruction indices.
+  Br,
+  BrTrue,
+  BrFalse,
+  Call, ///< operand = callee function index; pops callee arity, pushes 1
+  Ret,  ///< pops 1, returns it
+  // Heap: a flat array of values shared by the whole execution.
+  NewArr,  ///< pop size, push base address (bump allocation)
+  HLoad,   ///< pop addr, push heap[addr]
+  HStore,  ///< pop value, pop addr, heap[addr] = value
+  Nop,
+};
+
+/// Number of distinct opcodes (for table sizing).
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Nop) + 1;
+
+/// Static properties of one opcode.
+struct OpcodeInfo {
+  std::string_view Mnemonic;
+  /// Values popped from the stack (-1 for Call, whose arity is dynamic).
+  int Pops;
+  /// Values pushed onto the stack.
+  int Pushes;
+  bool HasOperand;
+  bool IsBranch;     ///< Br/BrTrue/BrFalse
+  bool IsTerminator; ///< Br or Ret (control never falls through)
+};
+
+/// Returns the static properties of \p Op.
+const OpcodeInfo &getOpcodeInfo(Opcode Op);
+
+/// Maps a mnemonic back to its opcode; nullopt for unknown names.
+std::optional<Opcode> parseOpcodeMnemonic(std::string_view Mnemonic);
+
+/// One encoded instruction: opcode plus a 64-bit operand slot.
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  int64_t Operand = 0;
+
+  /// Reads a ConstFloat payload.
+  double floatOperand() const;
+  /// Encodes a ConstFloat payload.
+  static int64_t encodeFloat(double F);
+};
+
+} // namespace bc
+} // namespace evm
+
+#endif // EVM_BYTECODE_OPCODE_H

@@ -1,0 +1,89 @@
+//===- bytecode/Value.h - Tagged runtime value ----------------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniVM runtime value: a tagged 64-bit integer or double, mirroring
+/// the numeric subset of JVM stack slots that the paper's workloads exercise.
+/// Arithmetic is polymorphic with int-to-float promotion, so the same helper
+/// serves the interpreter, the JIT's constant folder, and the compiled-code
+/// executor (keeping all three semantically aligned by construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_BYTECODE_VALUE_H
+#define EVM_BYTECODE_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace evm {
+namespace bc {
+
+/// A runtime value: 64-bit integer or IEEE double.
+class Value {
+public:
+  enum class Kind : uint8_t { Int, Float };
+
+  Value() : TheKind(Kind::Int) { Storage.I = 0; }
+  static Value makeInt(int64_t I) {
+    Value V;
+    V.TheKind = Kind::Int;
+    V.Storage.I = I;
+    return V;
+  }
+  static Value makeFloat(double F) {
+    Value V;
+    V.TheKind = Kind::Float;
+    V.Storage.F = F;
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isFloat() const { return TheKind == Kind::Float; }
+
+  int64_t asInt() const {
+    assert(isInt() && "value is not an integer");
+    return Storage.I;
+  }
+  double asFloat() const {
+    assert(isFloat() && "value is not a float");
+    return Storage.F;
+  }
+
+  /// Numeric view with int-to-double promotion.
+  double toDouble() const {
+    return isInt() ? static_cast<double>(Storage.I) : Storage.F;
+  }
+
+  /// Truthiness: nonzero means true (floats compare against 0.0).
+  bool isTruthy() const {
+    return isInt() ? Storage.I != 0 : Storage.F != 0.0;
+  }
+
+  bool equals(const Value &Other) const {
+    if (TheKind != Other.TheKind)
+      return toDouble() == Other.toDouble();
+    return isInt() ? Storage.I == Other.Storage.I
+                   : Storage.F == Other.Storage.F;
+  }
+
+  /// Renders the value for diagnostics ("42" or "3.5f").
+  std::string str() const;
+
+private:
+  Kind TheKind;
+  union {
+    int64_t I;
+    double F;
+  } Storage;
+};
+
+} // namespace bc
+} // namespace evm
+
+#endif // EVM_BYTECODE_VALUE_H

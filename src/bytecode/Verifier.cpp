@@ -1,0 +1,138 @@
+//===- bytecode/Verifier.cpp ----------------------------------------------==//
+
+#include "bytecode/Verifier.h"
+
+#include <deque>
+#include <vector>
+
+using namespace evm;
+using namespace evm::bc;
+
+namespace {
+
+/// Sentinel for "never reached" in the per-instruction depth map.
+constexpr int DepthUnknown = -1;
+
+Error failAt(const Function &F, size_t Pc, const std::string &What) {
+  return makeError("function '%s', instruction %zu: %s", F.Name.c_str(), Pc,
+                   What.c_str());
+}
+
+} // namespace
+
+Error bc::verifyFunction(const Module &M, MethodId Id) {
+  const Function &F = M.function(Id);
+  if (F.NumLocals < F.NumParams)
+    return makeError("function '%s': %u params exceed %u locals",
+                     F.Name.c_str(), F.NumParams, F.NumLocals);
+  if (F.Code.empty())
+    return makeError("function '%s': empty body", F.Name.c_str());
+
+  const size_t CodeSize = F.Code.size();
+
+  // Structural operand checks first, so the dataflow pass can trust them.
+  for (size_t Pc = 0; Pc != CodeSize; ++Pc) {
+    const Instr &I = F.Code[Pc];
+    const OpcodeInfo &Info = getOpcodeInfo(I.Op);
+    switch (I.Op) {
+    case Opcode::LoadLocal:
+    case Opcode::StoreLocal:
+      if (I.Operand < 0 || I.Operand >= static_cast<int64_t>(F.NumLocals))
+        return failAt(F, Pc, "local index out of range");
+      break;
+    case Opcode::Br:
+    case Opcode::BrTrue:
+    case Opcode::BrFalse:
+      if (I.Operand < 0 || I.Operand >= static_cast<int64_t>(CodeSize))
+        return failAt(F, Pc, "branch target out of range");
+      break;
+    case Opcode::Call:
+      if (I.Operand < 0 ||
+          I.Operand >= static_cast<int64_t>(M.numFunctions()))
+        return failAt(F, Pc, "call target out of range");
+      break;
+    default:
+      if (!Info.HasOperand && I.Operand != 0 && I.Op != Opcode::ConstFloat)
+        return failAt(F, Pc, "operand on operand-less opcode");
+      break;
+    }
+  }
+
+  // Abstract interpretation of stack depth.  Every instruction gets a
+  // statically fixed entry depth; merges must agree, branch edges must carry
+  // depth zero (the phi-free discipline), and Ret must see exactly one value.
+  std::vector<int> EntryDepth(CodeSize, DepthUnknown);
+  std::deque<size_t> Worklist;
+  EntryDepth[0] = 0;
+  Worklist.push_back(0);
+
+  auto Propagate = [&](size_t Target, int Depth,
+                       size_t FromPc) -> std::optional<Error> {
+    if (EntryDepth[Target] == DepthUnknown) {
+      EntryDepth[Target] = Depth;
+      Worklist.push_back(Target);
+      return std::nullopt;
+    }
+    if (EntryDepth[Target] != Depth)
+      return failAt(F, FromPc, "inconsistent stack depth at merge point");
+    return std::nullopt;
+  };
+
+  while (!Worklist.empty()) {
+    size_t Pc = Worklist.front();
+    Worklist.pop_front();
+    const Instr &I = F.Code[Pc];
+    const OpcodeInfo &Info = getOpcodeInfo(I.Op);
+
+    int Pops = Info.Pops;
+    if (I.Op == Opcode::Call)
+      Pops = static_cast<int>(
+          M.function(static_cast<MethodId>(I.Operand)).NumParams);
+
+    int Depth = EntryDepth[Pc];
+    if (Depth < Pops)
+      return failAt(F, Pc, "stack underflow");
+    int After = Depth - Pops + Info.Pushes;
+
+    switch (I.Op) {
+    case Opcode::Ret:
+      if (Depth != 1)
+        return failAt(F, Pc, "ret requires exactly one value on the stack");
+      continue; // no successors
+    case Opcode::Br:
+      if (After != 0)
+        return failAt(F, Pc, "nonempty stack on branch edge");
+      if (auto Err = Propagate(static_cast<size_t>(I.Operand), 0, Pc))
+        return *Err;
+      continue;
+    case Opcode::BrTrue:
+    case Opcode::BrFalse:
+      if (After != 0)
+        return failAt(F, Pc, "nonempty stack on conditional-branch edge");
+      if (auto Err = Propagate(static_cast<size_t>(I.Operand), 0, Pc))
+        return *Err;
+      if (Pc + 1 == CodeSize)
+        return failAt(F, Pc, "conditional branch falls off the end");
+      if (auto Err = Propagate(Pc + 1, 0, Pc))
+        return *Err;
+      continue;
+    default:
+      if (Pc + 1 == CodeSize)
+        return failAt(F, Pc, "control falls off the end of the function");
+      if (auto Err = Propagate(Pc + 1, After, Pc))
+        return *Err;
+      continue;
+    }
+  }
+
+  return Error();
+}
+
+Error bc::verifyModule(const Module &M) {
+  if (!M.findFunction("main"))
+    return makeError("module has no 'main' entry function");
+  for (MethodId Id = 0; Id != M.numFunctions(); ++Id)
+    if (Error Err = verifyFunction(M, Id); !Err.message().empty())
+      return Err;
+  return Error();
+}

@@ -1,0 +1,36 @@
+//===- bytecode/Verifier.h - Static well-formedness checks ----------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode verifier.  Beyond the usual structural checks (operand
+/// ranges, reachable terminators), it enforces the *empty-stack block
+/// boundary* discipline: the evaluation stack must be empty on every branch
+/// edge.  That invariant is what lets the JIT lower stack code to register
+/// IR without phi nodes (locals become fixed registers; expression
+/// temporaries never cross blocks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_BYTECODE_VERIFIER_H
+#define EVM_BYTECODE_VERIFIER_H
+
+#include "bytecode/Module.h"
+#include "support/Error.h"
+
+namespace evm {
+namespace bc {
+
+/// Verifies one function.  Returns an Error with an empty message on
+/// success, or a diagnostic naming the function and instruction index.
+Error verifyFunction(const Module &M, MethodId Id);
+
+/// Verifies every function plus module-level rules (a `main` entry exists).
+Error verifyModule(const Module &M);
+
+} // namespace bc
+} // namespace evm
+
+#endif // EVM_BYTECODE_VERIFIER_H

@@ -1,0 +1,147 @@
+//===- evolve/EvolvableVM.cpp ---------------------------------------------==//
+
+#include "evolve/EvolvableVM.h"
+
+#include "evolve/EvolvePolicy.h"
+#include "support/Rng.h"
+#include "vm/Aos.h"
+#include "xicl/Spec.h"
+
+#include <algorithm>
+
+using namespace evm;
+using namespace evm::evolve;
+
+EvolvableVM::EvolvableVM(const bc::Module &M, const std::string &SpecSource,
+                         const xicl::XFMethodRegistry *Registry,
+                         const xicl::FileStore *Files, EvolveConfig Config)
+    : M(M), Config(Config), Sizes(methodSizes(M)),
+      Model(M.numFunctions(), Config.TreeParams),
+      Confidence(Config.Gamma, Config.ConfidenceThreshold) {
+  auto Spec = xicl::parseSpec(SpecSource);
+  if (!Spec) {
+    SpecError = Spec.getError().message();
+    return;
+  }
+  Translator = std::make_unique<xicl::XICLTranslator>(Spec.takeValue(),
+                                                      Registry, Files);
+}
+
+ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
+    const std::string &CommandLine, const std::vector<bc::Value> &VmArgs) {
+  EvolveRunRecord Record;
+  Record.ConfidenceBefore = Confidence.value();
+
+  // 1. Feature extraction (charged to the clock).  Without a usable XICL
+  //    spec the VM behaves exactly like the default one.
+  bool HaveFeatures = false;
+  if (Translator) {
+    auto FV = Translator->buildFVector(CommandLine);
+    if (!FV)
+      return makeError("feature extraction failed: %s",
+                       FV.getError().message().c_str());
+    Record.Features = FV.takeValue();
+    Record.ExtractionCycles = Translator->lastStats().toCycles();
+    HaveFeatures = true;
+    if (Record.ExtractionCycles > Config.ExtractionCycleBound) {
+      // Throttle: keep the cost actually paid bounded and fall back to the
+      // default optimizer for this run.
+      Record.ExtractionCycles = Config.ExtractionCycleBound;
+      HaveFeatures = false;
+    }
+  }
+
+  // 2. Discriminative prediction: only drive the run from the model when
+  //    the guard's self-evaluation clears the threshold (paper Fig. 7).
+  std::optional<MethodLevelStrategy> Predicted;
+  bool Predict = HaveFeatures && guardOpen();
+  if (Predict) {
+    PredictionStats PStats;
+    Predicted = Model.predict(Record.Features, &PStats);
+    if (Predicted)
+      Record.PredictionCycles = PStats.toCycles();
+    else
+      Predict = false; // no model yet
+  }
+
+  // 3. Execute with the predicted strategy, or fall back to the default
+  //    reactive adaptive system.
+  uint64_t PreRunOverhead = Record.ExtractionCycles + Record.PredictionCycles;
+  // Per-run sampling phase: real profilers never land on the same cycle
+  // twice; varying the phase reproduces that noise deterministically.
+  uint64_t SamplePhase = Rng(RunsSeen ^ 0x5a17b1e5).next();
+  vm::RunResult Result;
+  if (Predict && Predicted) {
+    Record.UsedPrediction = true;
+    // The predicted levels are installed proactively; the default adaptive
+    // system keeps running underneath (as in the Jikes implementation), so
+    // a mispredicted-too-low method still gets rescued reactively.
+    EvolvePolicy Proactive(*Predicted);
+    vm::AdaptivePolicy Reactive(Config.Timing);
+    vm::CombinedPolicy Combined(&Proactive, &Reactive);
+    vm::CompilationPolicy *Policy =
+        Config.ReactiveSafetyNet
+            ? static_cast<vm::CompilationPolicy *>(&Combined)
+            : static_cast<vm::CompilationPolicy *>(&Proactive);
+    vm::ExecutionEngine Engine(M, Config.Timing, Policy);
+    auto R = Engine.run(VmArgs, Config.MaxCyclesPerRun, PreRunOverhead,
+                        SamplePhase);
+    if (!R)
+      return R.getError();
+    Result = R.takeValue();
+  } else {
+    vm::AdaptivePolicy Policy(Config.Timing);
+    vm::ExecutionEngine Engine(M, Config.Timing, &Policy);
+    auto R = Engine.run(VmArgs, Config.MaxCyclesPerRun, PreRunOverhead,
+                        SamplePhase);
+    if (!R)
+      return R.getError();
+    Result = R.takeValue();
+    // The paper's else-branch: predict after the fact (not charged — the
+    // run is over) purely to measure accuracy and update confidence.
+    if (HaveFeatures)
+      Predicted = Model.predict(Record.Features);
+  }
+
+  // 4. Posterior evaluation and model update.
+  Record.Ideal =
+      idealStrategyFromProfile(Config.Timing, Result.PerMethod, Sizes);
+  if (Predicted) {
+    Record.HadPrediction = true;
+    Record.Predicted = *Predicted;
+    Record.Accuracy =
+        predictionAccuracy(*Predicted, Record.Ideal, Result.PerMethod);
+    Confidence.update(Record.Accuracy);
+    Feedback.recordAccuracy(Record.Accuracy);
+  }
+  if (HaveFeatures) {
+    Model.addRun(Record.Features, Record.Ideal);
+    Model.rebuild(); // offline stage; not charged to the application clock
+    if (Config.Guard == GuardMode::CrossValidation) {
+      Rng CvRng(RunsSeen ^ 0xCF01DED5);
+      CvConfidence = Model.crossValidatedAccuracy(Config.CvFolds, CvRng);
+    }
+  }
+
+  Record.CvConfidence = CvConfidence;
+  Record.ConfidenceAfter = Confidence.value();
+  Record.Result = std::move(Result);
+  ++RunsSeen;
+  return Record;
+}
+
+bool EvolvableVM::guardOpen() const {
+  switch (Config.Guard) {
+  case GuardMode::DecayedAccuracy:
+    return Confidence.confident();
+  case GuardMode::CrossValidation:
+    return CvConfidence > Config.ConfidenceThreshold;
+  case GuardMode::Always:
+    return true;
+  }
+  return false;
+}
+
+SpecFeedback EvolvableVM::specFeedback() const {
+  return Feedback.analyze(Model);
+}

@@ -1,0 +1,131 @@
+//===- evolve/EvolvableVM.h - The evolvable virtual machine ---------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution, wired together (Fig. 1 and Fig. 7):
+/// feature extractor (XICL translator) + strategy predictor (per-method
+/// classification trees behind a confidence guard) + model builder
+/// (posterior ideal strategies folded back in after every run).  One
+/// EvolvableVM instance persists across production runs of one application
+/// and evolves: early runs execute under the default reactive optimizer
+/// while the model matures; once confidence clears the threshold, runs are
+/// optimized proactively from the input's predicted strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_EVOLVE_EVOLVABLEVM_H
+#define EVM_EVOLVE_EVOLVABLEVM_H
+
+#include "evolve/ModelBuilder.h"
+#include "evolve/SpecFeedback.h"
+#include "evolve/Strategy.h"
+#include "ml/Confidence.h"
+#include "support/Error.h"
+#include "vm/Engine.h"
+#include "xicl/Translator.h"
+
+#include <memory>
+#include <string>
+
+namespace evm {
+namespace evolve {
+
+/// How the discriminative guard self-evaluates the models.
+enum class GuardMode {
+  /// The paper's Fig. 7 scheme: decayed average of online prediction
+  /// accuracies.
+  DecayedAccuracy,
+  /// Offline k-fold cross-validation over the recorded runs (the paper's
+  /// Sec. I framing of self-evaluation); recomputed after each rebuild.
+  CrossValidation,
+  /// No guard: predict from the very first model (ablation only).
+  Always,
+};
+
+/// Tunables of the evolvable VM (paper defaults: gamma = THc = 0.7).
+struct EvolveConfig {
+  vm::TimingModel Timing;
+  double Gamma = 0.7;
+  double ConfidenceThreshold = 0.7;
+  GuardMode Guard = GuardMode::DecayedAccuracy;
+  int CvFolds = 5;
+  ml::TreeParams TreeParams;
+  uint64_t MaxCyclesPerRun = UINT64_MAX;
+  /// Upper bound on charged extraction cycles; beyond it the VM throttles
+  /// the extraction and falls back to default optimization (Sec. V.B.2's
+  /// suggested guard against expensive programmer-defined extractors).
+  uint64_t ExtractionCycleBound = UINT64_MAX;
+  /// Keep the reactive adaptive system running under predicted strategies
+  /// (as the Jikes implementation does).  Disable only for ablation.
+  bool ReactiveSafetyNet = true;
+};
+
+/// Everything one production run under the evolvable VM produces.
+struct EvolveRunRecord {
+  bool UsedPrediction = false;  ///< guard was open, so ô drove the run
+  double ConfidenceBefore = 0;
+  double ConfidenceAfter = 0;
+  double CvConfidence = 0;      ///< only when Guard == CrossValidation
+  double Accuracy = 0;          ///< acc(ô, o) — 0 when no ô was available
+  bool HadPrediction = false;   ///< a model existed to produce ô at all
+  MethodLevelStrategy Predicted;
+  MethodLevelStrategy Ideal;
+  uint64_t ExtractionCycles = 0;
+  uint64_t PredictionCycles = 0;
+  vm::RunResult Result;
+  xicl::FeatureVector Features;
+};
+
+/// The evolvable VM for one application.
+class EvolvableVM {
+public:
+  /// \p Registry and \p Files must outlive this object.  When \p SpecSource
+  /// fails to parse, the constructor keeps the VM functional but the spec
+  /// error is reported (and every run falls back to default optimization,
+  /// matching the paper's no-XICL behaviour).
+  EvolvableVM(const bc::Module &M, const std::string &SpecSource,
+              const xicl::XFMethodRegistry *Registry,
+              const xicl::FileStore *Files, EvolveConfig Config);
+
+  /// One production run (the paper's Fig. 7 loop): extract features,
+  /// predict discriminatively, execute, evaluate against the posterior
+  /// ideal, update confidence and models.
+  ErrorOr<EvolveRunRecord> runOnce(const std::string &CommandLine,
+                                   const std::vector<bc::Value> &VmArgs);
+
+  double confidence() const { return Confidence.value(); }
+  /// The cross-validated model accuracy after the latest rebuild (0 until
+  /// the CrossValidation guard has something to evaluate).
+  double cvConfidence() const { return CvConfidence; }
+  const ModelBuilder &model() const { return Model; }
+  size_t numRuns() const { return RunsSeen; }
+  /// Empty when the XICL spec parsed cleanly.
+  const std::string &specError() const { return SpecError; }
+
+  /// Specification-refinement advice (the paper's Sec. VI extension),
+  /// derived from the accumulated models and per-run accuracies.
+  SpecFeedback specFeedback() const;
+
+private:
+  /// Is the discriminative gate open under the configured guard mode?
+  bool guardOpen() const;
+
+  const bc::Module &M;
+  EvolveConfig Config;
+  std::vector<size_t> Sizes;
+  std::unique_ptr<xicl::XICLTranslator> Translator; ///< null on spec error
+  std::string SpecError;
+  ModelBuilder Model;
+  ml::ConfidenceTracker Confidence;
+  SpecFeedbackCollector Feedback;
+  double CvConfidence = 0;
+  size_t RunsSeen = 0;
+};
+
+} // namespace evolve
+} // namespace evm
+
+#endif // EVM_EVOLVE_EVOLVABLEVM_H

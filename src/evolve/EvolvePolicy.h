@@ -1,0 +1,50 @@
+//===- evolve/EvolvePolicy.h - Proactive strategy application -------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applies a predicted MethodLevelStrategy exactly the way the paper's
+/// Evolve scenario does: every method is still compiled at baseline on its
+/// first encounter (avoiding too-early optimization with unresolved
+/// references), and a recompilation to the predicted level is issued
+/// immediately afterwards.  No reactive sampling decisions are made — the
+/// prediction covers the whole execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_EVOLVE_EVOLVEPOLICY_H
+#define EVM_EVOLVE_EVOLVEPOLICY_H
+
+#include "evolve/Strategy.h"
+#include "vm/Policy.h"
+
+#include <utility>
+
+namespace evm {
+namespace evolve {
+
+/// CompilationPolicy that installs predicted levels right after first-time
+/// baseline compilation.
+class EvolvePolicy : public vm::CompilationPolicy {
+public:
+  explicit EvolvePolicy(MethodLevelStrategy Strategy)
+      : Strategy(std::move(Strategy)) {}
+
+  std::optional<vm::OptLevel>
+  onFirstInvocation(const vm::MethodRuntimeInfo &Info) override {
+    vm::OptLevel L = Strategy.levelFor(Info.Id);
+    if (L == vm::OptLevel::Baseline)
+      return std::nullopt;
+    return L;
+  }
+
+private:
+  MethodLevelStrategy Strategy;
+};
+
+} // namespace evolve
+} // namespace evm
+
+#endif // EVM_EVOLVE_EVOLVEPOLICY_H

@@ -1,0 +1,116 @@
+//===- evolve/ModelBuilder.cpp --------------------------------------------==//
+
+#include "evolve/ModelBuilder.h"
+
+#include "ml/CrossValidation.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace evm;
+using namespace evm::evolve;
+using vm::OptLevel;
+
+void ModelBuilder::addRun(const xicl::FeatureVector &Features,
+                          const MethodLevelStrategy &Ideal) {
+  assert(Ideal.Levels.size() == NumMethods && "strategy size mismatch");
+  RawRuns.push_back(Features);
+  Encoded.addExample(Features, 0);
+  std::vector<int> Row(NumMethods);
+  for (size_t M = 0; M != NumMethods; ++M)
+    Row[M] = vm::levelIndex(Ideal.Levels[M]);
+  Labels.push_back(std::move(Row));
+}
+
+void ModelBuilder::rebuild() {
+  if (Labels.empty())
+    return;
+  Models.clear();
+  Models.resize(NumMethods);
+
+  for (size_t M = 0; M != NumMethods; ++M) {
+    int First = Labels.front()[M];
+    bool AllSame = true;
+    for (const auto &Row : Labels)
+      if (Row[M] != First) {
+        AllSame = false;
+        break;
+      }
+    if (AllSame) {
+      Models[M].Constant = true;
+      Models[M].ConstantLabel = First;
+      continue;
+    }
+    // Relabel a copy of the shared feature table for this method and train.
+    ml::Dataset D = Encoded;
+    for (size_t R = 0; R != Labels.size(); ++R)
+      D.setLabel(R, Labels[R][M]);
+    Models[M].Constant = false;
+    Models[M].Tree = ml::ClassificationTree::build(D, Params);
+  }
+  Built = true;
+}
+
+std::optional<MethodLevelStrategy>
+ModelBuilder::predict(const xicl::FeatureVector &Features,
+                      PredictionStats *Stats) const {
+  if (!Built)
+    return std::nullopt;
+  ml::Example E = Encoded.encode(Features);
+  MethodLevelStrategy Out;
+  Out.Levels.resize(NumMethods, OptLevel::Baseline);
+  for (size_t M = 0; M != NumMethods; ++M) {
+    int Label;
+    if (Models[M].Constant) {
+      Label = Models[M].ConstantLabel;
+    } else {
+      Label = Models[M].Tree.predict(E);
+      if (Stats) {
+        ++Stats->Trees;
+        // depth() bounds the root-to-leaf walk length.
+        Stats->TreeNodesVisited +=
+            static_cast<uint64_t>(Models[M].Tree.depth());
+      }
+    }
+    Label = std::max(0, std::min(vm::NumOptLevels - 1, Label));
+    Out.Levels[M] = vm::levelFromIndex(Label);
+  }
+  return Out;
+}
+
+double ModelBuilder::crossValidatedAccuracy(int Folds, Rng &R) const {
+  if (Labels.size() < 2)
+    return 0;
+  double Sum = 0;
+  for (size_t M = 0; M != NumMethods; ++M) {
+    int First = Labels.front()[M];
+    bool AllSame = true;
+    for (const auto &Row : Labels)
+      if (Row[M] != First) {
+        AllSame = false;
+        break;
+      }
+    if (AllSame) {
+      Sum += 1.0; // a constant predictor generalizes trivially
+      continue;
+    }
+    ml::Dataset D = Encoded;
+    for (size_t Row = 0; Row != Labels.size(); ++Row)
+      D.setLabel(Row, Labels[Row][M]);
+    Sum += ml::kFoldAccuracy(D, Folds, R, Params);
+  }
+  return Sum / static_cast<double>(NumMethods);
+}
+
+std::set<std::string> ModelBuilder::usedFeatureNames() const {
+  std::set<std::string> Names;
+  if (!Built)
+    return Names;
+  for (const MethodModel &Model : Models) {
+    if (Model.Constant)
+      continue;
+    for (size_t F : Model.Tree.usedFeatures())
+      Names.insert(Encoded.schema()[F].Name);
+  }
+  return Names;
+}

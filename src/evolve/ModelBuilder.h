@@ -1,0 +1,109 @@
+//===- evolve/ModelBuilder.h - Incremental input-behavior models ----------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model builder (paper Sec. IV): one classification tree per method,
+/// mapping an input feature vector to the method's good compilation level.
+/// Learning follows the paper's two-stage split — lightweight online data
+/// collection (addRun) plus offline model construction (rebuild) that does
+/// not extend application runtime.  Prediction work is metered so the
+/// evolvable VM can charge it to the virtual clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_EVOLVE_MODELBUILDER_H
+#define EVM_EVOLVE_MODELBUILDER_H
+
+#include "evolve/Strategy.h"
+#include "ml/ClassificationTree.h"
+#include "ml/Dataset.h"
+#include "support/Rng.h"
+#include "xicl/FeatureVector.h"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace evolve {
+
+/// Work accounting for one prediction.
+struct PredictionStats {
+  uint64_t TreeNodesVisited = 0;
+  uint64_t Trees = 0;
+
+  /// Cycles charged per prediction (cheap: tens of tree walks).
+  uint64_t toCycles() const { return 80 * Trees + 40 * TreeNodesVisited; }
+};
+
+/// Per-application model store: feature vectors + per-method ideal levels
+/// accumulated across runs, and the trees trained from them.
+class ModelBuilder {
+public:
+  explicit ModelBuilder(size_t NumMethods,
+                        ml::TreeParams Params = ml::TreeParams())
+      : NumMethods(NumMethods), Params(Params) {}
+
+  /// Online stage: records (input features, posterior ideal strategy).
+  void addRun(const xicl::FeatureVector &Features,
+              const MethodLevelStrategy &Ideal);
+
+  /// Offline stage: (re)builds one tree per method from all recorded runs.
+  /// Methods whose label never varied use a constant predictor instead of
+  /// a tree.
+  void rebuild();
+
+  /// Predicts a strategy for \p Features; nullopt before the first rebuild.
+  std::optional<MethodLevelStrategy>
+  predict(const xicl::FeatureVector &Features,
+          PredictionStats *Stats = nullptr) const;
+
+  size_t numRuns() const { return Labels.size(); }
+
+  /// Names of input features used by at least one method's tree — the
+  /// paper's automatically selected features (Table I "Used").
+  std::set<std::string> usedFeatureNames() const;
+
+  /// K-fold cross-validated accuracy of the per-method models over the
+  /// recorded runs, averaged across methods (constant-label methods score
+  /// 1).  An alternative self-evaluation to the decayed online accuracy;
+  /// returns 0 with fewer than 2 recorded runs.
+  double crossValidatedAccuracy(int Folds, Rng &R) const;
+
+  /// Number of features that appeared in any recorded feature vector.
+  size_t numRawFeatures() const { return Encoded.numFeatures(); }
+
+  /// The encoded feature table of every recorded run (labels unused);
+  /// consumers: spec feedback, cross-validation confidence.
+  const ml::Dataset &encodedRuns() const { return Encoded; }
+
+  /// Per-method label columns (levelIndex encoding), aligned with
+  /// encodedRuns() rows.
+  const std::vector<std::vector<int>> &labelRows() const { return Labels; }
+
+private:
+  size_t NumMethods;
+  ml::TreeParams Params;
+  /// Shared feature rows (labels in the dataset itself are unused).
+  ml::Dataset Encoded;
+  std::vector<xicl::FeatureVector> RawRuns;
+  /// Labels[run][method] = levelIndex of the ideal level.
+  std::vector<std::vector<int>> Labels;
+
+  struct MethodModel {
+    bool Constant = true;
+    int ConstantLabel = vm::levelIndex(vm::OptLevel::Baseline);
+    ml::ClassificationTree Tree;
+  };
+  std::vector<MethodModel> Models;
+  bool Built = false;
+};
+
+} // namespace evolve
+} // namespace evm
+
+#endif // EVM_EVOLVE_MODELBUILDER_H

@@ -1,0 +1,88 @@
+//===- evolve/Repository.cpp ----------------------------------------------==//
+
+#include "evolve/Repository.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace evm;
+using namespace evm::evolve;
+using vm::OptLevel;
+
+void ProfileRepository::addRun(const std::vector<vm::MethodStats> &Profile) {
+  std::vector<uint64_t> Samples(Profile.size());
+  for (size_t M = 0; M != Profile.size(); ++M)
+    Samples[M] = Profile[M].Samples;
+  Runs.push_back(std::move(Samples));
+}
+
+RepStrategy ProfileRepository::deriveStrategy(
+    const std::vector<size_t> &MethodSizes) const {
+  RepStrategy Strategy;
+  if (Runs.empty())
+    return Strategy;
+  const size_t NumMethods = MethodSizes.size();
+  Strategy.PerMethod.resize(NumMethods);
+
+  for (size_t M = 0; M != NumMethods; ++M) {
+    uint64_t MaxSamples = 0;
+    for (const auto &Run : Runs)
+      if (M < Run.size())
+        MaxSamples = std::max(MaxSamples, Run[M]);
+    if (MaxSamples == 0)
+      continue;
+
+    // Candidate trigger counts: a geometric grid capped at the observed
+    // maximum.
+    std::vector<uint64_t> Grid;
+    for (uint64_t K = 1; K <= MaxSamples; K = K + std::max<uint64_t>(1, K / 2))
+      Grid.push_back(K);
+
+    double BestBenefit = 0;
+    RepTrigger Best;
+    for (int LI = vm::levelIndex(OptLevel::O0); LI != vm::NumOptLevels;
+         ++LI) {
+      OptLevel L = vm::levelFromIndex(LI);
+      double SpeedRatio = 1.0 - 1.0 / TM.expectedSpeedup(L);
+      double Cost = static_cast<double>(TM.compileCost(L, MethodSizes[M]));
+      for (uint64_t K : Grid) {
+        double Net = 0;
+        for (const auto &Run : Runs) {
+          uint64_t S = M < Run.size() ? Run[M] : 0;
+          if (S < K)
+            continue; // trigger never fires in this run
+          double Remaining = static_cast<double>(S - K) *
+                             static_cast<double>(TM.SampleIntervalCycles);
+          Net += Remaining * SpeedRatio - Cost;
+        }
+        Net /= static_cast<double>(Runs.size());
+        if (Net > BestBenefit) {
+          BestBenefit = Net;
+          Best = RepTrigger{K, L};
+        }
+      }
+    }
+    if (BestBenefit > 0)
+      Strategy.PerMethod[M].push_back(Best);
+  }
+  return Strategy;
+}
+
+std::optional<OptLevel> RepPolicy::onSample(const vm::MethodRuntimeInfo &Info) {
+  if (Info.Id >= Strategy.PerMethod.size())
+    return std::nullopt;
+  if (RecompileCounts.size() < Strategy.PerMethod.size())
+    RecompileCounts.assign(Strategy.PerMethod.size(), 0);
+
+  for (const RepTrigger &T : Strategy.PerMethod[Info.Id]) {
+    if (Info.Samples != T.SampleCount)
+      continue;
+    if (RecompileCounts[Info.Id] >= CompilationBound)
+      return std::nullopt;
+    if (vm::levelIndex(T.Level) <= vm::levelIndex(Info.Level))
+      return std::nullopt;
+    ++RecompileCounts[Info.Id];
+    return T.Level;
+  }
+  return std::nullopt;
+}

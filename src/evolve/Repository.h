@@ -1,0 +1,86 @@
+//===- evolve/Repository.h - The repository-based baseline (Rep) ---------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-run profile-repository optimizer of Arnold, Welc and Rajan
+/// (OOPSLA'05), reimplemented from the paper's description as its "Rep"
+/// comparison point.  For every method, the repository derives from the
+/// histogram of past runs a trigger pair <k, o>: when the online sampler
+/// sees the k-th sample of the method, it is recompiled at level o.  The
+/// strategy maximizes *average* history performance (not per-input), is
+/// applied unconditionally from the first runs (no confidence guard), and
+/// honours a compilation bound — the paper's three contrasts with Evolve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_EVOLVE_REPOSITORY_H
+#define EVM_EVOLVE_REPOSITORY_H
+
+#include "vm/Policy.h"
+#include "vm/Profile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace evm {
+namespace evolve {
+
+/// One repository-derived trigger: recompile to Level at the K-th sample.
+struct RepTrigger {
+  uint64_t SampleCount = 0;
+  vm::OptLevel Level = vm::OptLevel::Baseline;
+};
+
+/// Per-method triggers for a whole module (empty vector = never recompile
+/// proactively).
+struct RepStrategy {
+  std::vector<std::vector<RepTrigger>> PerMethod;
+
+  bool empty() const { return PerMethod.empty(); }
+};
+
+/// Accumulates profiles across production runs and derives RepStrategies.
+class ProfileRepository {
+public:
+  explicit ProfileRepository(const vm::TimingModel &TM) : TM(TM) {}
+
+  /// Records one run's per-method sample counts.
+  void addRun(const std::vector<vm::MethodStats> &Profile);
+
+  size_t numRuns() const { return Runs.size(); }
+
+  /// Derives the average-performance-maximizing strategy: for each method,
+  /// the (k, o) pair whose expected net benefit over the recorded runs —
+  /// cycles saved by running at level o from sample k onward, minus compile
+  /// cost in the runs that reach k samples — is maximal and positive.
+  RepStrategy deriveStrategy(const std::vector<size_t> &MethodSizes) const;
+
+private:
+  vm::TimingModel TM;
+  /// Per-run, per-method sample counts.
+  std::vector<std::vector<uint64_t>> Runs;
+};
+
+/// Policy that fires repository triggers at sample time, with a bound on
+/// recompilations per method.
+class RepPolicy : public vm::CompilationPolicy {
+public:
+  explicit RepPolicy(RepStrategy Strategy, int CompilationBound = 2)
+      : Strategy(std::move(Strategy)), CompilationBound(CompilationBound) {}
+
+  std::optional<vm::OptLevel>
+  onSample(const vm::MethodRuntimeInfo &Info) override;
+
+private:
+  RepStrategy Strategy;
+  int CompilationBound;
+  std::vector<int> RecompileCounts; ///< sized lazily
+};
+
+} // namespace evolve
+} // namespace evm
+
+#endif // EVM_EVOLVE_REPOSITORY_H

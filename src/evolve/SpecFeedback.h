@@ -1,0 +1,77 @@
+//===- evolve/SpecFeedback.h - Feedback for XICL spec refinement ----------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's proposed extension (Sec. VI): "let the virtual machine offer
+/// feedback to the programmers for the refinement of the specifications."
+///
+/// After some production runs, the VM knows which declared features the
+/// trees never split on (candidates to drop from the spec), which never
+/// varied across the observed inputs (options users never override), and
+/// whether prediction accuracy is trending up or stuck low (a signal that
+/// an important feature is missing from the spec altogether).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_EVOLVE_SPECFEEDBACK_H
+#define EVM_EVOLVE_SPECFEEDBACK_H
+
+#include "evolve/ModelBuilder.h"
+
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace evolve {
+
+/// One analyzed input feature.
+struct FeatureReport {
+  std::string Name;
+  bool Varied = false;      ///< took more than one value across runs
+  bool UsedByModels = false; ///< appears in at least one method's tree
+};
+
+/// The VM's advice to the spec author.
+struct SpecFeedback {
+  size_t RunsObserved = 0;
+  std::vector<FeatureReport> Features;
+  /// Decayed-accuracy trend over the recorded accuracies: positive =
+  /// improving, ~0 = plateau, negative = degrading.
+  double AccuracyTrend = 0;
+  double MeanRecentAccuracy = 0;
+  /// True when accuracy plateaued below a useful level: the strongest
+  /// signal that the specification is missing an important feature.
+  bool LikelyMissingFeature = false;
+
+  /// Features declared in the spec that the models never found useful.
+  std::vector<std::string> droppableFeatures() const;
+  /// Features that never varied (options pinned at their defaults).
+  std::vector<std::string> constantFeatures() const;
+
+  /// Multi-line human-readable report.
+  std::string render() const;
+};
+
+/// Collects per-run accuracies and produces feedback against a model store.
+class SpecFeedbackCollector {
+public:
+  /// Records one run's prediction accuracy (skip runs without predictions).
+  void recordAccuracy(double Accuracy) { Accuracies.push_back(Accuracy); }
+
+  /// Analyzes \p Model (its schema, used features and value ranges come
+  /// from the recorded runs inside it).
+  SpecFeedback analyze(const ModelBuilder &Model) const;
+
+  size_t numRecorded() const { return Accuracies.size(); }
+
+private:
+  std::vector<double> Accuracies;
+};
+
+} // namespace evolve
+} // namespace evm
+
+#endif // EVM_EVOLVE_SPECFEEDBACK_H

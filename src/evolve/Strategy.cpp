@@ -1,0 +1,55 @@
+//===- evolve/Strategy.cpp ------------------------------------------------==//
+
+#include "evolve/Strategy.h"
+
+#include "support/Format.h"
+#include "vm/CostBenefit.h"
+
+#include <cassert>
+
+using namespace evm;
+using namespace evm::evolve;
+using vm::OptLevel;
+
+std::string MethodLevelStrategy::str() const {
+  std::string Out;
+  for (size_t I = 0; I != Levels.size(); ++I)
+    Out += formatString("%sm%zu:%s", I ? " " : "", I,
+                        vm::levelName(Levels[I]));
+  return Out;
+}
+
+std::vector<size_t> evolve::methodSizes(const bc::Module &M) {
+  std::vector<size_t> Sizes(M.numFunctions());
+  for (bc::MethodId Id = 0; Id != M.numFunctions(); ++Id)
+    Sizes[Id] = M.function(Id).Code.size();
+  return Sizes;
+}
+
+MethodLevelStrategy evolve::idealStrategyFromProfile(
+    const vm::TimingModel &TM, const std::vector<vm::MethodStats> &Profile,
+    const std::vector<size_t> &MethodSizes) {
+  assert(Profile.size() == MethodSizes.size() && "profile/size mismatch");
+  MethodLevelStrategy Ideal;
+  Ideal.Levels.resize(Profile.size(), OptLevel::Baseline);
+  for (size_t M = 0; M != Profile.size(); ++M)
+    Ideal.Levels[M] = vm::idealLevelForMethod(
+        TM, Profile[M].baselineEquivalentCycles(TM), MethodSizes[M]);
+  return Ideal;
+}
+
+double evolve::predictionAccuracy(const MethodLevelStrategy &Predicted,
+                                  const MethodLevelStrategy &Ideal,
+                                  const std::vector<vm::MethodStats> &Profile) {
+  uint64_t Total = 0, Correct = 0;
+  for (size_t M = 0; M != Profile.size(); ++M) {
+    uint64_t T = Profile[M].Samples;
+    Total += T;
+    if (Predicted.levelFor(static_cast<bc::MethodId>(M)) ==
+        Ideal.levelFor(static_cast<bc::MethodId>(M)))
+      Correct += T;
+  }
+  if (Total == 0)
+    return 1.0;
+  return static_cast<double>(Correct) / static_cast<double>(Total);
+}

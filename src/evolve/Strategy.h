@@ -1,0 +1,68 @@
+//===- evolve/Strategy.h - Per-method optimization strategies ------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's optimization strategy for the studied decision — one
+/// compilation level per method (Sec. IV-A and V-B) — plus the posterior
+/// ideal strategy derived from a run's profile and the time-weighted
+/// prediction-accuracy metric:
+///
+///   accuracy = sum_{m in C} T_m / sum_{i in A} T_i
+///
+/// where C is the set of methods whose level was predicted correctly and
+/// T_m is the method's sample count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_EVOLVE_STRATEGY_H
+#define EVM_EVOLVE_STRATEGY_H
+
+#include "vm/Profile.h"
+#include "vm/Timing.h"
+
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace evolve {
+
+/// One compilation level per method, indexed by MethodId.
+struct MethodLevelStrategy {
+  std::vector<vm::OptLevel> Levels;
+
+  vm::OptLevel levelFor(bc::MethodId Id) const {
+    return Id < Levels.size() ? Levels[Id] : vm::OptLevel::Baseline;
+  }
+
+  bool operator==(const MethodLevelStrategy &O) const {
+    return Levels == O.Levels;
+  }
+
+  /// "m0:-1 m1:2 ..." for diagnostics.
+  std::string str() const;
+};
+
+/// Computes the posterior ideal strategy (paper: GetIdealOptStrategy(p))
+/// from a run profile using the shared cost-benefit model.
+MethodLevelStrategy
+idealStrategyFromProfile(const vm::TimingModel &TM,
+                         const std::vector<vm::MethodStats> &Profile,
+                         const std::vector<size_t> &MethodSizes);
+
+/// Time-weighted prediction accuracy of \p Predicted against \p Ideal.
+/// Runs whose profile has no samples at all score 1 (nothing mispredicted
+/// mattered).
+double predictionAccuracy(const MethodLevelStrategy &Predicted,
+                          const MethodLevelStrategy &Ideal,
+                          const std::vector<vm::MethodStats> &Profile);
+
+/// Bytecode sizes per method (helper shared by strategy consumers).
+std::vector<size_t> methodSizes(const bc::Module &M);
+
+} // namespace evolve
+} // namespace evm
+
+#endif // EVM_EVOLVE_STRATEGY_H

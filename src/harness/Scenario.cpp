@@ -1,0 +1,133 @@
+//===- harness/Scenario.cpp -----------------------------------------------==//
+
+#include "harness/Scenario.h"
+
+#include "evolve/Repository.h"
+#include "evolve/Strategy.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "vm/Aos.h"
+
+#include <cassert>
+
+using namespace evm;
+using namespace evm::harness;
+
+ScenarioRunner::ScenarioRunner(const wl::Workload &W, ExperimentConfig Config)
+    : W(W), Config(Config), DefaultCache(W.Inputs.size(), 0) {
+  W.registerMethods(Registry);
+  W.populateFileStore(Files);
+}
+
+std::vector<size_t> ScenarioRunner::makeInputOrder(uint64_t OrderSeed,
+                                                   size_t Count) const {
+  Rng R(Config.Seed ^ (OrderSeed * 0x9e3779b97f4a7c15ULL));
+  std::vector<size_t> Order(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Order[I] = static_cast<size_t>(
+        R.nextInt(0, static_cast<int64_t>(W.Inputs.size()) - 1));
+  return Order;
+}
+
+uint64_t ScenarioRunner::defaultCycles(size_t InputIndex) {
+  assert(InputIndex < W.Inputs.size() && "input index out of range");
+  if (DefaultCache[InputIndex])
+    return DefaultCache[InputIndex];
+  vm::AdaptivePolicy Policy(Config.Timing);
+  vm::ExecutionEngine Engine(W.Module, Config.Timing, &Policy);
+  auto R = Engine.run(W.Inputs[InputIndex].VmArgs, Config.MaxCyclesPerRun);
+  assert(R && "default run trapped");
+  DefaultCache[InputIndex] = R ? (*R).Cycles : 1;
+  return DefaultCache[InputIndex];
+}
+
+ScenarioResult ScenarioRunner::runDefault(const std::vector<size_t> &Order) {
+  ScenarioResult Result;
+  Result.ScenarioName = "Default";
+  for (size_t InputIndex : Order) {
+    RunMetrics M;
+    M.InputIndex = InputIndex;
+    M.Cycles = defaultCycles(InputIndex);
+    M.SpeedupVsDefault = 1.0;
+    Result.Runs.push_back(M);
+  }
+  return Result;
+}
+
+ScenarioResult ScenarioRunner::runRep(const std::vector<size_t> &Order) {
+  ScenarioResult Result;
+  Result.ScenarioName = "Rep";
+  evolve::ProfileRepository Repo(Config.Timing);
+  std::vector<size_t> Sizes = evolve::methodSizes(W.Module);
+
+  size_t RunIndex = 0;
+  for (size_t InputIndex : Order) {
+    RunMetrics M;
+    M.InputIndex = InputIndex;
+
+    // The repository strategy is applied unconditionally, from the very
+    // first runs (no confidence guard) — one of the paper's contrasts.
+    evolve::RepStrategy Strategy = Repo.deriveStrategy(Sizes);
+    evolve::RepPolicy RepTriggers(std::move(Strategy));
+    vm::AdaptivePolicy Adaptive(Config.Timing);
+    vm::CombinedPolicy Policy(&RepTriggers, &Adaptive);
+
+    uint64_t SamplePhase = Rng(RunIndex++ ^ 0x4e9b2a7c).next();
+    vm::ExecutionEngine Engine(W.Module, Config.Timing, &Policy);
+    auto R = Engine.run(W.Inputs[InputIndex].VmArgs, Config.MaxCyclesPerRun,
+                        0, SamplePhase);
+    assert(R && "rep run trapped");
+    if (!R)
+      continue;
+    M.Cycles = (*R).Cycles;
+    M.SpeedupVsDefault = static_cast<double>(defaultCycles(InputIndex)) /
+                         static_cast<double>(M.Cycles);
+    Repo.addRun((*R).PerMethod);
+    Result.Runs.push_back(M);
+  }
+  return Result;
+}
+
+ScenarioResult ScenarioRunner::runEvolve(const std::vector<size_t> &Order) {
+  ScenarioResult Result;
+  Result.ScenarioName = "Evolve";
+
+  evolve::EvolveConfig EC;
+  EC.Timing = Config.Timing;
+  EC.Gamma = Config.Gamma;
+  EC.ConfidenceThreshold = Config.ConfidenceThreshold;
+  EC.MaxCyclesPerRun = Config.MaxCyclesPerRun;
+  evolve::EvolvableVM VM(W.Module, W.XiclSpec, &Registry, &Files, EC);
+  assert(VM.specError().empty() && "workload XICL spec failed to parse");
+
+  std::vector<double> Confidences, Accuracies;
+  for (size_t InputIndex : Order) {
+    auto Record = VM.runOnce(W.Inputs[InputIndex].CommandLine,
+                             W.Inputs[InputIndex].VmArgs);
+    assert(Record && "evolve run failed");
+    if (!Record)
+      continue;
+    RunMetrics M;
+    M.InputIndex = InputIndex;
+    M.Cycles = Record->Result.Cycles;
+    M.SpeedupVsDefault = static_cast<double>(defaultCycles(InputIndex)) /
+                         static_cast<double>(M.Cycles);
+    M.Confidence = Record->ConfidenceAfter;
+    M.Accuracy = Record->Accuracy;
+    M.UsedPrediction = Record->UsedPrediction;
+    M.HadPrediction = Record->HadPrediction;
+    M.OverheadCycles = Record->Result.OverheadCycles;
+    Result.Runs.push_back(M);
+
+    Confidences.push_back(Record->ConfidenceAfter);
+    if (Record->HadPrediction)
+      Accuracies.push_back(Record->Accuracy);
+  }
+
+  Result.FinalConfidence = VM.confidence();
+  Result.MeanConfidence = mean(Confidences);
+  Result.MeanAccuracy = mean(Accuracies);
+  Result.RawFeatures = VM.model().numRawFeatures();
+  Result.UsedFeatures = VM.model().usedFeatureNames().size();
+  return Result;
+}

@@ -1,0 +1,107 @@
+//===- harness/Scenario.h - The paper's three execution scenarios --------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one workload under the paper's three scenarios (Sec. V-B):
+///
+///   Default — the reactive cost-benefit adaptive system; no cross-run
+///             state.
+///   Rep     — the repository-based optimizer: cross-run profile history
+///             drives per-method <sample-count, level> triggers (with the
+///             adaptive system still running underneath), unconditionally
+///             from the first runs.
+///   Evolve  — the evolvable VM: XICL features + per-method trees +
+///             discriminative prediction.
+///
+/// All scenarios replay the *same* randomly drawn input sequence, so
+/// speedups pair runs against the default time of the identical input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_HARNESS_SCENARIO_H
+#define EVM_HARNESS_SCENARIO_H
+
+#include "evolve/EvolvableVM.h"
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace harness {
+
+/// Per-run measurements (fields beyond Cycles are Evolve-only).
+struct RunMetrics {
+  size_t InputIndex = 0;
+  uint64_t Cycles = 0;
+  double SpeedupVsDefault = 1.0;
+  // Evolve-only:
+  double Confidence = 0; ///< after the run
+  double Accuracy = 0;
+  bool UsedPrediction = false;
+  bool HadPrediction = false;
+  uint64_t OverheadCycles = 0;
+};
+
+/// One scenario's full trace plus its aggregates.
+struct ScenarioResult {
+  std::string ScenarioName;
+  std::vector<RunMetrics> Runs;
+  // Evolve-only aggregates:
+  double FinalConfidence = 0;
+  double MeanConfidence = 0;
+  double MeanAccuracy = 0; ///< over runs where a prediction existed
+  size_t RawFeatures = 0;
+  size_t UsedFeatures = 0;
+};
+
+/// Experiment knobs shared by all scenarios of one comparison.
+struct ExperimentConfig {
+  vm::TimingModel Timing;
+  uint64_t Seed = 1;
+  size_t NumRuns = 30;
+  double Gamma = 0.7;
+  double ConfidenceThreshold = 0.7;
+  uint64_t MaxCyclesPerRun = 4ULL << 32;
+};
+
+/// Runs all three scenarios for one workload over one input sequence.
+class ScenarioRunner {
+public:
+  ScenarioRunner(const wl::Workload &W, ExperimentConfig Config);
+
+  /// The input sequence (indices into W.Inputs), drawn with replacement.
+  /// Regenerate with a different sub-seed via makeInputOrder.
+  std::vector<size_t> makeInputOrder(uint64_t OrderSeed, size_t Count) const;
+
+  /// Default time of input \p InputIndex, computed once and cached.
+  uint64_t defaultCycles(size_t InputIndex);
+
+  ScenarioResult runDefault(const std::vector<size_t> &Order);
+  ScenarioResult runRep(const std::vector<size_t> &Order);
+  ScenarioResult runEvolve(const std::vector<size_t> &Order);
+
+  const wl::Workload &workload() const { return W; }
+  const ExperimentConfig &config() const { return Config; }
+
+  /// Recommended run count for this workload (the paper: 30, or 70 for
+  /// programs with many inputs).
+  size_t recommendedRuns() const {
+    return W.Inputs.size() >= 60 ? 70 : 30;
+  }
+
+private:
+  const wl::Workload &W;
+  ExperimentConfig Config;
+  xicl::XFMethodRegistry Registry;
+  xicl::FileStore Files;
+  std::vector<uint64_t> DefaultCache; ///< 0 = not yet measured
+};
+
+} // namespace harness
+} // namespace evm
+
+#endif // EVM_HARNESS_SCENARIO_H

@@ -1,0 +1,269 @@
+//===- ml/ClassificationTree.cpp ------------------------------------------==//
+
+#include "ml/ClassificationTree.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace evm;
+using namespace evm::ml;
+
+double ml::labelEntropy(const Dataset &D, const std::vector<size_t> &Rows) {
+  if (Rows.empty())
+    return 0;
+  std::map<int, size_t> Counts;
+  for (size_t R : Rows)
+    ++Counts[D.example(R).Label];
+  double Entropy = 0;
+  double N = static_cast<double>(Rows.size());
+  for (const auto &[Label, Count] : Counts) {
+    (void)Label;
+    double P = static_cast<double>(Count) / N;
+    Entropy -= P * std::log2(P);
+  }
+  return Entropy;
+}
+
+namespace {
+
+/// Majority label of \p Rows (smallest label wins ties); 0 when empty.
+int majorityLabel(const Dataset &D, const std::vector<size_t> &Rows) {
+  std::map<int, size_t> Counts;
+  for (size_t R : Rows)
+    ++Counts[D.example(R).Label];
+  int Best = 0;
+  size_t BestCount = 0;
+  for (const auto &[Label, Count] : Counts)
+    if (Count > BestCount) {
+      Best = Label;
+      BestCount = Count;
+    }
+  return Best;
+}
+
+struct SplitChoice {
+  double Gain = -1;
+  size_t FeatureIndex = 0;
+  bool Categorical = false;
+  double Threshold = 0;
+  int CategoryId = 0;
+};
+
+/// Entropy gain of partitioning Rows into (Left, Right).
+double splitGain(const Dataset &D, const std::vector<size_t> &Rows,
+                 const std::vector<size_t> &Left,
+                 const std::vector<size_t> &Right, double ParentEntropy) {
+  if (Left.empty() || Right.empty())
+    return -1;
+  double N = static_cast<double>(Rows.size());
+  double Weighted =
+      (static_cast<double>(Left.size()) / N) * labelEntropy(D, Left) +
+      (static_cast<double>(Right.size()) / N) * labelEntropy(D, Right);
+  return ParentEntropy - Weighted;
+}
+
+/// Finds the best question over all features for \p Rows.
+SplitChoice chooseSplit(const Dataset &D, const std::vector<size_t> &Rows) {
+  SplitChoice Best;
+  double ParentEntropy = labelEntropy(D, Rows);
+  if (ParentEntropy <= 0)
+    return Best;
+
+  for (size_t F = 0; F != D.numFeatures(); ++F) {
+    const FeatureDef &Def = D.schema()[F];
+    // Distinct values present in this partition.
+    std::vector<double> Values;
+    Values.reserve(Rows.size());
+    for (size_t R : Rows)
+      Values.push_back(D.example(R).Values[F]);
+    std::sort(Values.begin(), Values.end());
+    Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
+    if (Values.size() < 2)
+      continue; // constant feature: can never reduce impurity
+
+    if (Def.Categorical) {
+      // One-vs-rest equality questions.
+      for (double Category : Values) {
+        std::vector<size_t> Left, Right;
+        for (size_t R : Rows) {
+          if (D.example(R).Values[F] == Category)
+            Left.push_back(R);
+          else
+            Right.push_back(R);
+        }
+        double Gain = splitGain(D, Rows, Left, Right, ParentEntropy);
+        if (Gain > Best.Gain) {
+          Best.Gain = Gain;
+          Best.FeatureIndex = F;
+          Best.Categorical = true;
+          Best.CategoryId = static_cast<int>(Category);
+        }
+      }
+      continue;
+    }
+
+    // Numeric thresholds: midpoints between consecutive distinct values.
+    for (size_t K = 1; K != Values.size(); ++K) {
+      double Threshold = (Values[K - 1] + Values[K]) / 2;
+      std::vector<size_t> Left, Right;
+      for (size_t R : Rows) {
+        if (D.example(R).Values[F] < Threshold)
+          Left.push_back(R);
+        else
+          Right.push_back(R);
+      }
+      double Gain = splitGain(D, Rows, Left, Right, ParentEntropy);
+      if (Gain > Best.Gain) {
+        Best.Gain = Gain;
+        Best.FeatureIndex = F;
+        Best.Categorical = false;
+        Best.Threshold = Threshold;
+      }
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+std::unique_ptr<ClassificationTree::Node>
+ClassificationTree::buildNode(const Dataset &D,
+                              const std::vector<size_t> &Rows,
+                              const TreeParams &Params, int Depth) {
+  auto N = std::make_unique<Node>();
+  N->Label = majorityLabel(D, Rows);
+
+  if (Depth >= Params.MaxDepth || Rows.size() < Params.MinSamplesSplit)
+    return N;
+  SplitChoice Split = chooseSplit(D, Rows);
+  if (Split.Gain <= Params.MinGain)
+    return N;
+
+  std::vector<size_t> Left, Right;
+  for (size_t R : Rows) {
+    double V = D.example(R).Values[Split.FeatureIndex];
+    bool GoLeft = Split.Categorical ? V == Split.CategoryId
+                                    : V < Split.Threshold;
+    (GoLeft ? Left : Right).push_back(R);
+  }
+  assert(!Left.empty() && !Right.empty() && "degenerate split chosen");
+
+  N->IsLeaf = false;
+  N->FeatureIndex = Split.FeatureIndex;
+  N->Categorical = Split.Categorical;
+  N->Threshold = Split.Threshold;
+  N->CategoryId = Split.CategoryId;
+  N->Left = buildNode(D, Left, Params, Depth + 1);
+  N->Right = buildNode(D, Right, Params, Depth + 1);
+  return N;
+}
+
+ClassificationTree ClassificationTree::build(const Dataset &D,
+                                             const TreeParams &Params) {
+  ClassificationTree Tree;
+  std::vector<size_t> All(D.numExamples());
+  for (size_t I = 0; I != All.size(); ++I)
+    All[I] = I;
+  Tree.Root = buildNode(D, All, Params, 0);
+  return Tree;
+}
+
+int ClassificationTree::predict(const Example &E) const {
+  assert(Root && "predicting with an unbuilt tree");
+  const Node *N = Root.get();
+  while (!N->IsLeaf) {
+    double V = N->FeatureIndex < E.Values.size()
+                   ? E.Values[N->FeatureIndex]
+                   : 0;
+    bool GoLeft = N->Categorical ? V == N->CategoryId : V < N->Threshold;
+    N = GoLeft ? N->Left.get() : N->Right.get();
+  }
+  return N->Label;
+}
+
+std::set<size_t> ClassificationTree::usedFeatures() const {
+  std::set<size_t> Out;
+  // Walk iteratively to keep Node private.
+  std::vector<const Node *> Stack;
+  if (Root)
+    Stack.push_back(Root.get());
+  while (!Stack.empty()) {
+    const Node *N = Stack.back();
+    Stack.pop_back();
+    if (N->IsLeaf)
+      continue;
+    Out.insert(N->FeatureIndex);
+    Stack.push_back(N->Left.get());
+    Stack.push_back(N->Right.get());
+  }
+  return Out;
+}
+
+size_t ClassificationTree::numNodes() const {
+  size_t Count = 0;
+  std::vector<const Node *> Stack;
+  if (Root)
+    Stack.push_back(Root.get());
+  while (!Stack.empty()) {
+    const Node *N = Stack.back();
+    Stack.pop_back();
+    ++Count;
+    if (!N->IsLeaf) {
+      Stack.push_back(N->Left.get());
+      Stack.push_back(N->Right.get());
+    }
+  }
+  return Count;
+}
+
+int ClassificationTree::depth() const {
+  // (node, depth) DFS.
+  int Max = 0;
+  std::vector<std::pair<const Node *, int>> Stack;
+  if (Root)
+    Stack.emplace_back(Root.get(), 1);
+  while (!Stack.empty()) {
+    auto [N, D] = Stack.back();
+    Stack.pop_back();
+    Max = std::max(Max, D);
+    if (!N->IsLeaf) {
+      Stack.emplace_back(N->Left.get(), D + 1);
+      Stack.emplace_back(N->Right.get(), D + 1);
+    }
+  }
+  return Max;
+}
+
+std::string ClassificationTree::print(const Dataset &D) const {
+  std::string Out;
+  std::vector<std::pair<const Node *, int>> Stack;
+  if (Root)
+    Stack.emplace_back(Root.get(), 0);
+  while (!Stack.empty()) {
+    auto [N, Indent] = Stack.back();
+    Stack.pop_back();
+    Out += std::string(static_cast<size_t>(Indent) * 2, ' ');
+    if (N->IsLeaf) {
+      Out += formatString("-> %d\n", N->Label);
+      continue;
+    }
+    const FeatureDef &Def = D.schema()[N->FeatureIndex];
+    if (N->Categorical) {
+      // Recover the category string for readability.
+      std::string Cat = "?";
+      for (const auto &[Name, Id] : Def.Dictionary)
+        if (Id == N->CategoryId)
+          Cat = Name;
+      Out += formatString("%s == %s?\n", Def.Name.c_str(), Cat.c_str());
+    } else {
+      Out += formatString("%s < %g?\n", Def.Name.c_str(), N->Threshold);
+    }
+    Stack.emplace_back(N->Right.get(), Indent + 1);
+    Stack.emplace_back(N->Left.get(), Indent + 1);
+  }
+  return Out;
+}

@@ -1,0 +1,86 @@
+//===- ml/ClassificationTree.h - Entropy-based decision trees -------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's modeling technique (Sec. IV-B, Fig. 6): classification trees
+/// built by recursive divide-and-conquer, splitting on the question with
+/// the largest entropy-based impurity reduction.  Numeric columns split on
+/// thresholds (x < t), categorical columns on equality (x == c).  The
+/// properties the paper relies on hold here by construction:
+///
+///   * both discrete and numeric features are handled;
+///   * important features are selected automatically — features that never
+///     reduce impurity (e.g. never-used options stuck at their defaults)
+///     simply never appear in the tree (usedFeatures() reports the rest,
+///     Table I's "Used" column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_ML_CLASSIFICATIONTREE_H
+#define EVM_ML_CLASSIFICATIONTREE_H
+
+#include "ml/Dataset.h"
+
+#include <memory>
+#include <set>
+
+namespace evm {
+namespace ml {
+
+/// Tree construction parameters.
+struct TreeParams {
+  int MaxDepth = 12;
+  size_t MinSamplesSplit = 2;
+  double MinGain = 1e-9;
+};
+
+/// Shannon entropy (bits) of the label distribution of \p Rows over \p D.
+double labelEntropy(const Dataset &D, const std::vector<size_t> &Rows);
+
+/// A trained classification tree.
+class ClassificationTree {
+public:
+  /// Builds a tree over the whole dataset.  An empty dataset yields a
+  /// degenerate tree predicting label 0.
+  static ClassificationTree build(const Dataset &D,
+                                  const TreeParams &Params = TreeParams());
+
+  /// Predicts the label of an encoded example.
+  int predict(const Example &E) const;
+
+  /// Indices of features actually used in split nodes (automatic feature
+  /// selection).
+  std::set<size_t> usedFeatures() const;
+
+  size_t numNodes() const;
+  int depth() const;
+
+  /// Multi-line rendering ("x2 < 4.5?" style) for tests and debugging.
+  std::string print(const Dataset &D) const;
+
+private:
+  struct Node {
+    bool IsLeaf = true;
+    int Label = 0;
+    // Split description (internal nodes).
+    size_t FeatureIndex = 0;
+    bool Categorical = false;
+    double Threshold = 0; ///< numeric: left when value < Threshold
+    int CategoryId = 0;   ///< categorical: left when value == CategoryId
+    std::unique_ptr<Node> Left, Right;
+  };
+
+  static std::unique_ptr<Node> buildNode(const Dataset &D,
+                                         const std::vector<size_t> &Rows,
+                                         const TreeParams &Params,
+                                         int Depth);
+  std::unique_ptr<Node> Root;
+};
+
+} // namespace ml
+} // namespace evm
+
+#endif // EVM_ML_CLASSIFICATIONTREE_H

@@ -1,0 +1,56 @@
+//===- ml/Confidence.h - Decayed-accuracy confidence ----------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discriminative-prediction guard (paper Sec. IV-C, Fig. 7):
+/// confidence is the decayed average of prediction accuracies over previous
+/// executions, conf = (1 - gamma) * conf + gamma * acc, and a prediction is
+/// only applied when conf exceeds a threshold.  The paper uses gamma = 0.7
+/// and THc = 0.7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_ML_CONFIDENCE_H
+#define EVM_ML_CONFIDENCE_H
+
+#include <cassert>
+
+namespace evm {
+namespace ml {
+
+/// Tracks model confidence as a decayed accuracy average.
+class ConfidenceTracker {
+public:
+  /// \p Gamma weights recent runs (larger = more recent-heavy); confidence
+  /// starts at 0, so early immature models never pass the guard.
+  explicit ConfidenceTracker(double Gamma = 0.7, double Threshold = 0.7)
+      : Gamma(Gamma), Threshold(Threshold) {
+    assert(Gamma >= 0 && Gamma <= 1 && "gamma outside [0,1]");
+    assert(Threshold >= 0 && Threshold <= 1 && "threshold outside [0,1]");
+  }
+
+  /// Folds one run's prediction accuracy (in [0,1]) into the confidence.
+  void update(double Accuracy) {
+    assert(Accuracy >= 0 && Accuracy <= 1 && "accuracy outside [0,1]");
+    Conf = (1 - Gamma) * Conf + Gamma * Accuracy;
+  }
+
+  double value() const { return Conf; }
+  double threshold() const { return Threshold; }
+
+  /// The discriminative gate: predict only when confident.
+  bool confident() const { return Conf > Threshold; }
+
+private:
+  double Gamma;
+  double Threshold;
+  double Conf = 0;
+};
+
+} // namespace ml
+} // namespace evm
+
+#endif // EVM_ML_CONFIDENCE_H

@@ -1,0 +1,46 @@
+//===- ml/CrossValidation.cpp ---------------------------------------------==//
+
+#include "ml/CrossValidation.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace evm;
+using namespace evm::ml;
+
+double ml::kFoldAccuracy(const Dataset &D, int K, Rng &Rng,
+                         const TreeParams &Params) {
+  size_t N = D.numExamples();
+  if (N < 2)
+    return 0;
+  K = std::max(2, std::min<int>(K, static_cast<int>(N)));
+
+  std::vector<size_t> Order(N);
+  for (size_t I = 0; I != N; ++I)
+    Order[I] = I;
+  Rng.shuffle(Order);
+
+  size_t Correct = 0, Tested = 0;
+  for (int Fold = 0; Fold != K; ++Fold) {
+    std::vector<size_t> Train, Test;
+    for (size_t I = 0; I != N; ++I) {
+      if (static_cast<int>(I % static_cast<size_t>(K)) == Fold)
+        Test.push_back(Order[I]);
+      else
+        Train.push_back(Order[I]);
+    }
+    if (Test.empty() || Train.empty())
+      continue;
+    Dataset TrainSet = D.subset(Train);
+    ClassificationTree Tree = ClassificationTree::build(TrainSet, Params);
+    for (size_t R : Test) {
+      Example E = D.example(R);
+      E.Values.resize(D.numFeatures(), 0);
+      if (Tree.predict(E) == D.example(R).Label)
+        ++Correct;
+      ++Tested;
+    }
+  }
+  assert(Tested > 0 && "no folds evaluated");
+  return static_cast<double>(Correct) / static_cast<double>(Tested);
+}

@@ -1,0 +1,32 @@
+//===- ml/CrossValidation.h - Model quality estimation ---------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-fold cross-validation over a Dataset, used to assess predictive-model
+/// quality offline (the paper's discriminative prediction additionally
+/// tracks a decayed online accuracy; see Confidence.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_ML_CROSSVALIDATION_H
+#define EVM_ML_CROSSVALIDATION_H
+
+#include "ml/ClassificationTree.h"
+#include "support/Rng.h"
+
+namespace evm {
+namespace ml {
+
+/// K-fold cross-validated accuracy in [0, 1].  Rows are shuffled with
+/// \p Rng before folding; datasets smaller than \p K fall back to
+/// leave-one-out.  Returns 0 for datasets with fewer than 2 examples.
+double kFoldAccuracy(const Dataset &D, int K, Rng &Rng,
+                     const TreeParams &Params = TreeParams());
+
+} // namespace ml
+} // namespace evm
+
+#endif // EVM_ML_CROSSVALIDATION_H

@@ -1,0 +1,82 @@
+//===- ml/Dataset.h - Training data for classification trees --------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The example store behind incremental input-behavior modeling (paper
+/// Sec. IV).  Rows accumulate across production runs; features are aligned
+/// by name so the schema can grow when runtime-passed features (updateV)
+/// appear after the first run.  Categorical string values are dictionary-
+/// encoded per feature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_ML_DATASET_H
+#define EVM_ML_DATASET_H
+
+#include "xicl/FeatureVector.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace ml {
+
+/// Column description.
+struct FeatureDef {
+  std::string Name;
+  bool Categorical = false;
+  /// Dictionary for categorical columns: string -> dense id.
+  std::map<std::string, int> Dictionary;
+};
+
+/// One encoded training example: per-column value (numeric value or
+/// category id) plus an integer class label.
+struct Example {
+  std::vector<double> Values;
+  int Label = 0;
+};
+
+/// A growable, name-aligned dataset.
+class Dataset {
+public:
+  /// Encodes \p FV into a row (extending the schema for unseen feature
+  /// names — earlier rows read 0 for them) and appends it with \p Label.
+  void addExample(const xicl::FeatureVector &FV, int Label);
+
+  /// Encodes \p FV against the current schema without storing it (for
+  /// prediction).  Unseen categorical values encode as -1; unknown feature
+  /// names are ignored; missing features read 0.
+  Example encode(const xicl::FeatureVector &FV) const;
+
+  /// Rewrites the label of row \p I (the evolvable VM shares one encoded
+  /// feature table across its per-method models and relabels copies).
+  void setLabel(size_t I, int Label) { Examples[I].Label = Label; }
+
+  size_t numExamples() const { return Examples.size(); }
+  size_t numFeatures() const { return Schema.size(); }
+  const std::vector<FeatureDef> &schema() const { return Schema; }
+  const Example &example(size_t I) const { return Examples[I]; }
+  const std::vector<Example> &examples() const { return Examples; }
+
+  /// Distinct labels present, sorted ascending.
+  std::vector<int> labels() const;
+
+  /// Dataset restricted to the given row indices (for cross-validation).
+  Dataset subset(const std::vector<size_t> &Rows) const;
+
+private:
+  int columnFor(const xicl::Feature &F);
+
+  std::vector<FeatureDef> Schema;
+  std::map<std::string, size_t> ColumnIndex;
+  std::vector<Example> Examples;
+};
+
+} // namespace ml
+} // namespace evm
+
+#endif // EVM_ML_DATASET_H

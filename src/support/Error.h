@@ -1,0 +1,88 @@
+//===- support/Error.h - Lightweight recoverable-error utilities ---------===//
+//
+// Part of the EVM project: a reproduction of "Cross-Input Learning and
+// Discriminative Prediction in Evolvable Virtual Machines" (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-handling utilities in the spirit of llvm::Expected, but
+/// without exceptions or RTTI.  Library code reports recoverable failures
+/// (malformed XICL specs, bad bytecode, unknown options) through ErrorOr<T>;
+/// programmatic errors use assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SUPPORT_ERROR_H
+#define EVM_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace evm {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// Messages follow the tool-diagnostic style: start lowercase, no trailing
+/// period.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Either a value of type \p T or an Error, never both.
+///
+/// Mirrors the fallible-constructor idiom: functions that can fail return
+/// ErrorOr<T> and callers test with the boolean conversion before
+/// dereferencing.
+template <typename T> class ErrorOr {
+public:
+  /// Constructs a success value.
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  /// Constructs a failure value.
+  ErrorOr(Error Err) : Storage(std::move(Err)) {}
+
+  /// True when this holds a value.
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(*this && "dereferencing ErrorOr in error state");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing ErrorOr in error state");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Returns the error; only valid in the failure state.
+  const Error &getError() const {
+    assert(!*this && "no error present");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out; only valid in the success state.
+  T takeValue() {
+    assert(*this && "taking value from ErrorOr in error state");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Builds an Error from a printf-style format; defined in Format.cpp.
+Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace evm
+
+#endif // EVM_SUPPORT_ERROR_H

@@ -1,0 +1,31 @@
+//===- support/Format.h - printf-style std::string formatting ------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny, allocation-friendly printf wrapper returning std::string.  Library
+/// code uses this instead of iostreams (which are forbidden in library files
+/// by the project coding standard).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SUPPORT_FORMAT_H
+#define EVM_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace evm {
+
+/// Formats \p Fmt with printf semantics into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+} // namespace evm
+
+#endif // EVM_SUPPORT_FORMAT_H

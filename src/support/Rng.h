@@ -1,0 +1,76 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ----------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small SplitMix64-based generator.  Every stochastic component of the
+/// reproduction (input-set generation, input arrival order, cross-validation
+/// folds) draws from an explicitly seeded Rng so experiments are
+/// deterministic and independently replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SUPPORT_RNG_H
+#define EVM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace evm {
+
+/// SplitMix64 generator: tiny state, excellent statistical quality for
+/// simulation purposes, and trivially reproducible from a seed.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit draw.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [Low, High], inclusive on both ends.
+  int64_t nextInt(int64_t Low, int64_t High) {
+    assert(Low <= High && "empty range");
+    uint64_t Span = static_cast<uint64_t>(High - Low) + 1;
+    return Low + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [Low, High).
+  double nextDouble(double Low, double High) {
+    return Low + (High - Low) * nextDouble();
+  }
+
+  /// Bernoulli draw with probability \p P of true.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(next() % I);
+      std::swap(Items[I - 1], Items[J]);
+    }
+  }
+
+  /// Derives an independent child generator; use to give each component its
+  /// own stream without coupling draw orders.
+  Rng fork() { return Rng(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace evm
+
+#endif // EVM_SUPPORT_RNG_H

@@ -1,0 +1,128 @@
+//===- support/StringUtils.cpp --------------------------------------------==//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace evm;
+
+std::vector<std::string> evm::splitString(std::string_view Text,
+                                          char Separator) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Separator, Start);
+    if (Pos == std::string_view::npos) {
+      Pieces.emplace_back(Text.substr(Start));
+      return Pieces;
+    }
+    Pieces.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::vector<std::string> evm::splitWhitespace(std::string_view Text) {
+  std::vector<std::string> Pieces;
+  size_t I = 0, N = Text.size();
+  while (I < N) {
+    while (I < N && std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    size_t Start = I;
+    while (I < N && !std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I > Start)
+      Pieces.emplace_back(Text.substr(Start, I - Start));
+  }
+  return Pieces;
+}
+
+std::vector<std::string> evm::tokenizeCommandLine(std::string_view Line) {
+  std::vector<std::string> Tokens;
+  std::string Current;
+  bool InToken = false, InQuotes = false;
+  for (char C : Line) {
+    if (InQuotes) {
+      if (C == '"') {
+        InQuotes = false;
+        continue;
+      }
+      Current.push_back(C);
+      continue;
+    }
+    if (C == '"') {
+      InQuotes = true;
+      InToken = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      if (InToken) {
+        Tokens.push_back(Current);
+        Current.clear();
+        InToken = false;
+      }
+      continue;
+    }
+    Current.push_back(C);
+    InToken = true;
+  }
+  if (InToken)
+    Tokens.push_back(Current);
+  return Tokens;
+}
+
+std::string evm::trimString(std::string_view Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return std::string(Text.substr(Begin, End - Begin));
+}
+
+bool evm::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool evm::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.compare(Text.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+std::optional<int64_t> evm::parseInteger(std::string_view Text) {
+  std::string Owned(Text);
+  if (Owned.empty())
+    return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  long long Value = std::strtoll(Owned.c_str(), &End, 10);
+  if (errno != 0 || End != Owned.c_str() + Owned.size())
+    return std::nullopt;
+  return static_cast<int64_t>(Value);
+}
+
+std::optional<double> evm::parseDouble(std::string_view Text) {
+  std::string Owned(Text);
+  if (Owned.empty())
+    return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Owned.c_str(), &End);
+  if (errno != 0 || End != Owned.c_str() + Owned.size())
+    return std::nullopt;
+  return Value;
+}
+
+std::string evm::joinStrings(const std::vector<std::string> &Pieces,
+                             std::string_view Separator) {
+  std::string Result;
+  for (size_t I = 0, E = Pieces.size(); I != E; ++I) {
+    if (I != 0)
+      Result.append(Separator);
+    Result.append(Pieces[I]);
+  }
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===- support/StringUtils.h - Small string helpers -----------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String splitting, trimming, predicate, and number-parsing helpers shared
+/// by the XICL front end, the bytecode assembler, and the harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SUPPORT_STRINGUTILS_H
+#define EVM_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evm {
+
+/// Splits \p Text at every occurrence of \p Separator.  Empty pieces are
+/// kept, so "a::b" split on ':' yields {"a", "", "b"}.
+std::vector<std::string> splitString(std::string_view Text, char Separator);
+
+/// Splits \p Text on runs of whitespace; empty pieces are dropped.
+std::vector<std::string> splitWhitespace(std::string_view Text);
+
+/// Tokenizes a POSIX-ish command line: whitespace-separated words with
+/// support for double-quoted segments ("two words" is one token).
+std::vector<std::string> tokenizeCommandLine(std::string_view CommandLine);
+
+/// Removes leading and trailing whitespace.
+std::string trimString(std::string_view Text);
+
+/// True when \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// True when \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Parses a signed decimal integer; returns nullopt on any trailing junk.
+std::optional<int64_t> parseInteger(std::string_view Text);
+
+/// Parses a floating-point number; returns nullopt on any trailing junk.
+std::optional<double> parseDouble(std::string_view Text);
+
+/// Joins \p Pieces with \p Separator between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Separator);
+
+} // namespace evm
+
+#endif // EVM_SUPPORT_STRINGUTILS_H

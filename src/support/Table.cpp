@@ -1,0 +1,85 @@
+//===- support/Table.cpp --------------------------------------------------==//
+
+#include "support/Table.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace evm;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::beginRow() { Rows.emplace_back(); }
+
+void TextTable::addCell(std::string Text) {
+  assert(!Rows.empty() && "addCell before beginRow");
+  Rows.back().push_back(std::move(Text));
+}
+
+void TextTable::addCell(int64_t Value) {
+  addCell(formatString("%lld", static_cast<long long>(Value)));
+}
+
+void TextTable::addCell(double Value, int Decimals) {
+  addCell(formatString("%.*f", Decimals, Value));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0, E = Header.size(); I != E; ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = std::min(Row.size(), Widths.size()); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0, E = Widths.size(); I != E; ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : std::string();
+      Cell.resize(Widths[I], ' ');
+      if (I != 0)
+        Line += "  ";
+      Line += Cell;
+    }
+    // Trim trailing padding so lines do not end in spaces.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t RuleWidth = 0;
+  for (size_t W : Widths)
+    RuleWidth += W;
+  RuleWidth += Widths.empty() ? 0 : 2 * (Widths.size() - 1);
+  Out += std::string(RuleWidth, '-') + "\n";
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+std::string evm::renderBoxLine(double Min, double Q25, double Med, double Q75,
+                               double Max, double AxisMin, double AxisMax,
+                               int Width) {
+  assert(Width > 2 && "box line too narrow");
+  assert(AxisMax > AxisMin && "degenerate axis");
+  auto ToColumn = [&](double Value) {
+    double Clamped = std::max(AxisMin, std::min(AxisMax, Value));
+    double Fraction = (Clamped - AxisMin) / (AxisMax - AxisMin);
+    return static_cast<int>(Fraction * (Width - 1));
+  };
+  std::string Line(static_cast<size_t>(Width), ' ');
+  int CMin = ToColumn(Min), C25 = ToColumn(Q25), CMed = ToColumn(Med),
+      C75 = ToColumn(Q75), CMax = ToColumn(Max);
+  for (int I = CMin; I <= CMax; ++I)
+    Line[static_cast<size_t>(I)] = '-';
+  for (int I = C25; I <= C75; ++I)
+    Line[static_cast<size_t>(I)] = '=';
+  Line[static_cast<size_t>(CMin)] = '|';
+  Line[static_cast<size_t>(CMax)] = '|';
+  Line[static_cast<size_t>(CMed)] = 'M';
+  return Line;
+}

@@ -1,0 +1,57 @@
+//===- support/Table.h - Plain-text table rendering -----------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned text table used by the benchmark harness to print the
+/// paper's tables and figure data series.  Cells are strings; numeric
+/// convenience setters format through support/Format.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SUPPORT_TABLE_H
+#define EVM_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evm {
+
+/// A simple text table: a header row plus data rows, rendered with aligned
+/// columns separated by two spaces.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Starts a new (empty) data row; subsequent addCell calls fill it.
+  void beginRow();
+
+  /// Appends a cell to the current row.
+  void addCell(std::string Text);
+  void addCell(int64_t Value);
+  /// Appends a floating-point cell with \p Decimals digits of precision.
+  void addCell(double Value, int Decimals);
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the table (header, separator, rows) as one string.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Renders an ASCII boxplot line for a five-number summary, scaled so that
+/// [AxisMin, AxisMax] spans \p Width characters.  Used for Figure 10.
+std::string renderBoxLine(double Min, double Q25, double Med, double Q75,
+                          double Max, double AxisMin, double AxisMax,
+                          int Width);
+
+} // namespace evm
+
+#endif // EVM_SUPPORT_TABLE_H

@@ -1,0 +1,45 @@
+//===- vm/Aos.h - The reactive adaptive optimization system ---------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AdaptivePolicy: the paper's "Default" scenario.  At every profiler sample
+/// it assumes the method will run for as long as it already has (Jikes'
+/// past-predicts-future heuristic) and consults the cost-benefit model for a
+/// profitable recompilation.  This is the purely reactive baseline whose
+/// delay and partial knowledge the evolvable VM removes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_AOS_H
+#define EVM_VM_AOS_H
+
+#include "vm/CostBenefit.h"
+#include "vm/Policy.h"
+
+namespace evm {
+namespace vm {
+
+/// The default reactive policy (sampling + cost-benefit model).
+class AdaptivePolicy : public CompilationPolicy {
+public:
+  explicit AdaptivePolicy(const TimingModel &TM) : TM(TM) {}
+
+  std::optional<OptLevel>
+  onSample(const MethodRuntimeInfo &Info) override {
+    // Estimated remaining execution: as many cycles as observed so far.
+    uint64_t FutureCycles = Info.Samples * TM.SampleIntervalCycles;
+    return chooseRecompileLevel(TM, Info.Level, FutureCycles,
+                                Info.BytecodeSize);
+  }
+
+private:
+  TimingModel TM;
+};
+
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_AOS_H

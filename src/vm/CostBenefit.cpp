@@ -1,0 +1,48 @@
+//===- vm/CostBenefit.cpp -------------------------------------------------==//
+
+#include "vm/CostBenefit.h"
+
+using namespace evm;
+using namespace evm::vm;
+
+std::optional<OptLevel> vm::chooseRecompileLevel(const TimingModel &TM,
+                                                 OptLevel Current,
+                                                 uint64_t FutureCycles,
+                                                 size_t BytecodeSize) {
+  double StayCost = static_cast<double>(FutureCycles);
+  double BestCost = StayCost;
+  std::optional<OptLevel> Best;
+  for (int I = levelIndex(Current) + 1; I != NumOptLevels; ++I) {
+    OptLevel L = levelFromIndex(I);
+    double Execution = StayCost * TM.expectedSpeedup(Current) /
+                       TM.expectedSpeedup(L);
+    double Total = Execution +
+                   static_cast<double>(TM.compileCost(L, BytecodeSize));
+    if (Total < BestCost) {
+      BestCost = Total;
+      Best = L;
+    }
+  }
+  return Best;
+}
+
+OptLevel vm::idealLevelForMethod(const TimingModel &TM,
+                                 double BaselineEquivalentCycles,
+                                 size_t BytecodeSize) {
+  // Never-executed methods should stay at baseline.
+  if (BaselineEquivalentCycles <= 0)
+    return OptLevel::Baseline;
+
+  OptLevel Best = OptLevel::Baseline;
+  double BestCost = BaselineEquivalentCycles; // run everything at baseline
+  for (int I = levelIndex(OptLevel::O0); I != NumOptLevels; ++I) {
+    OptLevel L = levelFromIndex(I);
+    double Total = BaselineEquivalentCycles / TM.expectedSpeedup(L) +
+                   static_cast<double>(TM.compileCost(L, BytecodeSize));
+    if (Total < BestCost) {
+      BestCost = Total;
+      Best = L;
+    }
+  }
+  return Best;
+}

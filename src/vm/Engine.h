@@ -1,0 +1,127 @@
+//===- vm/Engine.h - Mixed-mode execution engine ---------------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionEngine runs a MiniVM module start to finish in mixed mode:
+/// baseline methods are interpreted, optimized methods execute their
+/// compiled IR; the two tiers interoperate at call boundaries.  The engine
+/// owns the virtual clock, the sampling profiler, and the recompilation
+/// plumbing; a pluggable CompilationPolicy decides *when* and *to what
+/// level* methods move (reactive AOS, Evolve prediction, or Rep triggers).
+///
+/// Like Jikes RVM's recompilation (in the configuration the paper uses),
+/// switching levels takes effect at the next invocation of the method; there
+/// is no on-stack replacement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_ENGINE_H
+#define EVM_VM_ENGINE_H
+
+#include "bytecode/Module.h"
+#include "support/Error.h"
+#include "vm/Heap.h"
+#include "vm/Policy.h"
+#include "vm/Profile.h"
+#include "vm/Timing.h"
+#include "vm/jit/Compiler.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace evm {
+namespace vm {
+
+/// Mixed-mode executor for one module.  One engine instance models one
+/// "launch of the virtual machine": method levels and the heap persist
+/// across invoke()s within a run() but are reset at the start of each run().
+class ExecutionEngine {
+public:
+  ExecutionEngine(const bc::Module &M, const TimingModel &TM,
+                  CompilationPolicy *Policy);
+
+  /// Executes main(Args) to completion.  \p MaxCycles bounds the virtual
+  /// clock (a FuelExhausted trap fires beyond it; tests use this to fence
+  /// accidental non-termination).  \p PreRunOverheadCycles is charged to
+  /// the clock (and the overhead account) before main starts — the
+  /// evolvable VM passes its feature-extraction and prediction costs here.
+  /// \p SamplePhaseCycles shifts where the first profiler sample lands
+  /// (modulo the interval); varying it across runs reproduces the sampling
+  /// noise of a real machine, without which every profile of an input
+  /// would be bit-identical.
+  ErrorOr<RunResult> run(const std::vector<bc::Value> &Args,
+                         uint64_t MaxCycles = UINT64_MAX,
+                         uint64_t PreRunOverheadCycles = 0,
+                         uint64_t SamplePhaseCycles = 0);
+
+  /// Charges evolvable-VM machinery time (feature extraction, prediction)
+  /// to the clock; accounted separately in RunResult::OverheadCycles.
+  void chargeOverhead(uint64_t Cycles);
+
+  /// Current level of \p Id (tests and policies may inspect this).
+  OptLevel methodLevel(bc::MethodId Id) const;
+
+  const TimingModel &timingModel() const { return TM; }
+
+  /// Maximum recursive invocation depth before a CallDepthExceeded trap.
+  static constexpr int MaxCallDepth = 512;
+
+private:
+  struct MethodState {
+    OptLevel Level = OptLevel::Baseline;
+    bool BaselineCompiled = false;
+    std::shared_ptr<const jit::CompiledFunction> Code; ///< null at baseline
+    MethodStats Stats;
+  };
+
+  /// Invokes a method in its current tier; nullopt means a trap is pending.
+  std::optional<bc::Value> invoke(bc::MethodId Id,
+                                  const std::vector<bc::Value> &Args,
+                                  int Depth);
+  std::optional<bc::Value> interpret(bc::MethodId Id,
+                                     const std::vector<bc::Value> &Args,
+                                     int Depth);
+  std::optional<bc::Value>
+  executeCompiled(bc::MethodId Id, const jit::CompiledFunction &Code,
+                  const std::vector<bc::Value> &Args, int Depth);
+
+  /// Advances the clock, attributing \p Cycles to the method on top of the
+  /// call stack and firing profiler samples as intervals elapse.
+  void charge(uint64_t Cycles);
+  /// One profiler hit: bumps the current method's samples, runs the policy.
+  void sampleTick();
+  /// Compiles \p Id at \p L (charging compile cost) and installs the code.
+  void installLevel(bc::MethodId Id, OptLevel L);
+  /// Runs first-encounter baseline compilation and the policy's proactive
+  /// hook, if not done yet for this method.
+  void ensureBaseline(bc::MethodId Id);
+  void setTrap(TrapKind Kind, bc::MethodId Method, size_t Location);
+
+  const bc::Module &M;
+  TimingModel TM;
+  CompilationPolicy *Policy; ///< may be null (no recompilation ever)
+
+  Heap TheHeap;
+  std::vector<MethodState> Methods;
+  std::vector<bc::MethodId> CallStack;
+  uint64_t Cycles = 0;
+  uint64_t NextSampleAt = 0;
+  uint64_t CompileCycles = 0;
+  uint64_t OverheadCycles = 0;
+  uint64_t MaxCycles = UINT64_MAX;
+  std::vector<CompileEvent> Compiles;
+  bool InSamplingHook = false;
+
+  TrapKind PendingTrap = TrapKind::None;
+  bc::MethodId TrapMethod = 0;
+  size_t TrapLocation = 0;
+};
+
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_ENGINE_H

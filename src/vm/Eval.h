@@ -1,0 +1,60 @@
+//===- vm/Eval.h - Shared operator semantics ------------------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for MiniVM operator semantics.  The bytecode
+/// interpreter, the JIT's constant folder, and the compiled-code executor
+/// all call these helpers, which guarantees the tiers agree on every corner
+/// case (promotion, division by zero, float-only intrinsics) by
+/// construction — the invariant the JIT correctness property tests assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_EVAL_H
+#define EVM_VM_EVAL_H
+
+#include "bytecode/Opcode.h"
+#include "bytecode/Value.h"
+
+#include <optional>
+#include <string>
+
+namespace evm {
+namespace vm {
+
+/// Why an evaluation trapped.
+enum class TrapKind {
+  None,
+  DivisionByZero,
+  IntegerOpOnFloat, ///< bitwise/shift applied to a float operand
+  HeapOutOfBounds,
+  HeapExhausted,
+  CallDepthExceeded,
+  FuelExhausted, ///< execution exceeded the configured cycle budget
+};
+
+/// Renders a trap kind for diagnostics.
+const char *trapKindName(TrapKind Kind);
+
+/// Evaluates a two-operand operator (\p Op in {Add..Ge, Min, Max}).  Returns
+/// nullopt and sets \p Trap on a semantic trap.
+std::optional<bc::Value> evalBinary(bc::Opcode Op, const bc::Value &A,
+                                    const bc::Value &B, TrapKind &Trap);
+
+/// Evaluates a one-operand operator (\p Op in {Neg, Not, I2F..Abs}).
+std::optional<bc::Value> evalUnary(bc::Opcode Op, const bc::Value &A,
+                                   TrapKind &Trap);
+
+/// True when \p Op is handled by evalBinary.
+bool isBinaryOp(bc::Opcode Op);
+
+/// True when \p Op is handled by evalUnary.
+bool isUnaryOp(bc::Opcode Op);
+
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_EVAL_H

@@ -1,0 +1,80 @@
+//===- vm/Profile.h - Run profiles and results -----------------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What one execution produces: per-method sample counts (the paper's
+/// profile p), compilation events, and cycle totals.  The model builder
+/// turns these into posterior ideal strategies; the harness turns them into
+/// the paper's figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_PROFILE_H
+#define EVM_VM_PROFILE_H
+
+#include "bytecode/Module.h"
+#include "bytecode/Value.h"
+#include "vm/Timing.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace evm {
+namespace vm {
+
+/// One (re)compilation performed during a run.
+struct CompileEvent {
+  bc::MethodId Method = 0;
+  OptLevel Level = OptLevel::Baseline;
+  uint64_t AtCycle = 0;
+  uint64_t CostCycles = 0;
+};
+
+/// Per-method runtime statistics for one run.
+struct MethodStats {
+  uint64_t Samples = 0;     ///< profiler hits (the paper's T_m proxy)
+  uint64_t Invocations = 0; ///< times the method was entered
+  int NumCompiles = 0;      ///< baseline + recompilations
+  OptLevel FinalLevel = OptLevel::Baseline;
+  /// Execution cycles attributed to the method while it ran at each level
+  /// (indexed by levelIndex).  Used to normalize profiles from optimized
+  /// runs back to baseline-equivalent time so the posterior ideal strategy
+  /// is stable across scenarios.
+  uint64_t CyclesByLevel[NumOptLevels] = {0, 0, 0, 0};
+
+  /// Estimated cycles this method would have taken at Baseline, given the
+  /// model's per-level speed estimates.
+  double baselineEquivalentCycles(const TimingModel &TM) const {
+    double Total = 0;
+    for (int I = 0; I != NumOptLevels; ++I)
+      Total += static_cast<double>(CyclesByLevel[I]) *
+               TM.expectedSpeedup(levelFromIndex(I));
+    return Total;
+  }
+};
+
+/// The outcome of one complete execution.
+struct RunResult {
+  bc::Value ReturnValue;
+  uint64_t Cycles = 0;         ///< total virtual time, including the below
+  uint64_t CompileCycles = 0;  ///< time spent inside the compilers
+  uint64_t OverheadCycles = 0; ///< charged by the evolvable-VM machinery
+  std::vector<MethodStats> PerMethod;
+  std::vector<CompileEvent> Compiles;
+
+  /// Total profiler samples across methods.
+  uint64_t totalSamples() const {
+    uint64_t Total = 0;
+    for (const MethodStats &S : PerMethod)
+      Total += S.Samples;
+    return Total;
+  }
+};
+
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_PROFILE_H

@@ -1,0 +1,42 @@
+//===- vm/Timing.cpp ------------------------------------------------------==//
+
+#include "vm/Timing.h"
+
+using namespace evm;
+using namespace evm::vm;
+using bc::Opcode;
+
+const char *vm::levelName(OptLevel L) {
+  switch (L) {
+  case OptLevel::Baseline:
+    return "-1";
+  case OptLevel::O0:
+    return "0";
+  case OptLevel::O1:
+    return "1";
+  case OptLevel::O2:
+    return "2";
+  }
+  return "?";
+}
+
+uint64_t vm::scalarOpCost(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mul:
+    return 4;
+  case Opcode::Div:
+  case Opcode::Mod:
+    return 12;
+  case Opcode::Sqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+    return 14;
+  case Opcode::NewArr:
+    return 20;
+  case Opcode::HLoad:
+  case Opcode::HStore:
+    return 3;
+  default:
+    return 1; // adds, compares, moves, logic, conversions
+  }
+}

@@ -1,0 +1,68 @@
+//===- vm/jit/Compiler.cpp ------------------------------------------------==//
+
+#include "vm/jit/Compiler.h"
+
+#include "vm/jit/Lowering.h"
+#include "vm/jit/Passes.h"
+
+#include <cassert>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+
+namespace {
+
+/// One round of the scalar cleanup pipeline; returns whether anything
+/// changed.
+bool runCleanupRound(IRFunction &F) {
+  bool Changed = false;
+  Changed |= propagateCopiesLocal(F);
+  Changed |= foldConstantsLocal(F);
+  Changed |= eliminateCommonSubexprsLocal(F);
+  Changed |= eliminateDeadCode(F);
+  Changed |= simplifyCFG(F);
+  return Changed;
+}
+
+} // namespace
+
+CompiledFunction jit::compileAtLevel(const bc::Module &M, bc::MethodId Id,
+                                     OptLevel Level,
+                                     const InlinePolicy &Inlining) {
+  assert(Level != OptLevel::Baseline && "baseline methods are interpreted");
+
+  CompiledFunction Out;
+  Out.Level = Level;
+  Out.BytecodeSize = M.function(Id).Code.size();
+  Out.IR = lowerToIR(M, Id);
+  IRFunction &F = Out.IR;
+
+  if (Level == OptLevel::O0)
+    return Out;
+
+  if (Level == OptLevel::O1) {
+    runCleanupRound(F);
+    inlineCalls(F, M, Id, Inlining.MaxCalleeSizeO1, Inlining.MaxInlinesO1);
+    for (int Round = 0; Round != 3 && runCleanupRound(F); ++Round)
+      ;
+    return Out;
+  }
+
+  // O2.
+  inlineCalls(F, M, Id, Inlining.MaxCalleeSizeO2, Inlining.MaxInlinesO2);
+  for (int Round = 0; Round != 3 && runCleanupRound(F); ++Round)
+    ;
+  reduceStrength(F);
+  // LICM processes one loop per call; iterate to a fixpoint.
+  for (int Round = 0; Round != 64 && hoistLoopInvariants(F); ++Round)
+    ;
+  for (int Round = 0; Round != 3 && runCleanupRound(F); ++Round)
+    ;
+  reduceStrength(F);
+  eliminateDeadCode(F);
+  simplifyCFG(F);
+
+  assert(F.validate().empty() && "pipeline produced invalid IR");
+  return Out;
+}

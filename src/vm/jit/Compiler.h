@@ -1,0 +1,59 @@
+//===- vm/jit/Compiler.h - Level pipelines --------------------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizing JIT's level pipelines, mirroring the Jikes RVM ladder the
+/// paper predicts over:
+///
+///   O0: straight lowering (removes interpretive dispatch only).
+///   O1: + local constant folding / copy propagation / CSE, global DCE,
+///       CFG simplification, small-callee inlining.
+///   O2: + aggressive inlining, strength reduction, and loop-invariant
+///       code motion, with a second cleanup round.
+///
+/// compile() is pure (no engine state); the ExecutionEngine charges the
+/// virtual clock with TimingModel::compileCost around calls to it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_JIT_COMPILER_H
+#define EVM_VM_JIT_COMPILER_H
+
+#include "bytecode/Module.h"
+#include "vm/Timing.h"
+#include "vm/jit/IR.h"
+
+namespace evm {
+namespace vm {
+namespace jit {
+
+/// The output of one compilation.
+struct CompiledFunction {
+  IRFunction IR;
+  OptLevel Level = OptLevel::O0;
+  size_t BytecodeSize = 0;
+};
+
+/// Inlining thresholds per optimizing level (bytecode size, call-site
+/// budget).
+struct InlinePolicy {
+  size_t MaxCalleeSizeO1 = 16;
+  size_t MaxCalleeSizeO2 = 48;
+  int MaxInlinesO1 = 4;
+  int MaxInlinesO2 = 12;
+};
+
+/// Compiles \p Id at \p Level (must be O0/O1/O2; Baseline methods are
+/// interpreted, not compiled).
+CompiledFunction compileAtLevel(const bc::Module &M, bc::MethodId Id,
+                                OptLevel Level,
+                                const InlinePolicy &Inlining = InlinePolicy());
+
+} // namespace jit
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_JIT_COMPILER_H

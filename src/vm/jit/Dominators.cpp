@@ -1,0 +1,156 @@
+//===- vm/jit/Dominators.cpp ----------------------------------------------==//
+
+#include "vm/jit/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+
+DominatorTree::DominatorTree(const IRFunction &F) {
+  const size_t N = F.Blocks.size();
+  Idom.assign(N, 0);
+  Reachable.assign(N, false);
+  RpoIndex.assign(N, 0);
+
+  // Post-order DFS from the entry.
+  std::vector<BlockId> PostOrder;
+  PostOrder.reserve(N);
+  {
+    std::vector<std::pair<BlockId, size_t>> Stack; // (block, next succ idx)
+    std::vector<bool> Visited(N, false);
+    Stack.emplace_back(0, 0);
+    Visited[0] = true;
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      std::vector<BlockId> Succs = F.Blocks[B].successors();
+      if (NextSucc < Succs.size()) {
+        BlockId S = Succs[NextSucc++];
+        if (!Visited[S]) {
+          Visited[S] = true;
+          Stack.emplace_back(S, 0);
+        }
+        continue;
+      }
+      PostOrder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (uint32_t I = 0; I != Rpo.size(); ++I) {
+    Reachable[Rpo[I]] = true;
+    RpoIndex[Rpo[I]] = I;
+  }
+  // Unreachable blocks: self-idom (harmless placeholders).
+  for (BlockId B = 0; B != N; ++B)
+    if (!Reachable[B])
+      Idom[B] = B;
+
+  // Cooper-Harvey-Kennedy iteration.
+  auto Preds = F.predecessors();
+  constexpr BlockId Undef = ~0u;
+  std::vector<BlockId> Doms(N, Undef);
+  Doms[0] = 0;
+
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Doms[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Doms[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      if (B == 0)
+        continue;
+      BlockId NewIdom = Undef;
+      for (BlockId P : Preds[B]) {
+        if (!Reachable[P] || Doms[P] == Undef)
+          continue;
+        NewIdom = NewIdom == Undef ? P : Intersect(P, NewIdom);
+      }
+      assert(NewIdom != Undef && "reachable block with no processed preds");
+      if (Doms[B] != NewIdom) {
+        Doms[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (BlockId B : Rpo)
+    Idom[B] = Doms[B];
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  if (A == B)
+    return true;
+  if (!Reachable[A] || !Reachable[B])
+    return false;
+  BlockId Cursor = B;
+  while (Cursor != Idom[Cursor]) {
+    Cursor = Idom[Cursor];
+    if (Cursor == A)
+      return true;
+  }
+  return Cursor == A;
+}
+
+bool NaturalLoop::contains(BlockId B) const {
+  return std::find(Body.begin(), Body.end(), B) != Body.end();
+}
+
+std::vector<NaturalLoop> jit::findNaturalLoops(const IRFunction &F,
+                                               const DominatorTree &DT) {
+  auto Preds = F.predecessors();
+  std::vector<NaturalLoop> Loops;
+
+  // Gather back edges grouped by header.
+  std::vector<std::vector<BlockId>> LatchesByHeader(F.Blocks.size());
+  for (BlockId B = 0; B != F.Blocks.size(); ++B) {
+    if (!DT.isReachable(B))
+      continue;
+    for (BlockId S : F.Blocks[B].successors())
+      if (DT.dominates(S, B))
+        LatchesByHeader[S].push_back(B);
+  }
+
+  for (BlockId Header = 0; Header != F.Blocks.size(); ++Header) {
+    if (LatchesByHeader[Header].empty())
+      continue;
+    NaturalLoop Loop;
+    Loop.Header = Header;
+    Loop.Latches = LatchesByHeader[Header];
+
+    // Standard natural-loop body: backward walk from each latch to header.
+    std::vector<bool> InLoop(F.Blocks.size(), false);
+    InLoop[Header] = true;
+    std::vector<BlockId> Worklist = Loop.Latches;
+    for (BlockId L : Loop.Latches)
+      InLoop[L] = true;
+    while (!Worklist.empty()) {
+      BlockId B = Worklist.back();
+      Worklist.pop_back();
+      if (B == Header)
+        continue;
+      for (BlockId P : Preds[B]) {
+        if (!InLoop[P] && DT.isReachable(P)) {
+          InLoop[P] = true;
+          Worklist.push_back(P);
+        }
+      }
+    }
+    for (BlockId B = 0; B != F.Blocks.size(); ++B)
+      if (InLoop[B])
+        Loop.Body.push_back(B);
+    Loops.push_back(std::move(Loop));
+  }
+  return Loops;
+}

@@ -1,0 +1,70 @@
+//===- vm/jit/Dominators.h - Dominator tree and natural loops ------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator computation (the Cooper-Harvey-Kennedy iterative algorithm)
+/// and natural-loop discovery over the JIT IR's CFG.  LICM and loop
+/// unrolling consume these analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_JIT_DOMINATORS_H
+#define EVM_VM_JIT_DOMINATORS_H
+
+#include "vm/jit/IR.h"
+
+#include <vector>
+
+namespace evm {
+namespace vm {
+namespace jit {
+
+/// Dominator information for one IRFunction.
+class DominatorTree {
+public:
+  /// Builds the tree for \p F (entry = block 0).  Unreachable blocks get
+  /// themselves as idom and report dominance only reflexively.
+  explicit DominatorTree(const IRFunction &F);
+
+  /// Immediate dominator of \p B (entry's idom is entry itself).
+  BlockId idom(BlockId B) const { return Idom[B]; }
+
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// Reverse post-order over reachable blocks (entry first).
+  const std::vector<BlockId> &reversePostOrder() const { return Rpo; }
+
+  /// True when \p B is reachable from the entry.
+  bool isReachable(BlockId B) const { return Reachable[B]; }
+
+private:
+  std::vector<BlockId> Idom;
+  std::vector<BlockId> Rpo;
+  std::vector<bool> Reachable;
+  std::vector<uint32_t> RpoIndex; ///< position in Rpo, for intersect()
+};
+
+/// One natural loop: the header plus every block in the loop body.
+struct NaturalLoop {
+  BlockId Header = 0;
+  std::vector<BlockId> Body; ///< includes Header; unsorted
+  /// Latch blocks (sources of back edges into Header).
+  std::vector<BlockId> Latches;
+
+  bool contains(BlockId B) const;
+};
+
+/// Finds all natural loops of \p F (one per header; back edges into the
+/// same header are merged, as usual).
+std::vector<NaturalLoop> findNaturalLoops(const IRFunction &F,
+                                          const DominatorTree &DT);
+
+} // namespace jit
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_JIT_DOMINATORS_H

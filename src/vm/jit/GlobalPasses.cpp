@@ -1,0 +1,234 @@
+//===- vm/jit/GlobalPasses.cpp - DCE and CFG simplification ---------------==//
+
+#include "vm/jit/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+
+//===----------------------------------------------------------------------===//
+// Dead-code elimination
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One backward liveness solve; returns per-block live-out register sets.
+std::vector<std::set<Reg>> solveLiveness(const IRFunction &F) {
+  const size_t N = F.Blocks.size();
+  std::vector<std::set<Reg>> LiveIn(N), LiveOut(N);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = N; BI-- > 0;) {
+      const IRBlock &Block = F.Blocks[BI];
+      std::set<Reg> Out;
+      for (BlockId S : Block.successors())
+        Out.insert(LiveIn[S].begin(), LiveIn[S].end());
+      std::set<Reg> Live = Out;
+      for (size_t K = Block.Instrs.size(); K-- > 0;) {
+        const IRInstr &I = Block.Instrs[K];
+        if (I.hasDest())
+          Live.erase(I.Dest);
+        std::vector<Reg> Uses;
+        I.collectUses(Uses);
+        Live.insert(Uses.begin(), Uses.end());
+      }
+      if (Out != LiveOut[BI]) {
+        LiveOut[BI] = std::move(Out);
+        Changed = true;
+      }
+      if (Live != LiveIn[BI]) {
+        LiveIn[BI] = std::move(Live);
+        Changed = true;
+      }
+    }
+  }
+  return LiveOut;
+}
+
+} // namespace
+
+bool jit::eliminateDeadCode(IRFunction &F) {
+  bool ChangedAny = false;
+  // Removal can make more instructions dead; iterate to a fixpoint.
+  while (true) {
+    std::vector<std::set<Reg>> LiveOut = solveLiveness(F);
+    bool Changed = false;
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+      IRBlock &Block = F.Blocks[BI];
+      std::set<Reg> Live = LiveOut[BI];
+      std::vector<bool> Dead(Block.Instrs.size(), false);
+      for (size_t K = Block.Instrs.size(); K-- > 0;) {
+        const IRInstr &I = Block.Instrs[K];
+        if (I.hasDest() && !Live.count(I.Dest) && I.isRemovableIfDead()) {
+          Dead[K] = true;
+          Changed = true;
+          continue;
+        }
+        if (I.hasDest())
+          Live.erase(I.Dest);
+        std::vector<Reg> Uses;
+        I.collectUses(Uses);
+        Live.insert(Uses.begin(), Uses.end());
+      }
+      if (!Changed)
+        continue;
+      std::vector<IRInstr> Kept;
+      Kept.reserve(Block.Instrs.size());
+      for (size_t K = 0; K != Block.Instrs.size(); ++K)
+        if (!Dead[K])
+          Kept.push_back(std::move(Block.Instrs[K]));
+      Block.Instrs = std::move(Kept);
+    }
+    if (!Changed)
+      break;
+    ChangedAny = true;
+  }
+  return ChangedAny;
+}
+
+//===----------------------------------------------------------------------===//
+// CFG simplification
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Retargets every edge into \p From to point at \p To.
+void retargetEdges(IRFunction &F, BlockId From, BlockId To) {
+  for (IRBlock &Block : F.Blocks) {
+    IRInstr &T = Block.Instrs.back();
+    if (T.Op == IROp::Jump && T.Target == From)
+      T.Target = To;
+    if (T.Op == IROp::CondJump) {
+      if (T.Target == From)
+        T.Target = To;
+      if (T.Target2 == From)
+        T.Target2 = To;
+    }
+  }
+}
+
+/// Removes blocks unreachable from the entry, compacting block ids.
+bool dropUnreachable(IRFunction &F) {
+  std::vector<bool> Reached(F.Blocks.size(), false);
+  std::vector<BlockId> Worklist = {0};
+  Reached[0] = true;
+  while (!Worklist.empty()) {
+    BlockId B = Worklist.back();
+    Worklist.pop_back();
+    for (BlockId S : F.Blocks[B].successors())
+      if (!Reached[S]) {
+        Reached[S] = true;
+        Worklist.push_back(S);
+      }
+  }
+  if (std::all_of(Reached.begin(), Reached.end(), [](bool R) { return R; }))
+    return false;
+
+  std::vector<BlockId> NewId(F.Blocks.size(), 0);
+  std::vector<IRBlock> Kept;
+  for (BlockId B = 0; B != F.Blocks.size(); ++B) {
+    if (!Reached[B])
+      continue;
+    NewId[B] = static_cast<BlockId>(Kept.size());
+    Kept.push_back(std::move(F.Blocks[B]));
+  }
+  F.Blocks = std::move(Kept);
+  for (IRBlock &Block : F.Blocks) {
+    IRInstr &T = Block.Instrs.back();
+    if (T.Op == IROp::Jump)
+      T.Target = NewId[T.Target];
+    if (T.Op == IROp::CondJump) {
+      T.Target = NewId[T.Target];
+      T.Target2 = NewId[T.Target2];
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool jit::simplifyCFG(IRFunction &F) {
+  bool ChangedAny = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // CondJump with identical arms is just a Jump.
+    for (IRBlock &Block : F.Blocks) {
+      IRInstr &T = Block.Instrs.back();
+      if (T.Op == IROp::CondJump && T.Target == T.Target2) {
+        T.Op = IROp::Jump;
+        T.A = 0;
+        T.Target2 = 0;
+        Changed = true;
+      }
+    }
+
+    // Thread edges through blocks that are a bare `jump T` (skip self-loops).
+    for (BlockId B = 0; B != F.Blocks.size(); ++B) {
+      IRBlock &Block = F.Blocks[B];
+      if (Block.Instrs.size() != 1 || Block.Instrs[0].Op != IROp::Jump)
+        continue;
+      BlockId Target = Block.Instrs[0].Target;
+      if (Target == B)
+        continue;
+      bool HadEdge = false;
+      for (IRBlock &Other : F.Blocks) {
+        if (&Other == &Block)
+          continue;
+        IRInstr &T = Other.Instrs.back();
+        if (T.Op == IROp::Jump && T.Target == B) {
+          T.Target = Target;
+          HadEdge = true;
+        } else if (T.Op == IROp::CondJump &&
+                   (T.Target == B || T.Target2 == B)) {
+          if (T.Target == B)
+            T.Target = Target;
+          if (T.Target2 == B)
+            T.Target2 = Target;
+          HadEdge = true;
+        }
+      }
+      if (HadEdge)
+        Changed = true;
+    }
+
+    // Merge straight-line pairs: B ends `jump S`, S's only predecessor is B,
+    // and S is not the entry.
+    auto Preds = F.predecessors();
+    for (BlockId B = 0; B != F.Blocks.size(); ++B) {
+      IRBlock &Block = F.Blocks[B];
+      IRInstr &T = Block.Instrs.back();
+      if (T.Op != IROp::Jump)
+        continue;
+      BlockId S = T.Target;
+      if (S == 0 || S == B || Preds[S].size() != 1)
+        continue;
+      // Splice S into B.
+      Block.Instrs.pop_back();
+      for (IRInstr &I : F.Blocks[S].Instrs)
+        Block.Instrs.push_back(std::move(I));
+      // Leave S with a self-loop stub; dropUnreachable will collect it.
+      F.Blocks[S].Instrs.clear();
+      IRInstr SelfJump;
+      SelfJump.Op = IROp::Jump;
+      SelfJump.Target = S;
+      F.Blocks[S].Instrs.push_back(SelfJump);
+      retargetEdges(F, S, S); // no-op safeguard; S had one pred (B)
+      Changed = true;
+      Preds = F.predecessors();
+    }
+
+    if (dropUnreachable(F))
+      Changed = true;
+    if (Changed)
+      ChangedAny = true;
+  }
+  assert(F.validate().empty() && "simplifyCFG produced invalid IR");
+  return ChangedAny;
+}

@@ -1,0 +1,154 @@
+//===- vm/jit/IR.cpp ------------------------------------------------------==//
+
+#include "vm/jit/IR.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+
+void IRInstr::collectUses(std::vector<Reg> &Uses) const {
+  switch (Op) {
+  case IROp::MovImm:
+    break;
+  case IROp::Mov:
+  case IROp::Unary:
+  case IROp::NewArr:
+  case IROp::HLoad:
+  case IROp::Ret:
+    Uses.push_back(A);
+    break;
+  case IROp::Binary:
+  case IROp::HStore:
+    Uses.push_back(A);
+    Uses.push_back(B);
+    break;
+  case IROp::CondJump:
+    Uses.push_back(A);
+    break;
+  case IROp::Jump:
+    break;
+  case IROp::Call:
+    for (Reg R : Args)
+      Uses.push_back(R);
+    break;
+  }
+}
+
+std::vector<BlockId> IRBlock::successors() const {
+  assert(!Instrs.empty() && "block has no terminator");
+  const IRInstr &T = terminator();
+  switch (T.Op) {
+  case IROp::Jump:
+    return {T.Target};
+  case IROp::CondJump:
+    return {T.Target, T.Target2};
+  case IROp::Ret:
+    return {};
+  default:
+    assert(false && "block does not end in a terminator");
+    return {};
+  }
+}
+
+size_t IRFunction::numInstrs() const {
+  size_t Total = 0;
+  for (const IRBlock &B : Blocks)
+    Total += B.Instrs.size();
+  return Total;
+}
+
+std::vector<std::vector<BlockId>> IRFunction::predecessors() const {
+  std::vector<std::vector<BlockId>> Preds(Blocks.size());
+  for (BlockId B = 0; B != Blocks.size(); ++B)
+    for (BlockId S : Blocks[B].successors())
+      Preds[S].push_back(B);
+  return Preds;
+}
+
+namespace {
+
+std::string printInstr(const IRInstr &I) {
+  using bc::getOpcodeInfo;
+  switch (I.Op) {
+  case IROp::MovImm:
+    return formatString("r%u = imm %s", I.Dest, I.Imm.str().c_str());
+  case IROp::Mov:
+    return formatString("r%u = r%u", I.Dest, I.A);
+  case IROp::Binary:
+    return formatString("r%u = %s r%u, r%u", I.Dest,
+                        std::string(getOpcodeInfo(I.ScalarOp).Mnemonic)
+                            .c_str(),
+                        I.A, I.B);
+  case IROp::Unary:
+    return formatString("r%u = %s r%u", I.Dest,
+                        std::string(getOpcodeInfo(I.ScalarOp).Mnemonic)
+                            .c_str(),
+                        I.A);
+  case IROp::Call: {
+    std::string Args;
+    for (size_t K = 0; K != I.Args.size(); ++K)
+      Args += formatString("%sr%u", K ? ", " : "", I.Args[K]);
+    return formatString("r%u = call f%u(%s)", I.Dest, I.Callee, Args.c_str());
+  }
+  case IROp::NewArr:
+    return formatString("r%u = newarr r%u", I.Dest, I.A);
+  case IROp::HLoad:
+    return formatString("r%u = hload r%u", I.Dest, I.A);
+  case IROp::HStore:
+    return formatString("hstore r%u, r%u", I.A, I.B);
+  case IROp::Jump:
+    return formatString("jump b%u", I.Target);
+  case IROp::CondJump:
+    return formatString("condjump r%u, b%u, b%u", I.A, I.Target, I.Target2);
+  case IROp::Ret:
+    return formatString("ret r%u", I.A);
+  }
+  return "<?>";
+}
+
+} // namespace
+
+std::string IRFunction::print() const {
+  std::string Out = formatString("ir %s params=%u locals=%u regs=%u\n",
+                                 Name.c_str(), NumParams, NumLocals, NumRegs);
+  for (BlockId B = 0; B != Blocks.size(); ++B) {
+    Out += formatString("b%u:\n", B);
+    for (const IRInstr &I : Blocks[B].Instrs)
+      Out += "  " + printInstr(I) + "\n";
+  }
+  return Out;
+}
+
+std::string IRFunction::validate() const {
+  if (Blocks.empty())
+    return "function has no blocks";
+  for (BlockId B = 0; B != Blocks.size(); ++B) {
+    const IRBlock &Block = Blocks[B];
+    if (Block.Instrs.empty())
+      return formatString("block b%u is empty", B);
+    for (size_t K = 0; K != Block.Instrs.size(); ++K) {
+      const IRInstr &I = Block.Instrs[K];
+      bool IsLast = K + 1 == Block.Instrs.size();
+      if (I.isTerminator() != IsLast)
+        return formatString("block b%u: terminator placement at %zu", B, K);
+      std::vector<Reg> Uses;
+      I.collectUses(Uses);
+      if (I.hasDest())
+        Uses.push_back(I.Dest);
+      for (Reg R : Uses)
+        if (R >= NumRegs)
+          return formatString("block b%u: register r%u out of range", B, R);
+      if (I.Op == IROp::Jump || I.Op == IROp::CondJump) {
+        if (I.Target >= Blocks.size())
+          return formatString("block b%u: jump target out of range", B);
+        if (I.Op == IROp::CondJump && I.Target2 >= Blocks.size())
+          return formatString("block b%u: false target out of range", B);
+      }
+    }
+  }
+  return std::string();
+}

@@ -1,0 +1,163 @@
+//===- vm/jit/IR.h - Register-based JIT intermediate representation ------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizing JIT's IR: a conventional three-address register IR over a
+/// CFG of basic blocks.  It is deliberately *not* SSA: locals map to fixed
+/// registers (the bytecode verifier's empty-stack-at-branch discipline means
+/// no phis are ever needed), while expression temporaries are
+/// written-once-per-block.  Passes therefore reason with def counts and
+/// liveness rather than SSA use-def chains — closer to the style of the
+/// baseline JITs the paper's Jikes RVM levels represent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_JIT_IR_H
+#define EVM_VM_JIT_IR_H
+
+#include "bytecode/Module.h"
+#include "bytecode/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace vm {
+namespace jit {
+
+/// A virtual register index.  Registers [0, NumLocals) are the bytecode
+/// locals; the rest are temporaries.
+using Reg = uint32_t;
+
+/// A basic-block index within an IRFunction.
+using BlockId = uint32_t;
+
+/// IR operations.  Binary/unary arithmetic reuses the bytecode opcode via
+/// the ScalarOp payload so semantics stay shared with vm/Eval.h.
+enum class IROp : uint8_t {
+  MovImm, ///< Dest = Imm
+  Mov,    ///< Dest = A
+  Binary, ///< Dest = ScalarOp(A, B)
+  Unary,  ///< Dest = ScalarOp(A)
+  Call,   ///< Dest = Callee(Args...)
+  NewArr, ///< Dest = heap.alloc(A)
+  HLoad,  ///< Dest = heap[A]
+  HStore, ///< heap[A] = B
+  Jump,   ///< goto Target
+  CondJump, ///< if A goto Target else goto Target2
+  Ret,    ///< return A
+};
+
+/// One IR instruction.  Field use depends on Op; unused fields are zero.
+struct IRInstr {
+  IROp Op = IROp::MovImm;
+  bc::Opcode ScalarOp = bc::Opcode::Nop; ///< payload for Binary/Unary
+  Reg Dest = 0;
+  Reg A = 0;
+  Reg B = 0;
+  bc::Value Imm;           ///< payload for MovImm
+  BlockId Target = 0;      ///< Jump/CondJump true-edge
+  BlockId Target2 = 0;     ///< CondJump false-edge
+  bc::MethodId Callee = 0; ///< Call
+  std::vector<Reg> Args;   ///< Call arguments
+
+  /// True for Jump/CondJump/Ret.
+  bool isTerminator() const {
+    return Op == IROp::Jump || Op == IROp::CondJump || Op == IROp::Ret;
+  }
+
+  /// True when the instruction writes Dest.
+  bool hasDest() const {
+    switch (Op) {
+    case IROp::MovImm:
+    case IROp::Mov:
+    case IROp::Binary:
+    case IROp::Unary:
+    case IROp::Call:
+    case IROp::NewArr:
+    case IROp::HLoad:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// True when removing the instruction (given a dead Dest) is safe: no
+  /// heap effects, calls, control flow, or possible traps.
+  ///
+  /// Binary Div/Mod can trap on a zero divisor and integer-only ops on float
+  /// operands, so they are conservatively kept unless the folder proved
+  /// them constant.
+  bool isRemovableIfDead() const {
+    switch (Op) {
+    case IROp::MovImm:
+    case IROp::Mov:
+      return true;
+    case IROp::Unary:
+      return true; // unary ops never trap
+    case IROp::Binary:
+      switch (ScalarOp) {
+      case bc::Opcode::Div:
+      case bc::Opcode::Mod:
+      case bc::Opcode::And:
+      case bc::Opcode::Or:
+      case bc::Opcode::Xor:
+      case bc::Opcode::Shl:
+      case bc::Opcode::Shr:
+        return false; // may trap depending on runtime operand types/values
+      default:
+        return true;
+      }
+    default:
+      return false;
+    }
+  }
+
+  /// Appends every register this instruction reads to \p Uses.
+  void collectUses(std::vector<Reg> &Uses) const;
+};
+
+/// A basic block: straight-line instructions ending in one terminator.
+struct IRBlock {
+  std::vector<IRInstr> Instrs;
+
+  const IRInstr &terminator() const { return Instrs.back(); }
+
+  /// Successor block ids (0, 1, or 2 of them).
+  std::vector<BlockId> successors() const;
+};
+
+/// A compiled function body.
+struct IRFunction {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t NumLocals = 0; ///< registers [0, NumLocals) are bytecode locals
+  uint32_t NumRegs = 0;   ///< total register count (locals + temps)
+  std::vector<IRBlock> Blocks; ///< Blocks[0] is the entry
+
+  /// Allocates a fresh temporary register.
+  Reg makeReg() { return NumRegs++; }
+
+  /// Total instruction count over all blocks.
+  size_t numInstrs() const;
+
+  /// Predecessor lists, recomputed on demand.
+  std::vector<std::vector<BlockId>> predecessors() const;
+
+  /// Renders the function for tests/debugging.
+  std::string print() const;
+
+  /// Internal consistency checks (terminator placement, register and block
+  /// ranges); returns a diagnostic or the empty string.
+  std::string validate() const;
+};
+
+} // namespace jit
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_JIT_IR_H

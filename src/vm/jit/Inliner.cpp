@@ -1,0 +1,153 @@
+//===- vm/jit/Inliner.cpp - Call-site inlining -----------------------------==//
+//
+// Expands calls to small callees in place.  The callee body is lowered fresh
+// from bytecode, its registers are offset past the caller's, its non-param
+// locals are explicitly zero-initialized (matching frame initialization in
+// the interpreter/executor), and each of its Ret instructions becomes a move
+// to the call's destination register plus a jump to the continuation block.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/jit/Passes.h"
+
+#include "vm/jit/Lowering.h"
+
+#include <cassert>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+
+namespace {
+
+/// Finds the first inlinable call site; returns false when none exists.
+bool findCandidate(const IRFunction &F, const bc::Module &M,
+                   bc::MethodId SelfId, size_t MaxCalleeSize, BlockId &OutB,
+                   size_t &OutK) {
+  for (BlockId B = 0; B != F.Blocks.size(); ++B) {
+    const IRBlock &Block = F.Blocks[B];
+    for (size_t K = 0; K != Block.Instrs.size(); ++K) {
+      const IRInstr &I = Block.Instrs[K];
+      if (I.Op != IROp::Call)
+        continue;
+      if (I.Callee == SelfId)
+        continue; // no direct self-recursion
+      if (M.function(I.Callee).Code.size() > MaxCalleeSize)
+        continue;
+      OutB = B;
+      OutK = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Expands the call at (B, K).  Appends blocks; existing ids stay valid.
+void expandCall(IRFunction &F, const bc::Module &M, BlockId B, size_t K) {
+  IRInstr Call = F.Blocks[B].Instrs[K];
+  assert(Call.Op == IROp::Call && "not a call site");
+
+  IRFunction Callee = lowerToIR(M, Call.Callee);
+  const Reg RegOffset = F.NumRegs;
+  const BlockId BlockOffset = static_cast<BlockId>(F.Blocks.size() + 1);
+  F.NumRegs += Callee.NumRegs;
+
+  // Split the caller block: [0, K) stays; (K, end) moves to a continuation.
+  IRBlock Continuation;
+  Continuation.Instrs.assign(
+      F.Blocks[B].Instrs.begin() + static_cast<long>(K) + 1,
+      F.Blocks[B].Instrs.end());
+  F.Blocks[B].Instrs.resize(K);
+
+  const BlockId ContId = static_cast<BlockId>(F.Blocks.size());
+  F.Blocks.push_back(std::move(Continuation));
+
+  // Argument setup + explicit zero-init of the callee's non-param locals,
+  // then jump into the (remapped) callee entry.
+  for (uint32_t P = 0; P != Callee.NumParams; ++P) {
+    IRInstr Mov;
+    Mov.Op = IROp::Mov;
+    Mov.Dest = RegOffset + P;
+    Mov.A = Call.Args[P];
+    F.Blocks[B].Instrs.push_back(Mov);
+  }
+  for (uint32_t L = Callee.NumParams; L != Callee.NumLocals; ++L) {
+    IRInstr Zero;
+    Zero.Op = IROp::MovImm;
+    Zero.Dest = RegOffset + L;
+    Zero.Imm = bc::Value::makeInt(0);
+    F.Blocks[B].Instrs.push_back(Zero);
+  }
+  IRInstr Enter;
+  Enter.Op = IROp::Jump;
+  Enter.Target = BlockOffset; // callee entry after remap
+  F.Blocks[B].Instrs.push_back(Enter);
+
+  // Splice the callee blocks in with registers and targets remapped and
+  // rets rewritten to mov+jump.
+  for (IRBlock &CB : Callee.Blocks) {
+    IRBlock NewBlock;
+    for (IRInstr I : CB.Instrs) {
+      if (I.hasDest())
+        I.Dest += RegOffset;
+      switch (I.Op) {
+      case IROp::Mov:
+      case IROp::Unary:
+      case IROp::NewArr:
+      case IROp::HLoad:
+        I.A += RegOffset;
+        break;
+      case IROp::Binary:
+      case IROp::HStore:
+        I.A += RegOffset;
+        I.B += RegOffset;
+        break;
+      case IROp::CondJump:
+        I.A += RegOffset;
+        I.Target += BlockOffset;
+        I.Target2 += BlockOffset;
+        break;
+      case IROp::Jump:
+        I.Target += BlockOffset;
+        break;
+      case IROp::Call:
+        for (Reg &R : I.Args)
+          R += RegOffset;
+        break;
+      case IROp::Ret: {
+        IRInstr Mov;
+        Mov.Op = IROp::Mov;
+        Mov.Dest = Call.Dest;
+        Mov.A = I.A + RegOffset;
+        NewBlock.Instrs.push_back(Mov);
+        I = IRInstr();
+        I.Op = IROp::Jump;
+        I.Target = ContId;
+        break;
+      }
+      case IROp::MovImm:
+        break;
+      }
+      NewBlock.Instrs.push_back(std::move(I));
+    }
+    F.Blocks.push_back(std::move(NewBlock));
+  }
+
+  assert(F.validate().empty() && "inlining produced invalid IR");
+}
+
+} // namespace
+
+bool jit::inlineCalls(IRFunction &F, const bc::Module &M, bc::MethodId SelfId,
+                      size_t MaxCalleeSize, int MaxInlines) {
+  bool Changed = false;
+  for (int N = 0; N != MaxInlines; ++N) {
+    BlockId B;
+    size_t K;
+    if (!findCandidate(F, M, SelfId, MaxCalleeSize, B, K))
+      break;
+    expandCall(F, M, B, K);
+    Changed = true;
+  }
+  return Changed;
+}

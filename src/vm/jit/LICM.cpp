@@ -1,0 +1,226 @@
+//===- vm/jit/LICM.cpp - Loop-invariant code motion -----------------------==//
+//
+// Hoists pure, non-trapping computations out of natural loops into a
+// preheader.  The pass exploits two structural facts of this IR:
+//
+//   * A natural loop's header dominates every block in its body, and an
+//     inserted preheader dominates the header, so a hoisted definition
+//     dominates every use inside the loop.
+//   * Expression temporaries (registers >= NumLocals) are block-local and
+//     written once, so hoisting a temp-defining instruction can never
+//     clobber a value another path relies on, and all its uses see the same
+//     (invariant) value.
+//
+// Hoisting is therefore restricted to temp-defining MovImm/Mov/Binary/Unary
+// instructions from the non-trapping subset whose operands are invariant:
+// either registers with no definition anywhere in the loop, or temps whose
+// defining instruction was itself hoisted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/jit/Passes.h"
+
+#include "vm/jit/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_map>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+
+namespace {
+
+/// True when hoisting \p I cannot introduce a trap or reorder effects.
+bool isHoistableOp(const IRInstr &I) {
+  switch (I.Op) {
+  case IROp::MovImm:
+  case IROp::Mov:
+  case IROp::Unary:
+    return true;
+  case IROp::Binary:
+    return I.isRemovableIfDead(); // same non-trapping subset
+  default:
+    return false;
+  }
+}
+
+/// Ensures \p Header has a dedicated preheader: a block whose single
+/// successor is the header and which owns every loop-entry edge.  Returns
+/// its id.  May append a new block (invalidating nothing: ids are indices).
+BlockId ensurePreheader(IRFunction &F, const NaturalLoop &Loop) {
+  auto Preds = F.predecessors();
+  std::vector<BlockId> OutsidePreds;
+  for (BlockId P : Preds[Loop.Header])
+    if (!Loop.contains(P))
+      OutsidePreds.push_back(P);
+
+  // An existing unique outside predecessor that only jumps to the header
+  // already serves as a preheader.
+  if (OutsidePreds.size() == 1) {
+    const IRBlock &Candidate = F.Blocks[OutsidePreds[0]];
+    const IRInstr &T = Candidate.terminator();
+    if (T.Op == IROp::Jump && T.Target == Loop.Header)
+      return OutsidePreds[0];
+  }
+
+  // Insert a fresh preheader and retarget every outside edge through it.
+  BlockId Pre = static_cast<BlockId>(F.Blocks.size());
+  IRBlock PreBlock;
+  IRInstr Jump;
+  Jump.Op = IROp::Jump;
+  Jump.Target = Loop.Header;
+  PreBlock.Instrs.push_back(Jump);
+  F.Blocks.push_back(std::move(PreBlock));
+
+  for (BlockId P : OutsidePreds) {
+    IRInstr &T = F.Blocks[P].Instrs.back();
+    if (T.Op == IROp::Jump && T.Target == Loop.Header)
+      T.Target = Pre;
+    if (T.Op == IROp::CondJump) {
+      if (T.Target == Loop.Header)
+        T.Target = Pre;
+      if (T.Target2 == Loop.Header)
+        T.Target2 = Pre;
+    }
+  }
+  return Pre;
+}
+
+} // namespace
+
+bool jit::hoistLoopInvariants(IRFunction &F) {
+  DominatorTree DT(F);
+  std::vector<NaturalLoop> Loops = findNaturalLoops(F, DT);
+  if (Loops.empty())
+    return false;
+
+  bool Changed = false;
+  for (const NaturalLoop &Loop : Loops) {
+    // The entry block cannot get a preheader edge split safely if it is the
+    // header of a loop whose preds include "function entry"; skip that rare
+    // shape (entry-as-header means there is no outside predecessor at all).
+    if (Loop.Header == 0)
+      continue;
+
+    // Definition counts per register across the loop body.
+    std::unordered_map<Reg, int> DefCount;
+    for (BlockId B : Loop.Body)
+      for (const IRInstr &I : F.Blocks[B].Instrs)
+        if (I.hasDest())
+          ++DefCount[I.Dest];
+
+    std::set<Reg> HoistedDests;
+    auto IsInvariantOperand = [&](Reg R) {
+      auto It = DefCount.find(R);
+      if (It == DefCount.end() || It->second == 0)
+        return true; // never defined inside the loop
+      return HoistedDests.count(R) != 0;
+    };
+
+    // Collect hoistable instructions in loop-body program order, iterating
+    // to a fixpoint so chains (t1 = sin x; t2 = t1 * t1) hoist together.
+    std::vector<std::pair<BlockId, size_t>> ToHoist;
+    std::set<std::pair<BlockId, size_t>> Marked;
+    bool Grew = true;
+    while (Grew) {
+      Grew = false;
+      for (BlockId B : Loop.Body) {
+        const IRBlock &Block = F.Blocks[B];
+        for (size_t K = 0; K != Block.Instrs.size(); ++K) {
+          const IRInstr &I = Block.Instrs[K];
+          if (Marked.count({B, K}))
+            continue;
+          if (!isHoistableOp(I) || !I.hasDest())
+            continue;
+          if (I.Dest < F.NumLocals)
+            continue; // only block-local temporaries
+          if (DefCount[I.Dest] != 1)
+            continue; // defensive: unrolling or inlining could duplicate
+          std::vector<Reg> Uses;
+          I.collectUses(Uses);
+          bool Invariant = true;
+          for (Reg R : Uses)
+            if (!IsInvariantOperand(R)) {
+              Invariant = false;
+              break;
+            }
+          if (!Invariant)
+            continue;
+          Marked.insert({B, K});
+          ToHoist.emplace_back(B, K);
+          HoistedDests.insert(I.Dest);
+          Grew = true;
+        }
+      }
+    }
+
+    if (ToHoist.empty())
+      continue;
+
+    BlockId Pre = ensurePreheader(F, Loop);
+    IRBlock &PreBlock = F.Blocks[Pre];
+
+    // Move the instructions, preserving their relative order, inserting
+    // before the preheader's terminator.  Removal uses per-block descending
+    // indices so earlier erasures do not shift later ones.
+    std::vector<IRInstr> Moved;
+    for (const auto &[B, K] : ToHoist)
+      Moved.push_back(F.Blocks[B].Instrs[K]);
+    // Erase from blocks (descending index order per block).
+    std::vector<std::pair<BlockId, size_t>> Sorted = ToHoist;
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const auto &L, const auto &R) {
+                if (L.first != R.first)
+                  return L.first < R.first;
+                return L.second > R.second;
+              });
+    for (const auto &[B, K] : Sorted)
+      F.Blocks[B].Instrs.erase(F.Blocks[B].Instrs.begin() +
+                               static_cast<long>(K));
+
+    // Dependency order: ToHoist was gathered over fixpoint rounds, and a
+    // dependent instruction can precede its operand's definition in the
+    // gather order only if they sit in different rounds; re-sort by
+    // (round already encoded in vector order) is insufficient, so
+    // topologically order by operand availability.
+    std::vector<IRInstr> Ordered;
+    std::set<Reg> Available;
+    std::vector<bool> Placed(Moved.size(), false);
+    bool Progress = true;
+    while (Ordered.size() != Moved.size() && Progress) {
+      Progress = false;
+      for (size_t K = 0; K != Moved.size(); ++K) {
+        if (Placed[K])
+          continue;
+        std::vector<Reg> Uses;
+        Moved[K].collectUses(Uses);
+        bool Ready = true;
+        for (Reg R : Uses)
+          if (HoistedDests.count(R) && !Available.count(R)) {
+            Ready = false;
+            break;
+          }
+        if (!Ready)
+          continue;
+        Ordered.push_back(Moved[K]);
+        Available.insert(Moved[K].Dest);
+        Placed[K] = true;
+        Progress = true;
+      }
+    }
+    assert(Ordered.size() == Moved.size() && "cyclic hoist dependency");
+
+    PreBlock.Instrs.insert(PreBlock.Instrs.end() - 1, Ordered.begin(),
+                           Ordered.end());
+    Changed = true;
+
+    // The CFG changed (possible new preheader); recompute analyses for the
+    // remaining loops conservatively by stopping this round.  The compiler
+    // pipeline runs LICM to a fixpoint.
+    break;
+  }
+  return Changed;
+}

@@ -1,0 +1,277 @@
+//===- vm/jit/Lowering.cpp ------------------------------------------------==//
+
+#include "vm/jit/Lowering.h"
+
+#include "vm/Eval.h"
+
+#include <cassert>
+#include <map>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+using bc::Instr;
+using bc::Opcode;
+
+IRFunction jit::lowerToIR(const bc::Module &M, bc::MethodId Id) {
+  const bc::Function &F = M.function(Id);
+  const auto &Code = F.Code;
+  assert(!Code.empty() && "lowering an empty function");
+
+  // Leader identification: pc 0, every branch target, and every instruction
+  // following a branch or terminator.
+  std::vector<bool> IsLeader(Code.size(), false);
+  IsLeader[0] = true;
+  for (size_t Pc = 0; Pc != Code.size(); ++Pc) {
+    const bc::OpcodeInfo &Info = bc::getOpcodeInfo(Code[Pc].Op);
+    if (Info.IsBranch)
+      IsLeader[static_cast<size_t>(Code[Pc].Operand)] = true;
+    if ((Info.IsBranch || Info.IsTerminator) && Pc + 1 < Code.size())
+      IsLeader[Pc + 1] = true;
+  }
+
+  // Map each leader pc to a block id, in pc order (so the entry is block 0).
+  std::map<size_t, BlockId> BlockAt;
+  for (size_t Pc = 0; Pc != Code.size(); ++Pc)
+    if (IsLeader[Pc])
+      BlockAt.emplace(Pc, static_cast<BlockId>(BlockAt.size()));
+
+  // Reachability over leaders, so dead bytecode (legal but never executed)
+  // does not go through stack simulation.
+  std::vector<bool> LeaderReachable(Code.size(), false);
+  {
+    std::vector<size_t> Worklist = {0};
+    LeaderReachable[0] = true;
+    while (!Worklist.empty()) {
+      size_t Pc = Worklist.back();
+      Worklist.pop_back();
+      // Walk the block starting at this leader to its last instruction.
+      for (; Pc != Code.size(); ++Pc) {
+        const bc::OpcodeInfo &Info = bc::getOpcodeInfo(Code[Pc].Op);
+        if (Info.IsBranch) {
+          size_t Taken = static_cast<size_t>(Code[Pc].Operand);
+          if (!LeaderReachable[Taken]) {
+            LeaderReachable[Taken] = true;
+            Worklist.push_back(Taken);
+          }
+          if (Code[Pc].Op == Opcode::Br)
+            break;
+          if (!LeaderReachable[Pc + 1]) {
+            LeaderReachable[Pc + 1] = true;
+            Worklist.push_back(Pc + 1);
+          }
+          break;
+        }
+        if (Info.IsTerminator)
+          break; // Ret
+        if (Pc + 1 < Code.size() && IsLeader[Pc + 1]) {
+          if (!LeaderReachable[Pc + 1]) {
+            LeaderReachable[Pc + 1] = true;
+            Worklist.push_back(Pc + 1);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  IRFunction IR;
+  IR.Name = F.Name;
+  IR.NumParams = F.NumParams;
+  IR.NumLocals = F.NumLocals;
+  IR.NumRegs = F.NumLocals; // temporaries allocated beyond the locals
+  IR.Blocks.resize(BlockAt.size());
+
+  std::vector<Reg> Stack;
+  auto Pop = [&]() {
+    assert(!Stack.empty() && "stack underflow (verifier should have caught)");
+    Reg R = Stack.back();
+    Stack.pop_back();
+    return R;
+  };
+
+  for (auto It = BlockAt.begin(); It != BlockAt.end(); ++It) {
+    size_t Pc = It->first;
+    BlockId B = It->second;
+    auto Next = std::next(It);
+    size_t EndPc = Next == BlockAt.end() ? Code.size() : Next->first;
+    IRBlock &Block = IR.Blocks[B];
+
+    if (!LeaderReachable[Pc]) {
+      // Dead block: fill with a trivially valid body so block ids stay
+      // stable; nothing ever jumps here.
+      IRInstr Imm;
+      Imm.Op = IROp::MovImm;
+      Imm.Dest = IR.makeReg();
+      Imm.Imm = bc::Value::makeInt(0);
+      Block.Instrs.push_back(Imm);
+      IRInstr RetI;
+      RetI.Op = IROp::Ret;
+      RetI.A = Imm.Dest;
+      Block.Instrs.push_back(RetI);
+      continue;
+    }
+
+    Stack.clear();
+
+    bool Terminated = false;
+    for (; Pc != EndPc; ++Pc) {
+      const Instr &I = Code[Pc];
+      IRInstr Out;
+      switch (I.Op) {
+      case Opcode::ConstInt: {
+        Out.Op = IROp::MovImm;
+        Out.Dest = IR.makeReg();
+        Out.Imm = bc::Value::makeInt(I.Operand);
+        Stack.push_back(Out.Dest);
+        Block.Instrs.push_back(Out);
+        break;
+      }
+      case Opcode::ConstFloat: {
+        Out.Op = IROp::MovImm;
+        Out.Dest = IR.makeReg();
+        Out.Imm = bc::Value::makeFloat(I.floatOperand());
+        Stack.push_back(Out.Dest);
+        Block.Instrs.push_back(Out);
+        break;
+      }
+      case Opcode::Pop:
+        (void)Pop();
+        break;
+      case Opcode::Dup: {
+        // Temporaries are written once per block and locals were copied on
+        // load, so re-pushing the same register is safe.
+        Reg Top = Pop();
+        Stack.push_back(Top);
+        Stack.push_back(Top);
+        break;
+      }
+      case Opcode::Swap: {
+        Reg T1 = Pop(), T2 = Pop();
+        Stack.push_back(T1);
+        Stack.push_back(T2);
+        break;
+      }
+      case Opcode::LoadLocal: {
+        Out.Op = IROp::Mov;
+        Out.Dest = IR.makeReg();
+        Out.A = static_cast<Reg>(I.Operand);
+        Stack.push_back(Out.Dest);
+        Block.Instrs.push_back(Out);
+        break;
+      }
+      case Opcode::StoreLocal: {
+        Out.Op = IROp::Mov;
+        Out.Dest = static_cast<Reg>(I.Operand);
+        Out.A = Pop();
+        Block.Instrs.push_back(Out);
+        break;
+      }
+      case Opcode::Br: {
+        Out.Op = IROp::Jump;
+        Out.Target = BlockAt.at(static_cast<size_t>(I.Operand));
+        Block.Instrs.push_back(Out);
+        Terminated = true;
+        break;
+      }
+      case Opcode::BrTrue:
+      case Opcode::BrFalse: {
+        Out.Op = IROp::CondJump;
+        Out.A = Pop();
+        BlockId Taken = BlockAt.at(static_cast<size_t>(I.Operand));
+        assert(Pc + 1 < Code.size() && "conditional at end of code");
+        BlockId Fall = BlockAt.at(Pc + 1);
+        if (I.Op == Opcode::BrTrue) {
+          Out.Target = Taken;
+          Out.Target2 = Fall;
+        } else {
+          Out.Target = Fall;
+          Out.Target2 = Taken;
+        }
+        Block.Instrs.push_back(Out);
+        Terminated = true;
+        break;
+      }
+      case Opcode::Call: {
+        Out.Op = IROp::Call;
+        Out.Callee = static_cast<bc::MethodId>(I.Operand);
+        uint32_t Arity = M.function(Out.Callee).NumParams;
+        Out.Args.resize(Arity);
+        for (uint32_t K = Arity; K-- > 0;)
+          Out.Args[K] = Pop();
+        Out.Dest = IR.makeReg();
+        Stack.push_back(Out.Dest);
+        Block.Instrs.push_back(Out);
+        break;
+      }
+      case Opcode::Ret: {
+        Out.Op = IROp::Ret;
+        Out.A = Pop();
+        Block.Instrs.push_back(Out);
+        Terminated = true;
+        break;
+      }
+      case Opcode::NewArr: {
+        Out.Op = IROp::NewArr;
+        Out.A = Pop();
+        Out.Dest = IR.makeReg();
+        Stack.push_back(Out.Dest);
+        Block.Instrs.push_back(Out);
+        break;
+      }
+      case Opcode::HLoad: {
+        Out.Op = IROp::HLoad;
+        Out.A = Pop();
+        Out.Dest = IR.makeReg();
+        Stack.push_back(Out.Dest);
+        Block.Instrs.push_back(Out);
+        break;
+      }
+      case Opcode::HStore: {
+        Out.Op = IROp::HStore;
+        Out.B = Pop(); // value
+        Out.A = Pop(); // address
+        Block.Instrs.push_back(Out);
+        break;
+      }
+      case Opcode::Nop:
+        break;
+      default: {
+        if (vm::isBinaryOp(I.Op)) {
+          Out.Op = IROp::Binary;
+          Out.ScalarOp = I.Op;
+          Out.B = Pop();
+          Out.A = Pop();
+          Out.Dest = IR.makeReg();
+          Stack.push_back(Out.Dest);
+          Block.Instrs.push_back(Out);
+        } else {
+          assert(vm::isUnaryOp(I.Op) && "unhandled opcode in lowering");
+          Out.Op = IROp::Unary;
+          Out.ScalarOp = I.Op;
+          Out.A = Pop();
+          Out.Dest = IR.makeReg();
+          Stack.push_back(Out.Dest);
+          Block.Instrs.push_back(Out);
+        }
+        break;
+      }
+      }
+      if (Terminated)
+        break;
+    }
+
+    if (!Terminated) {
+      // Fallthrough into the next leader: make the edge explicit.
+      assert(Stack.empty() && "nonempty stack across a block boundary");
+      assert(Pc < Code.size() && "fell off the end of the function");
+      IRInstr Jump;
+      Jump.Op = IROp::Jump;
+      Jump.Target = BlockAt.at(EndPc);
+      Block.Instrs.push_back(Jump);
+    }
+  }
+
+  assert(IR.validate().empty() && "lowering produced invalid IR");
+  return IR;
+}

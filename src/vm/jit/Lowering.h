@@ -1,0 +1,34 @@
+//===- vm/jit/Lowering.h - Stack bytecode to register IR -----------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates verified stack bytecode into the register IR via abstract
+/// stack simulation.  The verifier's empty-stack-at-branch discipline means
+/// every expression temporary is block-local, so no phi insertion is needed:
+/// locals become fixed registers and each stack push allocates a fresh,
+/// written-once temporary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_JIT_LOWERING_H
+#define EVM_VM_JIT_LOWERING_H
+
+#include "bytecode/Module.h"
+#include "vm/jit/IR.h"
+
+namespace evm {
+namespace vm {
+namespace jit {
+
+/// Lowers \p M.function(Id) to IR.  The function must have passed the
+/// verifier; lowering asserts (rather than reports) on malformed input.
+IRFunction lowerToIR(const bc::Module &M, bc::MethodId Id);
+
+} // namespace jit
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_JIT_LOWERING_H

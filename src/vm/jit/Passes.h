@@ -1,0 +1,71 @@
+//===- vm/jit/Passes.h - JIT optimization pass entry points --------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization passes behind the JIT's level pipelines (O0/O1/O2).
+/// Each pass is a standalone function (IRFunction in/out, returns whether it
+/// changed anything) so tests exercise them individually and the Compiler
+/// composes them per level.  All passes preserve MiniVM semantics: the
+/// property suite checks interpreter-vs-compiled output equality for every
+/// level across a corpus of programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_JIT_PASSES_H
+#define EVM_VM_JIT_PASSES_H
+
+#include "bytecode/Module.h"
+#include "vm/jit/IR.h"
+
+namespace evm {
+namespace vm {
+namespace jit {
+
+/// Block-local constant folding: tracks MovImm-defined registers, folds
+/// Binary/Unary/Mov over constants (through vm/Eval.h, so fold-time and
+/// run-time semantics agree), and turns constant CondJumps into Jumps.
+/// Folds that would trap at run time are left in place.
+bool foldConstantsLocal(IRFunction &F);
+
+/// Block-local copy propagation: rewrites uses through Mov chains,
+/// invalidating entries when either side is redefined.
+bool propagateCopiesLocal(IRFunction &F);
+
+/// Block-local common-subexpression elimination via value numbering.
+/// Pure expressions only; heap loads and calls are never reused.
+bool eliminateCommonSubexprsLocal(IRFunction &F);
+
+/// Global dead-code elimination by iterated liveness: removes side-effect-
+/// free instructions whose destination is dead.
+bool eliminateDeadCode(IRFunction &F);
+
+/// CFG cleanup: threads trivial jump blocks, merges single-pred/single-succ
+/// straight lines, folds same-target CondJumps, and drops unreachable
+/// blocks.
+bool simplifyCFG(IRFunction &F);
+
+/// Inlines small callees (bytecode size <= \p MaxCalleeSize) into \p F.
+/// \p SelfId suppresses direct self-recursion; \p MaxInlines bounds the
+/// number of call sites expanded.  Callee bodies are lowered fresh from
+/// \p M's bytecode.
+bool inlineCalls(IRFunction &F, const bc::Module &M, bc::MethodId SelfId,
+                 size_t MaxCalleeSize, int MaxInlines);
+
+/// Loop-invariant code motion over natural loops.  Hoists pure, non-trapping
+/// temp-defining instructions whose operands are loop-invariant into a
+/// (created) preheader.
+bool hoistLoopInvariants(IRFunction &F);
+
+/// Strength reduction and algebraic identities on integer-typed registers
+/// (x*2^k -> shl, x*1 -> mov, x+0 -> mov, ...), guarded by type inference so
+/// no rewrite can change float semantics or introduce a trap.
+bool reduceStrength(IRFunction &F);
+
+} // namespace jit
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_JIT_PASSES_H

@@ -1,0 +1,155 @@
+//===- vm/jit/StrengthReduction.cpp - Algebraic rewrites ------------------==//
+//
+// Rewrites expensive operations into cheaper equivalents when type inference
+// proves the rewrite cannot change semantics:
+//
+//   x * 2^k  -> x shl k        (int x, k >= 1)
+//   x * 1    -> mov x          (int x; 1 * x likewise)
+//   x * 0    -> imm 0          (int x; 0 * x likewise)
+//   x + 0    -> mov x          (int x; 0 + x likewise)
+//   x - 0    -> mov x          (int x)
+//   x / 1    -> mov x          (int x)
+//
+// Float operands are excluded throughout: 0.0/-0.0, NaN propagation, and
+// promotion rules make the identities unsound there.  Division by powers of
+// two is also excluded (truncating division differs from arithmetic shift
+// for negative dividends).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/jit/Passes.h"
+#include "vm/jit/TypeInference.h"
+
+#include <unordered_map>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+using bc::Opcode;
+using bc::Value;
+
+namespace {
+
+/// Returns k when \p V is an int 2^k with k >= 1, else -1.
+int log2Exact(const Value &V) {
+  if (!V.isInt())
+    return -1;
+  int64_t X = V.asInt();
+  if (X <= 1 || (X & (X - 1)) != 0)
+    return -1;
+  int K = 0;
+  while ((int64_t{1} << K) != X)
+    ++K;
+  return K;
+}
+
+bool isIntConst(const Value *V, int64_t C) {
+  return V && V->isInt() && V->asInt() == C;
+}
+
+/// Rewrites \p I into `Dest = Mov Src`.
+void rewriteToMov(IRInstr &I, Reg Src) {
+  I.Op = IROp::Mov;
+  I.ScalarOp = Opcode::Nop;
+  I.A = Src;
+  I.B = 0;
+}
+
+/// Rewrites \p I into `Dest = imm 0`.
+void rewriteToZero(IRInstr &I) {
+  I.Op = IROp::MovImm;
+  I.ScalarOp = Opcode::Nop;
+  I.Imm = Value::makeInt(0);
+  I.A = I.B = 0;
+}
+
+} // namespace
+
+bool jit::reduceStrength(IRFunction &F) {
+  std::vector<RegType> Types = inferRegTypes(F);
+  auto IsInt = [&](Reg R) { return Types[R] == RegType::Int; };
+
+  bool Changed = false;
+  for (IRBlock &Block : F.Blocks) {
+    // One forward scan with local constant tracking.  mul->shl needs a
+    // fresh constant register for the shift amount, so the scan is
+    // index-based and inserts in place.
+    std::unordered_map<Reg, Value> Consts;
+    auto Lookup = [&](Reg R) -> const Value * {
+      auto It = Consts.find(R);
+      return It == Consts.end() ? nullptr : &It->second;
+    };
+
+    for (size_t K = 0; K != Block.Instrs.size(); ++K) {
+      // Note: reference taken fresh each iteration; insertion below
+      // invalidates it, so the loop continues past the rewritten pair.
+      IRInstr &I = Block.Instrs[K];
+
+      if (I.Op == IROp::Binary) {
+        const Value *CA = Lookup(I.A), *CB = Lookup(I.B);
+        switch (I.ScalarOp) {
+        case Opcode::Mul:
+          if (isIntConst(CB, 1) && IsInt(I.A)) {
+            rewriteToMov(I, I.A);
+            Changed = true;
+          } else if (isIntConst(CA, 1) && IsInt(I.B)) {
+            rewriteToMov(I, I.B);
+            Changed = true;
+          } else if ((isIntConst(CB, 0) && IsInt(I.A)) ||
+                     (isIntConst(CA, 0) && IsInt(I.B))) {
+            rewriteToZero(I);
+            Changed = true;
+          } else if (CB && log2Exact(*CB) >= 1 && IsInt(I.A)) {
+            // x * 2^k -> x shl k, with a fresh register holding k.
+            int Shift = log2Exact(*CB);
+            IRInstr ImmInstr;
+            ImmInstr.Op = IROp::MovImm;
+            ImmInstr.Dest = F.makeReg();
+            ImmInstr.Imm = Value::makeInt(Shift);
+            I.ScalarOp = Opcode::Shl;
+            I.B = ImmInstr.Dest;
+            Consts.emplace(ImmInstr.Dest, ImmInstr.Imm);
+            Block.Instrs.insert(Block.Instrs.begin() + static_cast<long>(K),
+                                ImmInstr);
+            ++K; // land back on the rewritten multiply
+            Changed = true;
+          }
+          break;
+        case Opcode::Add:
+          if (isIntConst(CB, 0) && IsInt(I.A)) {
+            rewriteToMov(I, I.A);
+            Changed = true;
+          } else if (isIntConst(CA, 0) && IsInt(I.B)) {
+            rewriteToMov(I, I.B);
+            Changed = true;
+          }
+          break;
+        case Opcode::Sub:
+          if (isIntConst(CB, 0) && IsInt(I.A)) {
+            rewriteToMov(I, I.A);
+            Changed = true;
+          }
+          break;
+        case Opcode::Div:
+          if (isIntConst(CB, 1) && IsInt(I.A)) {
+            rewriteToMov(I, I.A);
+            Changed = true;
+          }
+          break;
+        default:
+          break;
+        }
+      }
+
+      // Maintain the constant map against the (possibly rewritten) instr.
+      const IRInstr &Done = Block.Instrs[K];
+      if (Done.Op == IROp::MovImm) {
+        Consts.erase(Done.Dest);
+        Consts.emplace(Done.Dest, Done.Imm);
+      } else if (Done.hasDest()) {
+        Consts.erase(Done.Dest);
+      }
+    }
+  }
+  return Changed;
+}

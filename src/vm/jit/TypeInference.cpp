@@ -1,0 +1,130 @@
+//===- vm/jit/TypeInference.cpp -------------------------------------------==//
+
+#include "vm/jit/TypeInference.h"
+
+#include <cassert>
+
+using namespace evm;
+using namespace evm::vm;
+using namespace evm::vm::jit;
+using bc::Opcode;
+
+RegType jit::joinRegTypes(RegType A, RegType B) {
+  if (A == RegType::Unknown)
+    return B;
+  if (B == RegType::Unknown)
+    return A;
+  if (A == B)
+    return A;
+  return RegType::Mixed;
+}
+
+namespace {
+
+/// Result type of a Binary op given operand types.
+RegType binaryResultType(Opcode Op, RegType A, RegType B) {
+  switch (Op) {
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::Lt:
+  case Opcode::Le:
+  case Opcode::Gt:
+  case Opcode::Ge:
+    return RegType::Int; // comparisons push 0/1
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    return RegType::Int; // trap on floats, so results are int
+  default:
+    break;
+  }
+  // Promoting arithmetic.  A proven-float side forces a float result
+  // regardless of the other side (int promotes, float stays).  An Unknown
+  // side means "no definition processed yet": defer rather than poisoning
+  // the monotonic iteration with Mixed.
+  if (A == RegType::Float || B == RegType::Float)
+    return RegType::Float;
+  if (A == RegType::Unknown || B == RegType::Unknown)
+    return RegType::Unknown;
+  if (A == RegType::Int && B == RegType::Int)
+    return RegType::Int;
+  return RegType::Mixed;
+}
+
+/// Result type of a Unary op.
+RegType unaryResultType(Opcode Op, RegType A) {
+  switch (Op) {
+  case Opcode::Not:
+  case Opcode::F2I:
+    return RegType::Int;
+  case Opcode::I2F:
+  case Opcode::Sqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+    return RegType::Float;
+  case Opcode::Neg:
+  case Opcode::Floor:
+  case Opcode::Abs:
+    return A; // kind-preserving
+  default:
+    assert(false && "not a unary opcode");
+    return RegType::Mixed;
+  }
+}
+
+} // namespace
+
+std::vector<RegType> jit::inferRegTypes(const IRFunction &F) {
+  std::vector<RegType> Types(F.NumRegs, RegType::Unknown);
+
+  // Parameters can be either kind; non-param locals start zero (Int) but may
+  // be redefined, which the join handles.
+  for (Reg R = 0; R != F.NumParams; ++R)
+    Types[R] = RegType::Mixed;
+  for (Reg R = F.NumParams; R != F.NumLocals; ++R)
+    Types[R] = RegType::Int;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const IRBlock &Block : F.Blocks) {
+      for (const IRInstr &I : Block.Instrs) {
+        if (!I.hasDest())
+          continue;
+        RegType New;
+        switch (I.Op) {
+        case IROp::MovImm:
+          New = I.Imm.isInt() ? RegType::Int : RegType::Float;
+          break;
+        case IROp::Mov:
+          New = Types[I.A];
+          break;
+        case IROp::Binary:
+          New = binaryResultType(I.ScalarOp, Types[I.A], Types[I.B]);
+          break;
+        case IROp::Unary:
+          New = unaryResultType(I.ScalarOp, Types[I.A]);
+          break;
+        case IROp::NewArr:
+          New = RegType::Int; // heap addresses are ints
+          break;
+        case IROp::Call:
+        case IROp::HLoad:
+          New = RegType::Mixed; // interprocedural/heap: unanalyzed
+          break;
+        default:
+          New = RegType::Mixed;
+          break;
+        }
+        RegType Joined = joinRegTypes(Types[I.Dest], New);
+        if (Joined != Types[I.Dest]) {
+          Types[I.Dest] = Joined;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Types;
+}

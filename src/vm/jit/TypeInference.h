@@ -1,0 +1,47 @@
+//===- vm/jit/TypeInference.h - Static register type lattice --------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Infers a static type for every register over the lattice
+/// Unknown < {Int, Float} < Mixed.  Because registers are not SSA, a
+/// register's type is the join over all of its definitions (flow-
+/// insensitive), which is sound for the consumers we have: strength
+/// reduction only rewrites when an operand is proven Int on every path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_JIT_TYPEINFERENCE_H
+#define EVM_VM_JIT_TYPEINFERENCE_H
+
+#include "vm/jit/IR.h"
+
+#include <vector>
+
+namespace evm {
+namespace vm {
+namespace jit {
+
+/// Static type of one register.
+enum class RegType : uint8_t {
+  Unknown, ///< no definition seen yet (lattice top)
+  Int,
+  Float,
+  Mixed, ///< defined with both kinds, or from an unanalyzable source
+};
+
+/// Joins two lattice values.
+RegType joinRegTypes(RegType A, RegType B);
+
+/// Computes the register type table for \p F.  Parameters and undefined
+/// locals start as Mixed (callers may pass either kind); zero-initialized
+/// non-param locals contribute Int.
+std::vector<RegType> inferRegTypes(const IRFunction &F);
+
+} // namespace jit
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_JIT_TYPEINFERENCE_H

@@ -1,0 +1,443 @@
+//===- workloads/Dacapo.cpp - Antlr, Bloat, Fop analogues -----------------==//
+//
+// DaCapo analogues (paper Table I rows 4-6).  Antlr's rule count and
+// Bloat's LOC are programmer-defined features extracted from input-file
+// metadata; Fop's line count comes from the predefined flines attribute.
+// Output-format and operation-type options select between alternative
+// code-generation/optimization kernels, so the hot-method set is input-
+// dependent (the property Rep's input-oblivious strategy cannot track).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+#include "workloads/Workload.h"
+#include "workloads/WorkloadDetail.h"
+
+#include "support/Format.h"
+
+using namespace evm;
+using namespace evm::wl;
+using namespace evm::wl::detail;
+using bc::FunctionBuilder;
+using bc::MethodId;
+using bc::ModuleBuilder;
+using bc::Opcode;
+using bc::Value;
+
+namespace {
+
+/// Emits a generic "token-crunching" method: func(x, n) running an n-bounded
+/// loop of integer mixing whose flavor differs per (MulWeight, DivWeight).
+/// Shared by several DaCapo kernels to model parser/codegen inner loops.
+void defineCrunchMethod(ModuleBuilder &MB, MethodId Id, int64_t MulWeight,
+                        int64_t DivWeight) {
+  FunctionBuilder &B = MB.functionBuilder(Id);
+  uint32_t X = 0, N = 1;
+  uint32_t J = B.allocLocal(), Acc = B.allocLocal();
+  B.loadLocal(X);
+  B.storeLocal(Acc);
+  emitForUp(B, J, 0, N, 1, [&] {
+    // acc = ((acc * (MulWeight + (j & 3))) ^ (j << 1)) stays integral.
+    B.loadLocal(Acc);
+    B.loadLocal(J);
+    B.constInt(3);
+    B.emit(Opcode::And);
+    B.constInt(MulWeight);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::Mul);
+    B.loadLocal(J);
+    B.constInt(1);
+    B.emit(Opcode::Shl);
+    B.emit(Opcode::Xor);
+    B.storeLocal(Acc);
+    if (DivWeight > 0) {
+      // acc = acc / DivWeight + j  (division-heavy flavor)
+      B.loadLocal(Acc);
+      B.constInt(DivWeight);
+      B.emit(Opcode::Div);
+      B.loadLocal(J);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+    }
+    // acc &= 0xffffffff
+    B.loadLocal(Acc);
+    B.constInt(0xffffffffLL);
+    B.emit(Opcode::And);
+    B.storeLocal(Acc);
+  });
+  B.loadLocal(Acc);
+  B.ret();
+}
+
+/// Emits a float "layout/render" method: func(x, n) with trig/sqrt per
+/// iteration (LICM-friendly invariant factors included).
+void defineRenderMethod(ModuleBuilder &MB, MethodId Id, double Scale) {
+  FunctionBuilder &B = MB.functionBuilder(Id);
+  uint32_t X = 0, N = 1;
+  uint32_t J = B.allocLocal(), Acc = B.allocLocal(), K = B.allocLocal();
+  // k = sin(x * Scale) — invariant w.r.t. the loop below once computed.
+  B.loadLocal(X);
+  B.constFloat(Scale);
+  B.emit(Opcode::Mul);
+  B.emit(Opcode::Sin);
+  B.storeLocal(K);
+  B.constInt(0);
+  B.storeLocal(Acc);
+  emitForUp(B, J, 0, N, 1, [&] {
+    // acc = acc + sqrt(j + 1) * k + cos(j * Scale)
+    B.loadLocal(Acc);
+    B.loadLocal(J);
+    B.constInt(1);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::Sqrt);
+    B.loadLocal(K);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Add);
+    B.loadLocal(J);
+    B.constFloat(Scale);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Cos);
+    B.emit(Opcode::Add);
+    B.storeLocal(Acc);
+  });
+  B.loadLocal(Acc);
+  B.emit(Opcode::F2I);
+  B.ret();
+}
+
+/// Emits `Acc += callee(ArgLocal, BoundLocal)` (both args are locals).
+void emitAccumulateCall(FunctionBuilder &B, uint32_t Acc, MethodId Callee,
+                        uint32_t Arg, uint32_t Bound) {
+  B.loadLocal(Acc);
+  B.loadLocal(Arg);
+  B.loadLocal(Bound);
+  B.call(Callee);
+  B.emit(Opcode::Add);
+  B.storeLocal(Acc);
+}
+
+//===----------------------------------------------------------------------===//
+// Antlr: grammar processing.  main(rules, fmt, lang).
+//===----------------------------------------------------------------------===//
+
+bc::Module buildAntlrModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 3);
+  MethodId HandleRule = MB.declareFunction("handleRule", 3);
+  MethodId ParseRule = MB.declareFunction("parseRule", 2);
+  MethodId BuildNfa = MB.declareFunction("buildNfa", 2);
+  MethodId LexRule = MB.declareFunction("lexRule", 2);
+  MethodId GenJava = MB.declareFunction("genJava", 2);
+  MethodId GenCpp = MB.declareFunction("genCpp", 2);
+  MethodId OptimizeTables = MB.declareFunction("optimizeTables", 2);
+
+  defineCrunchMethod(MB, ParseRule, 5, 0);
+  defineCrunchMethod(MB, BuildNfa, 7, 3);
+  defineCrunchMethod(MB, LexRule, 3, 0);
+  defineCrunchMethod(MB, GenJava, 11, 0);
+  defineCrunchMethod(MB, GenCpp, 13, 5);
+  defineRenderMethod(MB, OptimizeTables, 0.07);
+
+  // handleRule(r, fmt, lang): parse + analyze + generate for one rule.
+  {
+    FunctionBuilder &B = MB.functionBuilder(HandleRule);
+    uint32_t R = 0, Fmt = 1, Lang = 2;
+    uint32_t Acc = B.allocLocal(), W = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Acc);
+    B.constInt(40);
+    B.storeLocal(W);
+    emitAccumulateCall(B, Acc, ParseRule, R, W);
+    emitAccumulateCall(B, Acc, BuildNfa, R, W);
+    emitIfElse(B, [&] { B.loadLocal(Lang); },
+               [&] { emitAccumulateCall(B, Acc, LexRule, R, W); });
+    emitIfElse(
+        B, [&] { B.loadLocal(Fmt); },
+        [&] { emitAccumulateCall(B, Acc, GenCpp, R, W); },
+        [&] { emitAccumulateCall(B, Acc, GenJava, R, W); });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // main(rules, fmt, lang).
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t Rules = 0, Fmt = 1, Lang = 2;
+    uint32_t R = B.allocLocal(), Acc = B.allocLocal(),
+             OptW = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Acc);
+    B.constInt(160);
+    B.storeLocal(OptW);
+    emitForUp(B, R, 0, Rules, 1, [&] {
+      B.loadLocal(Acc);
+      B.loadLocal(R);
+      B.loadLocal(Fmt);
+      B.loadLocal(Lang);
+      B.call(HandleRule);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+      // Every 16th rule triggers a table-optimization pass.
+      emitIfElse(
+          B,
+          [&] {
+            B.loadLocal(R);
+            B.constInt(15);
+            B.emit(Opcode::And);
+            B.constInt(0);
+            B.emit(Opcode::Eq);
+          },
+          [&] { emitAccumulateCall(B, Acc, OptimizeTables, R, OptW); });
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+//===----------------------------------------------------------------------===//
+// Bloat: bytecode-optimizer analogue.  main(loc, op).
+//===----------------------------------------------------------------------===//
+
+bc::Module buildBloatModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 2);
+  MethodId HandleChunk = MB.declareFunction("handleChunk", 2);
+  MethodId ParseClass = MB.declareFunction("parseClass", 2);
+  MethodId OptimizeMethod = MB.declareFunction("optimizeMethod", 2);
+  MethodId InlineExpand = MB.declareFunction("inlineExpand", 2);
+  MethodId PrintOnly = MB.declareFunction("printOnly", 2);
+
+  defineCrunchMethod(MB, ParseClass, 5, 0);
+  defineCrunchMethod(MB, OptimizeMethod, 9, 7);
+  defineRenderMethod(MB, InlineExpand, 0.031);
+  defineCrunchMethod(MB, PrintOnly, 3, 0);
+
+  // handleChunk(i, op): parse one 50-line "method", then run the selected
+  // operation over it.
+  {
+    FunctionBuilder &B = MB.functionBuilder(HandleChunk);
+    uint32_t I = 0, Op = 1;
+    uint32_t Acc = B.allocLocal(), W = B.allocLocal(), W2 = B.allocLocal(),
+             WSmall = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Acc);
+    B.constInt(60);
+    B.storeLocal(W);
+    B.constInt(140);
+    B.storeLocal(W2);
+    B.constInt(25);
+    B.storeLocal(WSmall);
+    emitAccumulateCall(B, Acc, ParseClass, I, W);
+    emitIfElse(
+        B,
+        [&] {
+          B.loadLocal(Op);
+          B.constInt(0);
+          B.emit(Opcode::Eq);
+        },
+        [&] { emitAccumulateCall(B, Acc, OptimizeMethod, I, W2); },
+        [&] {
+          emitIfElse(
+              B,
+              [&] {
+                B.loadLocal(Op);
+                B.constInt(1);
+                B.emit(Opcode::Eq);
+              },
+              [&] { emitAccumulateCall(B, Acc, InlineExpand, I, W2); },
+              [&] { emitAccumulateCall(B, Acc, PrintOnly, I, WSmall); });
+        });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // main(loc, op).
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t Loc = 0, Op = 1;
+    uint32_t I = B.allocLocal(), Acc = B.allocLocal(),
+             Chunks = B.allocLocal();
+    // chunks = loc / 50 (one "method" per 50 lines)
+    B.loadLocal(Loc);
+    B.constInt(50);
+    B.emit(Opcode::Div);
+    B.constInt(1);
+    B.emit(Opcode::Max);
+    B.storeLocal(Chunks);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, I, 0, Chunks, 1, [&] {
+      B.loadLocal(Acc);
+      B.loadLocal(I);
+      B.loadLocal(Op);
+      B.call(HandleChunk);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+//===----------------------------------------------------------------------===//
+// Fop: document formatter.  main(lines, fmt).
+//===----------------------------------------------------------------------===//
+
+bc::Module buildFopModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 2);
+  MethodId HandlePage = MB.declareFunction("handlePage", 2);
+  MethodId ParseDoc = MB.declareFunction("parseDoc", 2);
+  MethodId LayoutPage = MB.declareFunction("layoutPage", 2);
+  MethodId RenderPdf = MB.declareFunction("renderPdf", 2);
+  MethodId RenderText = MB.declareFunction("renderText", 2);
+
+  defineCrunchMethod(MB, ParseDoc, 5, 0);
+  defineRenderMethod(MB, LayoutPage, 0.011);
+  defineRenderMethod(MB, RenderPdf, 0.023);
+  defineCrunchMethod(MB, RenderText, 3, 0);
+
+  // handlePage(p, fmt): parse, lay out, render one page.
+  {
+    FunctionBuilder &B = MB.functionBuilder(HandlePage);
+    uint32_t P = 0, Fmt = 1;
+    uint32_t Acc = B.allocLocal(), W = B.allocLocal(),
+             WHeavy = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Acc);
+    B.constInt(50);
+    B.storeLocal(W);
+    B.constInt(110);
+    B.storeLocal(WHeavy);
+    emitAccumulateCall(B, Acc, ParseDoc, P, W);
+    emitAccumulateCall(B, Acc, LayoutPage, P, W);
+    emitIfElse(
+        B, [&] { B.loadLocal(Fmt); },
+        [&] { emitAccumulateCall(B, Acc, RenderText, P, W); },
+        [&] { emitAccumulateCall(B, Acc, RenderPdf, P, WHeavy); });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // main(lines, fmt).
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t Lines = 0, Fmt = 1;
+    uint32_t P = B.allocLocal(), Acc = B.allocLocal(),
+             Pages = B.allocLocal();
+    // pages = lines / 40
+    B.loadLocal(Lines);
+    B.constInt(40);
+    B.emit(Opcode::Div);
+    B.constInt(1);
+    B.emit(Opcode::Max);
+    B.storeLocal(Pages);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, P, 0, Pages, 1, [&] {
+      B.loadLocal(Acc);
+      B.loadLocal(P);
+      B.loadLocal(Fmt);
+      B.call(HandlePage);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+} // namespace
+
+Workload detail::buildAntlr(uint64_t Seed) {
+  Workload W;
+  W.Name = "Antlr";
+  W.Suite = "dacapo";
+  W.Module = buildAntlrModule();
+  W.UserMethodAttrs = {"mrules"};
+  W.XiclSpec =
+      "option  {name=-o; type=str; attr=val; default=java; has_arg=y}\n"
+      "option  {name=-glib; type=bin; attr=val; default=0; has_arg=n}\n"
+      "operand {position=1; type=file; attr=mrules}\n";
+
+  Rng R(Seed ^ 0xA7140004);
+  for (int I = 0; I != 22; ++I) {
+    InputCase C;
+    int64_t Rules = logUniform(R, 60, 900);
+    bool Cpp = R.nextBool(0.4);
+    bool Lex = R.nextBool(0.5);
+    std::string File = formatString("grammar%02d.g", I);
+    C.CommandLine =
+        formatString("antlr -o %s%s %s", Cpp ? "cpp" : "java",
+                     Lex ? " -glib" : "", File.c_str());
+    C.VmArgs = {Value::makeInt(Rules), Value::makeInt(Cpp ? 1 : 0),
+                Value::makeInt(Lex ? 1 : 0)};
+    xicl::FileInfo Info;
+    Info.SizeBytes = static_cast<double>(Rules * 120);
+    Info.Lines = static_cast<double>(Rules * 6);
+    Info.Attributes["rules"] = static_cast<double>(Rules);
+    C.Files.emplace_back(File, Info);
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}
+
+Workload detail::buildBloat(uint64_t Seed) {
+  Workload W;
+  W.Name = "Bloat";
+  W.Suite = "dacapo";
+  W.Module = buildBloatModule();
+  W.UserMethodAttrs = {"mloc"};
+  W.XiclSpec =
+      "option  {name=-op; type=str; attr=val; default=opt; has_arg=y}\n"
+      "operand {position=1; type=file; attr=mloc}\n";
+
+  Rng R(Seed ^ 0xB10A7005);
+  const char *Ops[] = {"opt", "inline", "print"};
+  for (int I = 0; I != 28; ++I) {
+    InputCase C;
+    int64_t Loc = logUniform(R, 800, 30000);
+    int Op = static_cast<int>(R.nextInt(0, 2));
+    std::string File = formatString("Class%02d.class", I);
+    C.CommandLine =
+        formatString("bloat -op %s %s", Ops[Op], File.c_str());
+    C.VmArgs = {Value::makeInt(Loc), Value::makeInt(Op)};
+    xicl::FileInfo Info;
+    Info.SizeBytes = static_cast<double>(Loc * 30);
+    Info.Lines = static_cast<double>(Loc);
+    Info.Attributes["loc"] = static_cast<double>(Loc);
+    C.Files.emplace_back(File, Info);
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}
+
+Workload detail::buildFop(uint64_t Seed) {
+  Workload W;
+  W.Name = "Fop";
+  W.Suite = "dacapo";
+  W.Module = buildFopModule();
+  W.XiclSpec =
+      "option  {name=-fmt; type=str; attr=val; default=pdf; has_arg=y}\n"
+      "operand {position=1; type=file; attr=flines}\n";
+
+  Rng R(Seed ^ 0xF0900006);
+  for (int I = 0; I != 33; ++I) {
+    InputCase C;
+    int64_t Lines = logUniform(R, 300, 12000);
+    bool Text = R.nextBool(0.35);
+    std::string File = formatString("doc%02d.fo", I);
+    C.CommandLine = formatString("fop -fmt %s %s", Text ? "txt" : "pdf",
+                                 File.c_str());
+    C.VmArgs = {Value::makeInt(Lines), Value::makeInt(Text ? 1 : 0)};
+    xicl::FileInfo Info;
+    Info.SizeBytes = static_cast<double>(Lines * 55);
+    Info.Lines = static_cast<double>(Lines);
+    C.Files.emplace_back(File, Info);
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}

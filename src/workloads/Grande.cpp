@@ -1,0 +1,950 @@
+//===- workloads/Grande.cpp - Euler, MolDyn, MonteCarlo, Search, RayTracer =//
+//
+// Java Grande analogues (paper Table I rows 7-11).  Single-value inputs
+// (mesh size, particle count, path count, string length, scene size) drive
+// run length; the float-heavy kernels exercise the O2 pipeline's LICM and
+// the math-op cost model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+#include "workloads/Workload.h"
+#include "workloads/WorkloadDetail.h"
+
+#include "support/Format.h"
+
+using namespace evm;
+using namespace evm::wl;
+using namespace evm::wl::detail;
+using bc::FunctionBuilder;
+using bc::MethodId;
+using bc::ModuleBuilder;
+using bc::Opcode;
+using bc::Value;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Euler: structured-grid CFD sweep.  main(n).
+//===----------------------------------------------------------------------===//
+
+bc::Module buildEulerModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 1);
+  MethodId InitGrid = MB.declareFunction("initGrid", 2);
+  MethodId ComputeFlux = MB.declareFunction("computeFlux", 3);
+  MethodId UpdateCells = MB.declareFunction("updateCells", 2);
+  MethodId ApplyBoundary = MB.declareFunction("applyBoundary", 2);
+
+  // initGrid(grid, cells): fill with a smooth field.
+  {
+    FunctionBuilder &B = MB.functionBuilder(InitGrid);
+    uint32_t Grid = 0, Cells = 1;
+    uint32_t I = B.allocLocal();
+    emitForUp(B, I, 0, Cells, 1, [&] {
+      B.loadLocal(Grid);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.constFloat(0.01);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Sin);
+      B.constFloat(2.0);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(Cells);
+    B.ret();
+  }
+
+  // computeFlux(grid, cells, t): per-cell stencil with sqrt; the factor
+  // sin(t * 0.1) is loop-invariant (an LICM target at O2).
+  {
+    FunctionBuilder &B = MB.functionBuilder(ComputeFlux);
+    uint32_t Grid = 0, Cells = 1, T = 2;
+    uint32_t I = B.allocLocal(), Acc = B.allocLocal(), Lim = B.allocLocal(),
+             V = B.allocLocal();
+    B.loadLocal(Cells);
+    B.constInt(1);
+    B.emit(Opcode::Sub);
+    B.storeLocal(Lim);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, I, 1, Lim, 1, [&] {
+      // v = (grid[i-1] + grid[i] + grid[i+1]) * sin(t * 0.1)
+      B.loadLocal(Grid);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.constInt(1);
+      B.emit(Opcode::Sub);
+      B.emit(Opcode::HLoad);
+      B.loadLocal(Grid);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.emit(Opcode::Add);
+      B.loadLocal(Grid);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.emit(Opcode::Add);
+      B.loadLocal(T);
+      B.constFloat(0.1);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Sin);
+      B.emit(Opcode::Mul);
+      B.storeLocal(V);
+      // grid[i] = v * 0.33; acc += sqrt(abs(v) + 1)
+      B.loadLocal(Grid);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.loadLocal(V);
+      B.constFloat(0.33);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::HStore);
+      B.loadLocal(Acc);
+      B.loadLocal(V);
+      B.emit(Opcode::Abs);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::Sqrt);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+    });
+    B.loadLocal(Acc);
+    B.emit(Opcode::F2I);
+    B.ret();
+  }
+
+  // updateCells(grid, cells): relaxation pass (cheaper, int/float mix).
+  {
+    FunctionBuilder &B = MB.functionBuilder(UpdateCells);
+    uint32_t Grid = 0, Cells = 1;
+    uint32_t I = B.allocLocal(), S = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(S);
+    emitForUp(B, I, 0, Cells, 1, [&] {
+      B.loadLocal(Grid);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.loadLocal(Grid);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.constFloat(0.999);
+      B.emit(Opcode::Mul);
+      B.constFloat(0.002);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HStore);
+      B.incrementLocal(S, 1);
+    });
+    B.loadLocal(S);
+    B.ret();
+  }
+
+  // applyBoundary(grid, n): perimeter fix-up (short; stays cool).
+  {
+    FunctionBuilder &B = MB.functionBuilder(ApplyBoundary);
+    uint32_t Grid = 0, N = 1;
+    uint32_t I = B.allocLocal();
+    emitForUp(B, I, 0, N, 1, [&] {
+      B.loadLocal(Grid);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.constFloat(1.0);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(N);
+    B.ret();
+  }
+
+  // main(n): cells = n * n; steps = 16 + n / 4.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t N = 0;
+    uint32_t Grid = B.allocLocal(), Cells = B.allocLocal(),
+             Steps = B.allocLocal(), T = B.allocLocal(),
+             Acc = B.allocLocal();
+    B.loadLocal(N);
+    B.loadLocal(N);
+    B.emit(Opcode::Mul);
+    B.storeLocal(Cells);
+    B.loadLocal(Cells);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(Grid);
+    B.loadLocal(Grid);
+    B.loadLocal(Cells);
+    B.call(InitGrid);
+    B.emit(Opcode::Pop);
+    B.loadLocal(N);
+    B.constInt(4);
+    B.emit(Opcode::Div);
+    B.constInt(16);
+    B.emit(Opcode::Add);
+    B.storeLocal(Steps);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, T, 0, Steps, 1, [&] {
+      B.loadLocal(Acc);
+      B.loadLocal(Grid);
+      B.loadLocal(Cells);
+      B.loadLocal(T);
+      B.call(ComputeFlux);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+      B.loadLocal(Grid);
+      B.loadLocal(Cells);
+      B.call(UpdateCells);
+      B.emit(Opcode::Pop);
+      B.loadLocal(Grid);
+      B.loadLocal(N);
+      B.call(ApplyBoundary);
+      B.emit(Opcode::Pop);
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+//===----------------------------------------------------------------------===//
+// MolDyn: pairwise force simulation.  main(n, steps).
+//===----------------------------------------------------------------------===//
+
+bc::Module buildMolDynModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 2);
+  MethodId InitParticles = MB.declareFunction("initParticles", 2);
+  MethodId Forces = MB.declareFunction("forces", 2);
+  MethodId Integrate = MB.declareFunction("integrate", 2);
+  MethodId ScaleVelocity = MB.declareFunction("scaleVelocity", 2);
+
+  // initParticles(pos, n): 2 coordinates per particle.
+  {
+    FunctionBuilder &B = MB.functionBuilder(InitParticles);
+    uint32_t Pos = 0, N = 1;
+    uint32_t I = B.allocLocal();
+    emitForUp(B, I, 0, N, 1, [&] {
+      B.loadLocal(Pos);
+      B.loadLocal(I);
+      B.constInt(2);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.constFloat(0.37);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Sin);
+      B.emit(Opcode::HStore);
+      B.loadLocal(Pos);
+      B.loadLocal(I);
+      B.constInt(2);
+      B.emit(Opcode::Mul);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.constFloat(0.23);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Cos);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(N);
+    B.ret();
+  }
+
+  // forces(pos, n): O(n^2/2) pairwise interactions with sqrt.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Forces);
+    uint32_t Pos = 0, N = 1;
+    uint32_t I = B.allocLocal(), J = B.allocLocal(), Dx = B.allocLocal(),
+             Dy = B.allocLocal(), Acc = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, I, 1, N, 1, [&] {
+      emitForUp(B, J, 0, I, 1, [&] {
+        // dx = pos[2i] - pos[2j]; dy = pos[2i+1] - pos[2j+1]
+        B.loadLocal(Pos);
+        B.loadLocal(I);
+        B.constInt(2);
+        B.emit(Opcode::Mul);
+        B.emit(Opcode::Add);
+        B.emit(Opcode::HLoad);
+        B.loadLocal(Pos);
+        B.loadLocal(J);
+        B.constInt(2);
+        B.emit(Opcode::Mul);
+        B.emit(Opcode::Add);
+        B.emit(Opcode::HLoad);
+        B.emit(Opcode::Sub);
+        B.storeLocal(Dx);
+        B.loadLocal(Pos);
+        B.loadLocal(I);
+        B.constInt(2);
+        B.emit(Opcode::Mul);
+        B.constInt(1);
+        B.emit(Opcode::Add);
+        B.emit(Opcode::Add);
+        B.emit(Opcode::HLoad);
+        B.loadLocal(Pos);
+        B.loadLocal(J);
+        B.constInt(2);
+        B.emit(Opcode::Mul);
+        B.constInt(1);
+        B.emit(Opcode::Add);
+        B.emit(Opcode::Add);
+        B.emit(Opcode::HLoad);
+        B.emit(Opcode::Sub);
+        B.storeLocal(Dy);
+        // acc += 1 / sqrt(dx*dx + dy*dy + 0.01)
+        B.loadLocal(Acc);
+        B.constFloat(1.0);
+        B.loadLocal(Dx);
+        B.loadLocal(Dx);
+        B.emit(Opcode::Mul);
+        B.loadLocal(Dy);
+        B.loadLocal(Dy);
+        B.emit(Opcode::Mul);
+        B.emit(Opcode::Add);
+        B.constFloat(0.01);
+        B.emit(Opcode::Add);
+        B.emit(Opcode::Sqrt);
+        B.emit(Opcode::Div);
+        B.emit(Opcode::Add);
+        B.storeLocal(Acc);
+      });
+    });
+    B.loadLocal(Acc);
+    B.emit(Opcode::F2I);
+    B.ret();
+  }
+
+  // integrate(pos, n): linear drift pass.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Integrate);
+    uint32_t Pos = 0, N = 1;
+    uint32_t I = B.allocLocal(), Lim = B.allocLocal();
+    B.loadLocal(N);
+    B.constInt(2);
+    B.emit(Opcode::Mul);
+    B.storeLocal(Lim);
+    emitForUp(B, I, 0, Lim, 1, [&] {
+      B.loadLocal(Pos);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.loadLocal(Pos);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.constFloat(1.001);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(N);
+    B.ret();
+  }
+
+  // scaleVelocity(pos, n): occasional rescale (short method).
+  {
+    FunctionBuilder &B = MB.functionBuilder(ScaleVelocity);
+    uint32_t Pos = 0, N = 1;
+    uint32_t S = B.allocLocal();
+    B.loadLocal(Pos);
+    B.emit(Opcode::HLoad);
+    B.constFloat(0.97);
+    B.emit(Opcode::Mul);
+    B.storeLocal(S);
+    B.loadLocal(Pos);
+    B.loadLocal(S);
+    B.emit(Opcode::HStore);
+    B.loadLocal(N);
+    B.ret();
+  }
+
+  // main(n, steps).
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t N = 0, Steps = 1;
+    uint32_t Pos = B.allocLocal(), T = B.allocLocal(), Acc = B.allocLocal();
+    B.loadLocal(N);
+    B.constInt(2);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(Pos);
+    B.loadLocal(Pos);
+    B.loadLocal(N);
+    B.call(InitParticles);
+    B.emit(Opcode::Pop);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, T, 0, Steps, 1, [&] {
+      B.loadLocal(Acc);
+      B.loadLocal(Pos);
+      B.loadLocal(N);
+      B.call(Forces);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+      B.loadLocal(Pos);
+      B.loadLocal(N);
+      B.call(Integrate);
+      B.emit(Opcode::Pop);
+      B.loadLocal(Pos);
+      B.loadLocal(N);
+      B.call(ScaleVelocity);
+      B.emit(Opcode::Pop);
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+//===----------------------------------------------------------------------===//
+// MonteCarlo: path sampling.  main(paths, seed).
+//===----------------------------------------------------------------------===//
+
+bc::Module buildMonteCarloModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 2);
+  MethodId Lcg = addLcgFunction(MB);
+  MethodId RunBatch = MB.declareFunction("runBatch", 2);
+  MethodId SamplePath = MB.declareFunction("samplePath", 1);
+  MethodId Accumulate = MB.declareFunction("accumulate", 2);
+
+  // samplePath(seed): 24-step random walk with sqrt/cos payoffs.
+  {
+    FunctionBuilder &B = MB.functionBuilder(SamplePath);
+    uint32_t Seed = 0;
+    uint32_t State = B.allocLocal(), K = B.allocLocal(), V = B.allocLocal(),
+             Lim = B.allocLocal();
+    B.loadLocal(Seed);
+    B.storeLocal(State);
+    B.constInt(24);
+    B.storeLocal(Lim);
+    B.constInt(0);
+    B.storeLocal(V);
+    emitForUp(B, K, 0, Lim, 1, [&] {
+      emitLcgDraw(B, Lcg, State, 1000);
+      B.emit(Opcode::I2F);
+      B.constFloat(0.001);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Cos);
+      B.loadLocal(K);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::Sqrt);
+      B.emit(Opcode::Mul);
+      B.loadLocal(V);
+      B.emit(Opcode::Add);
+      B.storeLocal(V);
+    });
+    B.loadLocal(V);
+    B.constFloat(1000.0);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::F2I);
+    B.ret();
+  }
+
+  // accumulate(acc, v): running statistics (short).
+  {
+    FunctionBuilder &B = MB.functionBuilder(Accumulate);
+    uint32_t Acc = 0, V = 1;
+    B.loadLocal(Acc);
+    B.loadLocal(V);
+    B.emit(Opcode::Add);
+    B.constInt(0x3fffffffffffLL);
+    B.emit(Opcode::And);
+    B.ret();
+  }
+
+  // runBatch(stateCell, count): one batch of sampled paths.
+  {
+    FunctionBuilder &B = MB.functionBuilder(RunBatch);
+    uint32_t StateCell = 0, Count = 1;
+    uint32_t State = B.allocLocal(), P = B.allocLocal(),
+             Acc = B.allocLocal(), V = B.allocLocal();
+    B.loadLocal(StateCell);
+    B.emit(Opcode::HLoad);
+    B.storeLocal(State);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, P, 0, Count, 1, [&] {
+      emitLcgDraw(B, Lcg, State, 1 << 30);
+      B.call(SamplePath);
+      B.storeLocal(V);
+      B.loadLocal(Acc);
+      B.loadLocal(V);
+      B.call(Accumulate);
+      B.storeLocal(Acc);
+    });
+    B.loadLocal(StateCell);
+    B.loadLocal(State);
+    B.emit(Opcode::HStore);
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // main(paths, seed): batches of 256 paths.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t Paths = 0, Seed = 1;
+    uint32_t StateCell = B.allocLocal(), Acc = B.allocLocal(),
+             Done = B.allocLocal(), Count = B.allocLocal();
+    B.constInt(1);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(StateCell);
+    B.loadLocal(StateCell);
+    B.loadLocal(Seed);
+    B.emit(Opcode::HStore);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    B.constInt(0);
+    B.storeLocal(Done);
+    emitWhile(
+        B,
+        [&] {
+          B.loadLocal(Done);
+          B.loadLocal(Paths);
+          B.emit(Opcode::Lt);
+        },
+        [&] {
+          B.constInt(256);
+          B.loadLocal(Paths);
+          B.loadLocal(Done);
+          B.emit(Opcode::Sub);
+          B.emit(Opcode::Min);
+          B.storeLocal(Count);
+          B.loadLocal(Acc);
+          B.loadLocal(StateCell);
+          B.loadLocal(Count);
+          B.call(RunBatch);
+          B.emit(Opcode::Add);
+          B.storeLocal(Acc);
+          B.loadLocal(Done);
+          B.loadLocal(Count);
+          B.emit(Opcode::Add);
+          B.storeLocal(Done);
+        });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+//===----------------------------------------------------------------------===//
+// Search: alpha-beta game-tree search.  main(depth, seed).
+//===----------------------------------------------------------------------===//
+
+bc::Module buildSearchModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 2);
+  MethodId SearchNode = MB.declareFunction("searchNode", 2);
+  MethodId Evaluate = MB.declareFunction("evaluate", 1);
+  MethodId Advance = MB.declareFunction("advance", 2);
+
+  // evaluate(state): leaf scoring, ~40 bytecodes of integer mixing.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Evaluate);
+    uint32_t State = 0;
+    uint32_t S = B.allocLocal();
+    B.loadLocal(State);
+    B.constInt(2654435761LL);
+    B.emit(Opcode::Mul);
+    B.loadLocal(State);
+    B.constInt(13);
+    B.emit(Opcode::Shr);
+    B.emit(Opcode::Xor);
+    B.storeLocal(S);
+    B.loadLocal(S);
+    B.constInt(0xffff);
+    B.emit(Opcode::And);
+    B.loadLocal(S);
+    B.constInt(16);
+    B.emit(Opcode::Shr);
+    B.constInt(0xffff);
+    B.emit(Opcode::And);
+    B.emit(Opcode::Sub);
+    B.constInt(100);
+    B.emit(Opcode::Mod);
+    B.ret();
+  }
+
+  // advance(state, move): successor position hash.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Advance);
+    uint32_t State = 0, Move = 1;
+    B.loadLocal(State);
+    B.constInt(31);
+    B.emit(Opcode::Mul);
+    B.loadLocal(Move);
+    B.constInt(7919);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Add);
+    B.constInt(0x7fffffffLL);
+    B.emit(Opcode::And);
+    B.ret();
+  }
+
+  // searchNode(depth, state): negamax over branching factor 3.
+  {
+    FunctionBuilder &B = MB.functionBuilder(SearchNode);
+    uint32_t Depth = 0, State = 1;
+    uint32_t Best = B.allocLocal(), Move = B.allocLocal(),
+             Child = B.allocLocal(), ScoreV = B.allocLocal(),
+             Lim = B.allocLocal();
+    FunctionBuilder::Label Leaf = B.makeLabel();
+    B.loadLocal(Depth);
+    B.constInt(0);
+    B.emit(Opcode::Le);
+    B.brTrue(Leaf);
+    // Internal node: best = max over 3 moves of -search(depth-1, child).
+    B.constInt(-1000000);
+    B.storeLocal(Best);
+    B.constInt(3);
+    B.storeLocal(Lim);
+    emitForUp(B, Move, 0, Lim, 1, [&] {
+      B.loadLocal(State);
+      B.loadLocal(Move);
+      B.call(Advance);
+      B.storeLocal(Child);
+      B.loadLocal(Depth);
+      B.constInt(1);
+      B.emit(Opcode::Sub);
+      B.loadLocal(Child);
+      B.call(SearchNode);
+      B.emit(Opcode::Neg);
+      B.storeLocal(ScoreV);
+      B.loadLocal(Best);
+      B.loadLocal(ScoreV);
+      B.emit(Opcode::Max);
+      B.storeLocal(Best);
+    });
+    B.loadLocal(Best);
+    B.ret();
+    B.bind(Leaf);
+    B.loadLocal(State);
+    B.call(Evaluate);
+    B.ret();
+  }
+
+  // main(depth, seed).
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t Depth = 0, Seed = 1;
+    uint32_t R = B.allocLocal();
+    B.loadLocal(Depth);
+    B.loadLocal(Seed);
+    B.call(SearchNode);
+    B.storeLocal(R);
+    B.loadLocal(R);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+//===----------------------------------------------------------------------===//
+// RayTracer: fixed-scene renderer.  main(n, shadows).
+//===----------------------------------------------------------------------===//
+
+bc::Module buildRayTracerModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 2);
+  MethodId BuildScene = MB.declareFunction("buildScene", 1);
+  MethodId RenderRow = MB.declareFunction("renderRow", 4);
+  MethodId Intersect = MB.declareFunction("intersect", 3);
+  MethodId ShadePixel = MB.declareFunction("shadePixel", 2);
+  MethodId ShadowRay = MB.declareFunction("shadowRay", 3);
+
+  // buildScene(scene): 12 spheres, 3 values each.
+  {
+    FunctionBuilder &B = MB.functionBuilder(BuildScene);
+    uint32_t Scene = 0;
+    uint32_t I = B.allocLocal(), Lim = B.allocLocal();
+    B.constInt(36);
+    B.storeLocal(Lim);
+    emitForUp(B, I, 0, Lim, 1, [&] {
+      B.loadLocal(Scene);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.constFloat(0.41);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Cos);
+      B.constFloat(2.5);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(Scene);
+    B.ret();
+  }
+
+  // intersect(px, py, scene): loop over 12 spheres.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Intersect);
+    uint32_t Px = 0, Py = 1, Scene = 2;
+    uint32_t I = B.allocLocal(), T = B.allocLocal(), D = B.allocLocal(),
+             Lim = B.allocLocal();
+    B.constInt(12);
+    B.storeLocal(Lim);
+    B.constInt(0);
+    B.storeLocal(T);
+    emitForUp(B, I, 0, Lim, 1, [&] {
+      // d = (scene[3i] - px*0.02)^2 + (scene[3i+1] - py*0.02)^2
+      B.loadLocal(Scene);
+      B.loadLocal(I);
+      B.constInt(3);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.loadLocal(Px);
+      B.constFloat(0.02);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Sub);
+      B.emit(Opcode::Dup);
+      B.emit(Opcode::Mul);
+      B.loadLocal(Scene);
+      B.loadLocal(I);
+      B.constInt(3);
+      B.emit(Opcode::Mul);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.loadLocal(Py);
+      B.constFloat(0.02);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Sub);
+      B.emit(Opcode::Dup);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Add);
+      B.storeLocal(D);
+      emitIfElse(
+          B,
+          [&] {
+            B.loadLocal(D);
+            B.constFloat(1.2);
+            B.emit(Opcode::Lt);
+          },
+          [&] {
+            B.loadLocal(T);
+            B.loadLocal(D);
+            B.constFloat(0.001);
+            B.emit(Opcode::Add);
+            B.emit(Opcode::Sqrt);
+            B.emit(Opcode::Add);
+            B.storeLocal(T);
+          });
+    });
+    B.loadLocal(T);
+    B.emit(Opcode::F2I);
+    B.ret();
+  }
+
+  // shadePixel(t, px): tone mapping.
+  {
+    FunctionBuilder &B = MB.functionBuilder(ShadePixel);
+    uint32_t T = 0, Px = 1;
+    B.loadLocal(T);
+    B.emit(Opcode::Abs);
+    B.constInt(1);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::Sqrt);
+    B.constInt(16);
+    B.emit(Opcode::Mul);
+    B.loadLocal(Px);
+    B.constInt(31);
+    B.emit(Opcode::And);
+    B.emit(Opcode::I2F);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::F2I);
+    B.ret();
+  }
+
+  // shadowRay(px, py, scene): secondary occlusion test.
+  {
+    FunctionBuilder &B = MB.functionBuilder(ShadowRay);
+    uint32_t Px = 0, Py = 1, Scene = 2;
+    uint32_t S = B.allocLocal();
+    B.loadLocal(Px);
+    B.constInt(3);
+    B.emit(Opcode::Add);
+    B.loadLocal(Py);
+    B.constInt(5);
+    B.emit(Opcode::Add);
+    B.loadLocal(Scene);
+    B.call(Intersect);
+    B.storeLocal(S);
+    B.loadLocal(S);
+    B.constInt(4);
+    B.emit(Opcode::Div);
+    B.ret();
+  }
+
+  // renderRow(y, n, scene, shadows): one scan line.
+  {
+    FunctionBuilder &B = MB.functionBuilder(RenderRow);
+    uint32_t Y = 0, N = 1, Scene = 2, Shadows = 3;
+    uint32_t X = B.allocLocal(), Acc = B.allocLocal(), T = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, X, 0, N, 1, [&] {
+      B.loadLocal(X);
+      B.loadLocal(Y);
+      B.loadLocal(Scene);
+      B.call(Intersect);
+      B.storeLocal(T);
+      B.loadLocal(Acc);
+      B.loadLocal(T);
+      B.loadLocal(X);
+      B.call(ShadePixel);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+      emitIfElse(B, [&] { B.loadLocal(Shadows); },
+                 [&] {
+                   B.loadLocal(Acc);
+                   B.loadLocal(X);
+                   B.loadLocal(Y);
+                   B.loadLocal(Scene);
+                   B.call(ShadowRay);
+                   B.emit(Opcode::Add);
+                   B.storeLocal(Acc);
+                 });
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // main(n, shadows): render row by row.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t N = 0, Shadows = 1;
+    uint32_t Scene = B.allocLocal(), Y = B.allocLocal(),
+             Acc = B.allocLocal();
+    B.constInt(36);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(Scene);
+    B.loadLocal(Scene);
+    B.call(BuildScene);
+    B.emit(Opcode::Pop);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, Y, 0, N, 1, [&] {
+      B.loadLocal(Acc);
+      B.loadLocal(Y);
+      B.loadLocal(N);
+      B.loadLocal(Scene);
+      B.loadLocal(Shadows);
+      B.call(RenderRow);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+} // namespace
+
+Workload detail::buildEuler(uint64_t Seed) {
+  Workload W;
+  W.Name = "Euler";
+  W.Suite = "grande";
+  W.Module = buildEulerModule();
+  W.XiclSpec = "operand {position=1; type=num; attr=val}\n";
+  Rng R(Seed ^ 0xE0130007);
+  for (int I = 0; I != 24; ++I) {
+    InputCase C;
+    int64_t N = logUniform(R, 20, 110);
+    C.CommandLine = formatString("euler %lld", static_cast<long long>(N));
+    C.VmArgs = {Value::makeInt(N)};
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}
+
+Workload detail::buildMolDyn(uint64_t Seed) {
+  Workload W;
+  W.Name = "MolDyn";
+  W.Suite = "grande";
+  W.Module = buildMolDynModule();
+  W.XiclSpec = "option  {name=-s; type=num; attr=val; default=12; has_arg=y}\n"
+               "operand {position=1; type=num; attr=val}\n";
+  Rng R(Seed ^ 0x30140008);
+  for (int I = 0; I != 20; ++I) {
+    InputCase C;
+    int64_t N = logUniform(R, 24, 160);
+    int64_t Steps = R.nextInt(10, 28);
+    C.CommandLine = formatString("moldyn -s %lld %lld",
+                                 static_cast<long long>(Steps),
+                                 static_cast<long long>(N));
+    C.VmArgs = {Value::makeInt(N), Value::makeInt(Steps)};
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}
+
+Workload detail::buildMonteCarlo(uint64_t Seed) {
+  Workload W;
+  W.Name = "MonteCarlo";
+  W.Suite = "grande";
+  W.Module = buildMonteCarloModule();
+  W.XiclSpec = "operand {position=1; type=num; attr=val}\n";
+  Rng R(Seed ^ 0x30C40009);
+  for (int I = 0; I != 26; ++I) {
+    InputCase C;
+    int64_t Paths = logUniform(R, 4000, 90000);
+    C.CommandLine = formatString("montecarlo %lld",
+                                 static_cast<long long>(Paths));
+    C.VmArgs = {Value::makeInt(Paths),
+                Value::makeInt(R.nextInt(1, 1 << 30))};
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}
+
+Workload detail::buildSearch(uint64_t Seed) {
+  Workload W;
+  W.Name = "Search";
+  W.Suite = "grande";
+  W.Module = buildSearchModule();
+  // The paper's feature: the length of the input string.
+  W.XiclSpec = "operand {position=1; type=str; attr=len}\n";
+  Rng R(Seed ^ 0x5EA1000A);
+  const char *Patterns[] = {"xoxo",          "xoxoxox",  "xoxoxoxoxo",
+                            "xoxoxoxoxoxox", "xxooxxoox", "xoxxooxoxxooxxo"};
+  for (int I = 0; I != 6; ++I) {
+    InputCase C;
+    std::string Pattern = Patterns[I];
+    // Search depth derives from the pattern length (longer game strings
+    // mean deeper searches).
+    int64_t Depth = 4 + static_cast<int64_t>(Pattern.size()) / 3;
+    C.CommandLine = formatString("search %s", Pattern.c_str());
+    C.VmArgs = {Value::makeInt(Depth),
+                Value::makeInt(R.nextInt(1, 1 << 20))};
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}
+
+Workload detail::buildRayTracer(uint64_t Seed) {
+  Workload W;
+  W.Name = "RayTracer";
+  W.Suite = "grande";
+  W.Module = buildRayTracerModule();
+  W.XiclSpec = "option  {name=-ns; type=bin; attr=val; default=0; has_arg=n}\n"
+               "operand {position=1; type=num; attr=val}\n";
+  Rng R(Seed ^ 0x3A17000B);
+  for (int I = 0; I != 30; ++I) {
+    InputCase C;
+    int64_t N = logUniform(R, 32, 170);
+    bool NoShadows = R.nextBool(0.4);
+    C.CommandLine = formatString("raytracer%s %lld",
+                                 NoShadows ? " -ns" : "",
+                                 static_cast<long long>(N));
+    C.VmArgs = {Value::makeInt(N), Value::makeInt(NoShadows ? 0 : 1)};
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}

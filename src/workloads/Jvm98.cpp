@@ -1,0 +1,1016 @@
+//===- workloads/Jvm98.cpp - Compress, Db, Mtrt analogues -----------------==//
+//
+// SPECjvm98 analogues (paper Table I rows 1-3).  Each program's hot-method
+// mix and run length are driven by its input exactly where the paper's
+// feature column points: Compress by file size, Db by database/query sizes
+// (programmer-defined features), Mtrt by its option values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+#include "workloads/Workload.h"
+#include "workloads/WorkloadDetail.h"
+
+#include "support/Format.h"
+
+using namespace evm;
+using namespace evm::wl;
+using namespace evm::wl::detail;
+using bc::FunctionBuilder;
+using bc::MethodId;
+using bc::ModuleBuilder;
+using bc::Opcode;
+using bc::Value;
+
+//===----------------------------------------------------------------------===//
+// Compress: streaming dictionary compressor.  main(size, level, decomp).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bc::Module buildCompressModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 3);
+  MethodId Lcg = addLcgFunction(MB);
+  MethodId ProcessBlock = MB.declareFunction("processBlock", 5);
+  MethodId CompressByte = MB.declareFunction("compressByte", 3);
+  MethodId ExpandByte = MB.declareFunction("expandByte", 2);
+  MethodId FlushBlock = MB.declareFunction("flushBlock", 1);
+
+  // compressByte(b, level, dict): hash-chain update, ~35 bytecodes.
+  {
+    FunctionBuilder &B = MB.functionBuilder(CompressByte);
+    uint32_t Bv = 0, Level = 1, Dict = 2;
+    uint32_t H = B.allocLocal(), Prev = B.allocLocal(), Acc = B.allocLocal();
+    // h = ((b << 3) ^ (b * 7) ^ (b >> 2)) & 255
+    B.loadLocal(Bv);
+    B.constInt(3);
+    B.emit(Opcode::Shl);
+    B.loadLocal(Bv);
+    B.constInt(7);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Xor);
+    B.loadLocal(Bv);
+    B.constInt(2);
+    B.emit(Opcode::Shr);
+    B.emit(Opcode::Xor);
+    B.constInt(255);
+    B.emit(Opcode::And);
+    B.storeLocal(H);
+    // prev = dict[h]; dict[h] = b
+    B.loadLocal(Dict);
+    B.loadLocal(H);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::HLoad);
+    B.storeLocal(Prev);
+    B.loadLocal(Dict);
+    B.loadLocal(H);
+    B.emit(Opcode::Add);
+    B.loadLocal(Bv);
+    B.emit(Opcode::HStore);
+    // acc = h + (prev == b) * 3 + level * (b & 7) + (b * b) % 97
+    B.loadLocal(H);
+    B.loadLocal(Prev);
+    B.loadLocal(Bv);
+    B.emit(Opcode::Eq);
+    B.constInt(3);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Add);
+    B.loadLocal(Level);
+    B.loadLocal(Bv);
+    B.constInt(7);
+    B.emit(Opcode::And);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Add);
+    B.loadLocal(Bv);
+    B.loadLocal(Bv);
+    B.emit(Opcode::Mul);
+    B.constInt(97);
+    B.emit(Opcode::Mod);
+    B.emit(Opcode::Add);
+    B.storeLocal(Acc);
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // expandByte(b, dict): decompression path, division-heavy.
+  {
+    FunctionBuilder &B = MB.functionBuilder(ExpandByte);
+    uint32_t Bv = 0, Dict = 1;
+    uint32_t V = B.allocLocal(), R = B.allocLocal();
+    // v = dict[b & 255]
+    B.loadLocal(Dict);
+    B.loadLocal(Bv);
+    B.constInt(255);
+    B.emit(Opcode::And);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::HLoad);
+    B.storeLocal(V);
+    // r = (b * v + 13) / (1 + (b & 3))
+    B.loadLocal(Bv);
+    B.loadLocal(V);
+    B.emit(Opcode::Mul);
+    B.constInt(13);
+    B.emit(Opcode::Add);
+    B.constInt(1);
+    B.loadLocal(Bv);
+    B.constInt(3);
+    B.emit(Opcode::And);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::Div);
+    B.storeLocal(R);
+    // dict[(b + 1) & 255] = r & 255
+    B.loadLocal(Dict);
+    B.loadLocal(Bv);
+    B.constInt(1);
+    B.emit(Opcode::Add);
+    B.constInt(255);
+    B.emit(Opcode::And);
+    B.emit(Opcode::Add);
+    B.loadLocal(R);
+    B.constInt(255);
+    B.emit(Opcode::And);
+    B.emit(Opcode::HStore);
+    B.loadLocal(R);
+    B.constInt(1023);
+    B.emit(Opcode::And);
+    B.ret();
+  }
+
+  // flushBlock(acc): checksum mixing, a 64-iteration loop.
+  {
+    FunctionBuilder &B = MB.functionBuilder(FlushBlock);
+    uint32_t Acc = 0;
+    uint32_t J = B.allocLocal(), Sum = B.allocLocal(), Lim = B.allocLocal();
+    B.constInt(64);
+    B.storeLocal(Lim);
+    B.constInt(0);
+    B.storeLocal(Sum);
+    emitForUp(B, J, 0, Lim, 1, [&] {
+      // sum = (sum + ((acc >> (j & 15)) ^ j)) & 0xffffff
+      B.loadLocal(Sum);
+      B.loadLocal(Acc);
+      B.loadLocal(J);
+      B.constInt(15);
+      B.emit(Opcode::And);
+      B.emit(Opcode::Shr);
+      B.loadLocal(J);
+      B.emit(Opcode::Xor);
+      B.emit(Opcode::Add);
+      B.constInt(0xffffff);
+      B.emit(Opcode::And);
+      B.storeLocal(Sum);
+    });
+    B.loadLocal(Sum);
+    B.ret();
+  }
+
+  // processBlock(dict, stateCell, level, decomp, count): the per-byte
+  // codec loop.  The RNG state threads through a heap cell so the block
+  // method can be re-invoked (and therefore re-optimized) per block.
+  {
+    FunctionBuilder &B = MB.functionBuilder(ProcessBlock);
+    uint32_t Dict = 0, StateCell = 1, Level = 2, Decomp = 3, Count = 4;
+    uint32_t State = B.allocLocal(), Acc = B.allocLocal(),
+             I = B.allocLocal(), Byte = B.allocLocal();
+    B.loadLocal(StateCell);
+    B.emit(Opcode::HLoad);
+    B.storeLocal(State);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, I, 0, Count, 1, [&] {
+      emitLcgDraw(B, Lcg, State, 256);
+      B.storeLocal(Byte);
+      emitIfElse(
+          B, [&] { B.loadLocal(Decomp); },
+          [&] {
+            B.loadLocal(Acc);
+            B.loadLocal(Byte);
+            B.loadLocal(Dict);
+            B.call(ExpandByte);
+            B.emit(Opcode::Add);
+            B.storeLocal(Acc);
+          },
+          [&] {
+            B.loadLocal(Acc);
+            B.loadLocal(Byte);
+            B.loadLocal(Level);
+            B.loadLocal(Dict);
+            B.call(CompressByte);
+            B.emit(Opcode::Add);
+            B.storeLocal(Acc);
+          });
+    });
+    B.loadLocal(StateCell);
+    B.loadLocal(State);
+    B.emit(Opcode::HStore);
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // main(size, level, decomp): drive the codec block by block.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t Size = 0, Level = 1, Decomp = 2;
+    uint32_t Dict = B.allocLocal(), StateCell = B.allocLocal(),
+             Acc = B.allocLocal(), Done = B.allocLocal(),
+             Count = B.allocLocal();
+    B.constInt(256);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(Dict);
+    B.constInt(1);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(StateCell);
+    B.loadLocal(StateCell);
+    B.constInt(88172645463325252LL);
+    B.emit(Opcode::HStore);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    B.constInt(0);
+    B.storeLocal(Done);
+    emitWhile(
+        B,
+        [&] {
+          B.loadLocal(Done);
+          B.loadLocal(Size);
+          B.emit(Opcode::Lt);
+        },
+        [&] {
+          // count = min(4096, size - done)
+          B.constInt(4096);
+          B.loadLocal(Size);
+          B.loadLocal(Done);
+          B.emit(Opcode::Sub);
+          B.emit(Opcode::Min);
+          B.storeLocal(Count);
+          B.loadLocal(Acc);
+          B.loadLocal(Dict);
+          B.loadLocal(StateCell);
+          B.loadLocal(Level);
+          B.loadLocal(Decomp);
+          B.loadLocal(Count);
+          B.call(ProcessBlock);
+          B.emit(Opcode::Add);
+          B.call(FlushBlock);
+          B.storeLocal(Acc);
+          B.loadLocal(Done);
+          B.loadLocal(Count);
+          B.emit(Opcode::Add);
+          B.storeLocal(Done);
+        });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+} // namespace
+
+Workload detail::buildCompress(uint64_t Seed) {
+  Workload W;
+  W.Name = "Compress";
+  W.Suite = "jvm98";
+  W.Module = buildCompressModule();
+  W.XiclSpec = "option  {name=-l; type=num; attr=val; default=1; has_arg=y}\n"
+               "option  {name=-d; type=bin; attr=val; default=0; has_arg=n}\n"
+               "operand {position=1; type=file; attr=fsize}\n";
+
+  Rng R(Seed ^ 0xC0110001);
+  for (int I = 0; I != 76; ++I) {
+    InputCase C;
+    // File sizes span two decades plus a long-run tail, so Fig. 9(b)'s
+    // diminishing-benefit regime is represented.
+    int64_t Size = I % 19 == 7 ? logUniform(R, 400000, 1500000)
+                               : logUniform(R, 8000, 250000);
+    int64_t Level = R.nextBool(0.3) ? 3 : 1;
+    bool Decomp = R.nextBool(0.15);
+    std::string File = formatString("input%02d.dat", I);
+    C.CommandLine = formatString("compress%s%s %s",
+                                 Level != 1 ? " -l 3" : "",
+                                 Decomp ? " -d" : "", File.c_str());
+    C.VmArgs = {Value::makeInt(Size), Value::makeInt(Level),
+                Value::makeInt(Decomp ? 1 : 0)};
+    xicl::FileInfo Info;
+    Info.SizeBytes = static_cast<double>(Size);
+    Info.Lines = static_cast<double>(Size / 40);
+    C.Files.emplace_back(File, Info);
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Db: in-memory index with lookup/update/scan query mix.
+// main(records, queries, mix, seed).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bc::Module buildDbModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 4);
+  MethodId Lcg = addLcgFunction(MB);
+  MethodId BuildIndex = MB.declareFunction("buildIndex", 2);
+  MethodId ProcessBatch = MB.declareFunction("processBatch", 5);
+  MethodId BinSearch = MB.declareFunction("binSearch", 3);
+  MethodId ScanRange = MB.declareFunction("scanRange", 3);
+  MethodId UpdateRecord = MB.declareFunction("updateRecord", 3);
+
+  // buildIndex(idx, records): sorted fill idx[i] = i*7 + 3.
+  {
+    FunctionBuilder &B = MB.functionBuilder(BuildIndex);
+    uint32_t Idx = 0, Records = 1;
+    uint32_t I = B.allocLocal();
+    emitForUp(B, I, 0, Records, 1, [&] {
+      B.loadLocal(Idx);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.constInt(7);
+      B.emit(Opcode::Mul);
+      B.constInt(3);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(Records);
+    B.ret();
+  }
+
+  // binSearch(idx, records, key): classic halving loop.
+  {
+    FunctionBuilder &B = MB.functionBuilder(BinSearch);
+    uint32_t Idx = 0, Records = 1, Key = 2;
+    uint32_t Lo = B.allocLocal(), Hi = B.allocLocal(), Mid = B.allocLocal(),
+             V = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Lo);
+    B.loadLocal(Records);
+    B.storeLocal(Hi);
+    emitWhile(
+        B,
+        [&] {
+          B.loadLocal(Lo);
+          B.loadLocal(Hi);
+          B.emit(Opcode::Lt);
+        },
+        [&] {
+          // mid = (lo + hi) / 2; v = idx[mid]
+          B.loadLocal(Lo);
+          B.loadLocal(Hi);
+          B.emit(Opcode::Add);
+          B.constInt(2);
+          B.emit(Opcode::Div);
+          B.storeLocal(Mid);
+          B.loadLocal(Idx);
+          B.loadLocal(Mid);
+          B.emit(Opcode::Add);
+          B.emit(Opcode::HLoad);
+          B.storeLocal(V);
+          emitIfElse(
+              B,
+              [&] {
+                B.loadLocal(V);
+                B.loadLocal(Key);
+                B.emit(Opcode::Lt);
+              },
+              [&] {
+                B.loadLocal(Mid);
+                B.constInt(1);
+                B.emit(Opcode::Add);
+                B.storeLocal(Lo);
+              },
+              [&] {
+                B.loadLocal(Mid);
+                B.storeLocal(Hi);
+              });
+        });
+    B.loadLocal(Lo);
+    B.ret();
+  }
+
+  // scanRange(idx, records, key): 128-record linear aggregation.
+  {
+    FunctionBuilder &B = MB.functionBuilder(ScanRange);
+    uint32_t Idx = 0, Records = 1, Key = 2;
+    uint32_t I = B.allocLocal(), Sum = B.allocLocal(), Start = B.allocLocal(),
+             Lim = B.allocLocal();
+    // start = key % max(1, records - 128)
+    B.loadLocal(Key);
+    B.loadLocal(Records);
+    B.constInt(128);
+    B.emit(Opcode::Sub);
+    B.constInt(1);
+    B.emit(Opcode::Max);
+    B.emit(Opcode::Mod);
+    B.emit(Opcode::Abs);
+    B.storeLocal(Start);
+    B.constInt(128);
+    B.storeLocal(Lim);
+    B.constInt(0);
+    B.storeLocal(Sum);
+    emitForUp(B, I, 0, Lim, 1, [&] {
+      B.loadLocal(Sum);
+      B.loadLocal(Idx);
+      B.loadLocal(Start);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.emit(Opcode::Add);
+      B.storeLocal(Sum);
+    });
+    B.loadLocal(Sum);
+    B.ret();
+  }
+
+  // updateRecord(idx, records, key): read-modify-write with division.
+  {
+    FunctionBuilder &B = MB.functionBuilder(UpdateRecord);
+    uint32_t Idx = 0, Records = 1, Key = 2;
+    uint32_t Pos = B.allocLocal(), V = B.allocLocal();
+    B.loadLocal(Key);
+    B.loadLocal(Records);
+    B.emit(Opcode::Mod);
+    B.emit(Opcode::Abs);
+    B.storeLocal(Pos);
+    B.loadLocal(Idx);
+    B.loadLocal(Pos);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::HLoad);
+    B.storeLocal(V);
+    // v = (v * 17 + key) / 3
+    B.loadLocal(V);
+    B.constInt(17);
+    B.emit(Opcode::Mul);
+    B.loadLocal(Key);
+    B.emit(Opcode::Add);
+    B.constInt(3);
+    B.emit(Opcode::Div);
+    B.storeLocal(V);
+    B.loadLocal(Idx);
+    B.loadLocal(Pos);
+    B.emit(Opcode::Add);
+    B.loadLocal(V);
+    B.emit(Opcode::HStore);
+    B.loadLocal(V);
+    B.ret();
+  }
+
+  // processBatch(idx, records, stateCell, mix, count): one query batch.
+  {
+    FunctionBuilder &B = MB.functionBuilder(ProcessBatch);
+    uint32_t Idx = 0, Records = 1, StateCell = 2, Mix = 3, Count = 4;
+    uint32_t State = B.allocLocal(), Acc = B.allocLocal(),
+             Q = B.allocLocal(), Key = B.allocLocal(), Sel = B.allocLocal();
+    B.loadLocal(StateCell);
+    B.emit(Opcode::HLoad);
+    B.storeLocal(State);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, Q, 0, Count, 1, [&] {
+      emitLcgDraw(B, Lcg, State, 1 << 20);
+      B.storeLocal(Key);
+      emitLcgDraw(B, Lcg, State, 100);
+      B.storeLocal(Sel);
+      emitIfElse(
+          B,
+          [&] {
+            B.loadLocal(Sel);
+            B.loadLocal(Mix);
+            B.emit(Opcode::Lt);
+          },
+          [&] {
+            B.loadLocal(Acc);
+            B.loadLocal(Idx);
+            B.loadLocal(Records);
+            B.loadLocal(Key);
+            B.call(UpdateRecord);
+            B.emit(Opcode::Add);
+            B.storeLocal(Acc);
+          },
+          [&] {
+            emitIfElse(
+                B,
+                [&] {
+                  B.loadLocal(Sel);
+                  B.loadLocal(Mix);
+                  B.constInt(10);
+                  B.emit(Opcode::Add);
+                  B.emit(Opcode::Lt);
+                },
+                [&] {
+                  B.loadLocal(Acc);
+                  B.loadLocal(Idx);
+                  B.loadLocal(Records);
+                  B.loadLocal(Key);
+                  B.call(ScanRange);
+                  B.emit(Opcode::Add);
+                  B.storeLocal(Acc);
+                },
+                [&] {
+                  B.loadLocal(Acc);
+                  B.loadLocal(Idx);
+                  B.loadLocal(Records);
+                  B.loadLocal(Key);
+                  B.call(BinSearch);
+                  B.emit(Opcode::Add);
+                  B.storeLocal(Acc);
+                });
+          });
+    });
+    B.loadLocal(StateCell);
+    B.loadLocal(State);
+    B.emit(Opcode::HStore);
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // main(records, queries, mix, seed): build the index, then run query
+  // batches of 512 (so the batch method is re-invoked and re-optimized).
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t Records = 0, Queries = 1, Mix = 2, Seed = 3;
+    uint32_t Idx = B.allocLocal(), StateCell = B.allocLocal(),
+             Acc = B.allocLocal(), Done = B.allocLocal(),
+             Count = B.allocLocal();
+    B.loadLocal(Records);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(Idx);
+    B.loadLocal(Idx);
+    B.loadLocal(Records);
+    B.call(BuildIndex);
+    B.emit(Opcode::Pop);
+    B.constInt(1);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(StateCell);
+    B.loadLocal(StateCell);
+    B.loadLocal(Seed);
+    B.emit(Opcode::HStore);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    B.constInt(0);
+    B.storeLocal(Done);
+    emitWhile(
+        B,
+        [&] {
+          B.loadLocal(Done);
+          B.loadLocal(Queries);
+          B.emit(Opcode::Lt);
+        },
+        [&] {
+          B.constInt(512);
+          B.loadLocal(Queries);
+          B.loadLocal(Done);
+          B.emit(Opcode::Sub);
+          B.emit(Opcode::Min);
+          B.storeLocal(Count);
+          B.loadLocal(Acc);
+          B.loadLocal(Idx);
+          B.loadLocal(Records);
+          B.loadLocal(StateCell);
+          B.loadLocal(Mix);
+          B.loadLocal(Count);
+          B.call(ProcessBatch);
+          B.emit(Opcode::Add);
+          B.storeLocal(Acc);
+          B.loadLocal(Done);
+          B.loadLocal(Count);
+          B.emit(Opcode::Add);
+          B.storeLocal(Done);
+        });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+} // namespace
+
+Workload detail::buildDb(uint64_t Seed) {
+  Workload W;
+  W.Name = "Db";
+  W.Suite = "jvm98";
+  W.Module = buildDbModule();
+  // User-defined features: the sizes of the database and of the query
+  // script (paper Table I).
+  W.UserMethodAttrs = {"mdbsize", "mqueries"};
+  W.XiclSpec = "option  {name=-m; type=num; attr=val; default=20; has_arg=y}\n"
+               "operand {position=1; type=file; attr=mdbsize}\n"
+               "operand {position=2; type=file; attr=mqueries}\n";
+
+  Rng R(Seed ^ 0xDB000002);
+  for (int I = 0; I != 60; ++I) {
+    InputCase C;
+    int64_t Records = logUniform(R, 2000, 120000);
+    int64_t Queries = logUniform(R, 2000, 60000);
+    int64_t Mix = R.nextInt(0, 3) * 15 + 5; // update share: 5/20/35/50%
+    int64_t QSeed = R.nextInt(1, 1 << 30);
+    std::string DbFile = formatString("base%02d.db", I);
+    std::string QFile = formatString("q%02d.sql", I);
+    C.CommandLine = formatString("db -m %lld %s %s",
+                                 static_cast<long long>(Mix), DbFile.c_str(),
+                                 QFile.c_str());
+    C.VmArgs = {Value::makeInt(Records), Value::makeInt(Queries),
+                Value::makeInt(Mix), Value::makeInt(QSeed)};
+    xicl::FileInfo DbInfo;
+    DbInfo.SizeBytes = static_cast<double>(Records * 64);
+    DbInfo.Lines = static_cast<double>(Records);
+    DbInfo.Attributes["records"] = static_cast<double>(Records);
+    xicl::FileInfo QInfo;
+    QInfo.SizeBytes = static_cast<double>(Queries * 24);
+    QInfo.Lines = static_cast<double>(Queries);
+    QInfo.Attributes["queries"] = static_cast<double>(Queries);
+    C.Files.emplace_back(DbFile, DbInfo);
+    C.Files.emplace_back(QFile, QInfo);
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Mtrt: ray tracer.  main(w, h, depth, aa, nobj).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bc::Module buildMtrtModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 5);
+  MethodId InitScene = MB.declareFunction("initScene", 2);
+  MethodId RenderRow = MB.declareFunction("renderRow", 6);
+  MethodId TracePixel = MB.declareFunction("tracePixel", 6);
+  MethodId IntersectScene = MB.declareFunction("intersectScene", 4);
+  MethodId Shade = MB.declareFunction("shade", 3);
+  MethodId Reflect = MB.declareFunction("reflect", 3);
+  MethodId SamplePixel = MB.declareFunction("samplePixel", 4);
+
+  // initScene(spheres, nobj): fill center/radius table.
+  {
+    FunctionBuilder &B = MB.functionBuilder(InitScene);
+    uint32_t Spheres = 0, NObj = 1;
+    uint32_t I = B.allocLocal(), Base = B.allocLocal();
+    emitForUp(B, I, 0, NObj, 1, [&] {
+      B.loadLocal(Spheres);
+      B.loadLocal(I);
+      B.constInt(4);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Add);
+      B.storeLocal(Base);
+      // cx = sin(i), cy = cos(i * 2), cz = 3 + i % 5, r = 1 + (i & 3)
+      B.loadLocal(Base);
+      B.loadLocal(I);
+      B.emit(Opcode::Sin);
+      B.emit(Opcode::HStore);
+      B.loadLocal(Base);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.constInt(2);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Cos);
+      B.emit(Opcode::HStore);
+      B.loadLocal(Base);
+      B.constInt(2);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.constInt(5);
+      B.emit(Opcode::Mod);
+      B.constInt(3);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HStore);
+      B.loadLocal(Base);
+      B.constInt(3);
+      B.emit(Opcode::Add);
+      B.loadLocal(I);
+      B.constInt(3);
+      B.emit(Opcode::And);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(NObj);
+    B.ret();
+  }
+
+  // intersectScene(x, y, spheres, nobj): per-object quadratic test.
+  {
+    FunctionBuilder &B = MB.functionBuilder(IntersectScene);
+    uint32_t X = 0, Y = 1, Spheres = 2, NObj = 3;
+    uint32_t I = B.allocLocal(), Base = B.allocLocal(), Dx = B.allocLocal(),
+             Dy = B.allocLocal(), T = B.allocLocal(), Disc = B.allocLocal(),
+             DirX = B.allocLocal(), DirY = B.allocLocal();
+    // Ray direction from pixel: loop-invariant inside the object loop —
+    // O2's LICM hoists the sin/cos had they been inside; here they feed it.
+    B.loadLocal(X);
+    B.constFloat(0.017);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Sin);
+    B.storeLocal(DirX);
+    B.loadLocal(Y);
+    B.constFloat(0.013);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Cos);
+    B.storeLocal(DirY);
+    B.constInt(0);
+    B.storeLocal(T);
+    emitForUp(B, I, 0, NObj, 1, [&] {
+      B.loadLocal(Spheres);
+      B.loadLocal(I);
+      B.constInt(4);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Add);
+      B.storeLocal(Base);
+      // dx = cx - dirx; dy = cy - diry
+      B.loadLocal(Base);
+      B.emit(Opcode::HLoad);
+      B.loadLocal(DirX);
+      B.emit(Opcode::Sub);
+      B.storeLocal(Dx);
+      B.loadLocal(Base);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.loadLocal(DirY);
+      B.emit(Opcode::Sub);
+      B.storeLocal(Dy);
+      // disc = dx*dx + dy*dy - r*r
+      B.loadLocal(Dx);
+      B.loadLocal(Dx);
+      B.emit(Opcode::Mul);
+      B.loadLocal(Dy);
+      B.loadLocal(Dy);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Add);
+      B.loadLocal(Base);
+      B.constInt(3);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.emit(Opcode::Dup);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Sub);
+      B.storeLocal(Disc);
+      emitIfElse(
+          B,
+          [&] {
+            B.loadLocal(Disc);
+            B.constInt(0);
+            B.emit(Opcode::Gt);
+          },
+          [&] {
+            B.loadLocal(T);
+            B.loadLocal(Disc);
+            B.emit(Opcode::Sqrt);
+            B.emit(Opcode::Add);
+            B.storeLocal(T);
+          },
+          [&] {
+            B.loadLocal(T);
+            B.constInt(1);
+            B.emit(Opcode::Add);
+            B.storeLocal(T);
+          });
+    });
+    B.loadLocal(T);
+    B.emit(Opcode::F2I);
+    B.ret();
+  }
+
+  // shade(t, x, y): lighting model with sqrt/cos.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Shade);
+    uint32_t T = 0, X = 1, Y = 2;
+    uint32_t L = B.allocLocal();
+    // l = sqrt(abs(t) + 1) * 8 + cos(x * 0.05) * 4 + (y & 15)
+    B.loadLocal(T);
+    B.emit(Opcode::Abs);
+    B.constInt(1);
+    B.emit(Opcode::Add);
+    B.emit(Opcode::Sqrt);
+    B.constInt(8);
+    B.emit(Opcode::Mul);
+    B.loadLocal(X);
+    B.constFloat(0.05);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Cos);
+    B.constInt(4);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::Add);
+    B.loadLocal(Y);
+    B.constInt(15);
+    B.emit(Opcode::And);
+    B.emit(Opcode::I2F);
+    B.emit(Opcode::Add);
+    B.storeLocal(L);
+    B.loadLocal(L);
+    B.emit(Opcode::F2I);
+    B.ret();
+  }
+
+  // reflect(t, spheres, nobj): secondary ray.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Reflect);
+    uint32_t T = 0, Spheres = 1, NObj = 2;
+    uint32_t R2 = B.allocLocal();
+    B.loadLocal(T);
+    B.constInt(3);
+    B.emit(Opcode::Mul);
+    B.constInt(255);
+    B.emit(Opcode::And);
+    B.loadLocal(T);
+    B.constInt(7);
+    B.emit(Opcode::And);
+    B.loadLocal(Spheres);
+    B.loadLocal(NObj);
+    B.call(IntersectScene);
+    B.storeLocal(R2);
+    B.loadLocal(R2);
+    B.constInt(2);
+    B.emit(Opcode::Div);
+    B.ret();
+  }
+
+  // samplePixel(x, y, spheres, nobj): antialiasing ray.
+  {
+    FunctionBuilder &B = MB.functionBuilder(SamplePixel);
+    uint32_t X = 0, Y = 1, Spheres = 2, NObj = 3;
+    uint32_t S = B.allocLocal();
+    B.loadLocal(X);
+    B.constInt(1);
+    B.emit(Opcode::Add);
+    B.loadLocal(Y);
+    B.constInt(1);
+    B.emit(Opcode::Add);
+    B.loadLocal(Spheres);
+    B.loadLocal(NObj);
+    B.call(IntersectScene);
+    B.storeLocal(S);
+    B.loadLocal(S);
+    B.constInt(3);
+    B.emit(Opcode::Div);
+    B.ret();
+  }
+
+  // tracePixel(x, y, spheres, nobj, depth, aa).
+  {
+    FunctionBuilder &B = MB.functionBuilder(TracePixel);
+    uint32_t X = 0, Y = 1, Spheres = 2, NObj = 3, Depth = 4, Aa = 5;
+    uint32_t T = B.allocLocal(), C = B.allocLocal(), D = B.allocLocal(),
+             A = B.allocLocal();
+    B.loadLocal(X);
+    B.loadLocal(Y);
+    B.loadLocal(Spheres);
+    B.loadLocal(NObj);
+    B.call(IntersectScene);
+    B.storeLocal(T);
+    B.loadLocal(T);
+    B.loadLocal(X);
+    B.loadLocal(Y);
+    B.call(Shade);
+    B.storeLocal(C);
+    // Reflections: depth-1 bounces.
+    B.loadLocal(Depth);
+    B.storeLocal(D);
+    emitWhile(
+        B,
+        [&] {
+          B.loadLocal(D);
+          B.constInt(1);
+          B.emit(Opcode::Gt);
+        },
+        [&] {
+          B.loadLocal(C);
+          B.loadLocal(T);
+          B.loadLocal(D);
+          B.emit(Opcode::Add);
+          B.loadLocal(Spheres);
+          B.loadLocal(NObj);
+          B.call(Reflect);
+          B.emit(Opcode::Add);
+          B.storeLocal(C);
+          B.incrementLocal(D, -1);
+        });
+    // Antialiasing samples.
+    B.loadLocal(Aa);
+    B.storeLocal(A);
+    emitWhile(
+        B,
+        [&] {
+          B.loadLocal(A);
+          B.constInt(0);
+          B.emit(Opcode::Gt);
+        },
+        [&] {
+          B.loadLocal(C);
+          B.loadLocal(X);
+          B.loadLocal(A);
+          B.emit(Opcode::Add);
+          B.loadLocal(Y);
+          B.loadLocal(Spheres);
+          B.loadLocal(NObj);
+          B.call(SamplePixel);
+          B.emit(Opcode::Add);
+          B.storeLocal(C);
+          B.incrementLocal(A, -1);
+        });
+    B.loadLocal(C);
+    B.ret();
+  }
+
+  // renderRow(y, w, spheres, nobj, depth, aa): one scan line.
+  {
+    FunctionBuilder &B = MB.functionBuilder(RenderRow);
+    uint32_t Y = 0, W = 1, Spheres = 2, NObj = 3, Depth = 4, Aa = 5;
+    uint32_t X = B.allocLocal(), Acc = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, X, 0, W, 1, [&] {
+      B.loadLocal(Acc);
+      B.loadLocal(X);
+      B.loadLocal(Y);
+      B.loadLocal(Spheres);
+      B.loadLocal(NObj);
+      B.loadLocal(Depth);
+      B.loadLocal(Aa);
+      B.call(TracePixel);
+      B.emit(Opcode::Add);
+      B.constInt(0x7fffffff);
+      B.emit(Opcode::And);
+      B.storeLocal(Acc);
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+
+  // main(w, h, depth, aa, nobj): render row by row.
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t W = 0, H = 1, Depth = 2, Aa = 3, NObj = 4;
+    uint32_t Spheres = B.allocLocal(), Acc = B.allocLocal(),
+             Y = B.allocLocal();
+    B.loadLocal(NObj);
+    B.constInt(4);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(Spheres);
+    B.loadLocal(Spheres);
+    B.loadLocal(NObj);
+    B.call(InitScene);
+    B.emit(Opcode::Pop);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    emitForUp(B, Y, 0, H, 1, [&] {
+      B.loadLocal(Acc);
+      B.loadLocal(Y);
+      B.loadLocal(W);
+      B.loadLocal(Spheres);
+      B.loadLocal(NObj);
+      B.loadLocal(Depth);
+      B.loadLocal(Aa);
+      B.call(RenderRow);
+      B.emit(Opcode::Add);
+      B.constInt(0x7fffffff);
+      B.emit(Opcode::And);
+      B.storeLocal(Acc);
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+} // namespace
+
+Workload detail::buildMtrt(uint64_t Seed) {
+  Workload W;
+  W.Name = "Mtrt";
+  W.Suite = "jvm98";
+  W.Module = buildMtrtModule();
+  W.XiclSpec =
+      "option  {name=-w; type=num; attr=val; default=64; has_arg=y}\n"
+      "option  {name=-h; type=num; attr=val; default=64; has_arg=y}\n"
+      "option  {name=-d:--depth; type=num; attr=val; default=1; has_arg=y}\n"
+      "option  {name=-aa; type=num; attr=val; default=0; has_arg=y}\n"
+      "operand {position=1; type=str; attr=val}\n";
+
+  Rng R(Seed ^ 0x317A7003);
+  const char *Scenes[] = {"small.scene", "medium.scene", "large.scene",
+                          "huge.scene"};
+  const int64_t SceneObjects[] = {4, 8, 16, 32};
+  for (int I = 0; I != 92; ++I) {
+    InputCase C;
+    int64_t Wd = logUniform(R, 40, 200);
+    int64_t Ht = logUniform(R, 40, 200);
+    int64_t Depth = R.nextInt(1, 4);
+    int64_t Aa = R.nextBool(0.4) ? R.nextInt(1, 2) : 0;
+    int Scene = static_cast<int>(R.nextInt(0, 3));
+    C.CommandLine = formatString(
+        "mtrt -w %lld -h %lld -d %lld -aa %lld %s",
+        static_cast<long long>(Wd), static_cast<long long>(Ht),
+        static_cast<long long>(Depth), static_cast<long long>(Aa),
+        Scenes[Scene]);
+    C.VmArgs = {Value::makeInt(Wd), Value::makeInt(Ht), Value::makeInt(Depth),
+                Value::makeInt(Aa), Value::makeInt(SceneObjects[Scene])};
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}

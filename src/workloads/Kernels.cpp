@@ -1,0 +1,76 @@
+//===- workloads/Kernels.cpp ----------------------------------------------==//
+
+#include "workloads/Kernels.h"
+
+using namespace evm;
+using namespace evm::wl;
+using bc::FunctionBuilder;
+using bc::ModuleBuilder;
+using bc::Opcode;
+
+void wl::emitForUp(FunctionBuilder &B, uint32_t Var, int64_t Start,
+                   uint32_t Limit, int64_t Step, const EmitFn &Body) {
+  B.constInt(Start);
+  B.storeLocal(Var);
+  FunctionBuilder::Label Head = B.makeLabel();
+  FunctionBuilder::Label Exit = B.makeLabel();
+  B.bind(Head);
+  B.loadLocal(Var);
+  B.loadLocal(Limit);
+  B.emit(Opcode::Lt);
+  B.brFalse(Exit);
+  Body();
+  B.incrementLocal(Var, Step);
+  B.br(Head);
+  B.bind(Exit);
+}
+
+void wl::emitWhile(FunctionBuilder &B, const EmitFn &Cond,
+                   const EmitFn &Body) {
+  FunctionBuilder::Label Head = B.makeLabel();
+  FunctionBuilder::Label Exit = B.makeLabel();
+  B.bind(Head);
+  Cond();
+  B.brFalse(Exit);
+  Body();
+  B.br(Head);
+  B.bind(Exit);
+}
+
+void wl::emitIfElse(FunctionBuilder &B, const EmitFn &Cond, const EmitFn &Then,
+                    const EmitFn &Else) {
+  FunctionBuilder::Label ElseLabel = B.makeLabel();
+  FunctionBuilder::Label Done = B.makeLabel();
+  Cond();
+  B.brFalse(ElseLabel);
+  Then();
+  B.br(Done);
+  B.bind(ElseLabel);
+  if (Else)
+    Else();
+  B.bind(Done);
+}
+
+bc::MethodId wl::addLcgFunction(ModuleBuilder &MB) {
+  bc::MethodId Id = MB.declareFunction("lcg", 1);
+  FunctionBuilder &B = MB.functionBuilder(Id);
+  // state' = state * 6364136223846793005 + 1442695040888963407 (wrapping).
+  B.loadLocal(0);
+  B.constInt(6364136223846793005LL);
+  B.emit(Opcode::Mul);
+  B.constInt(1442695040888963407LL);
+  B.emit(Opcode::Add);
+  B.ret();
+  return Id;
+}
+
+void wl::emitLcgDraw(FunctionBuilder &B, bc::MethodId Lcg, uint32_t StateVar,
+                     int64_t Range) {
+  B.loadLocal(StateVar);
+  B.call(Lcg);
+  B.storeLocal(StateVar);
+  B.loadLocal(StateVar);
+  B.emit(Opcode::Abs);
+  B.constInt(Range);
+  B.emit(Opcode::Mod);
+}

@@ -1,0 +1,54 @@
+//===- workloads/Kernels.h - Bytecode emission helpers --------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured-control-flow helpers over FunctionBuilder, shared by all
+/// workload analogues: counted loops, if/else, and common kernel shapes
+/// (LCG random numbers, array fills).  Loop helpers emit initialization
+/// before the header, so headers are never the function's entry block
+/// (which also keeps them LICM-eligible).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_WORKLOADS_KERNELS_H
+#define EVM_WORKLOADS_KERNELS_H
+
+#include "bytecode/Builder.h"
+
+#include <functional>
+
+namespace evm {
+namespace wl {
+
+using EmitFn = std::function<void()>;
+
+/// Emits `for (Var = Start; Var < Limit; Var += Step) { Body(); }`.
+/// \p Limit is a local slot holding the bound.
+void emitForUp(bc::FunctionBuilder &B, uint32_t Var, int64_t Start,
+               uint32_t Limit, int64_t Step, const EmitFn &Body);
+
+/// Emits `while (<Cond leaves a value on the stack>) { Body(); }`.
+void emitWhile(bc::FunctionBuilder &B, const EmitFn &Cond, const EmitFn &Body);
+
+/// Emits `if (<Cond leaves a value>) { Then(); } else { Else(); }`.
+/// Both branches must leave the stack empty.  \p Else may be null.
+void emitIfElse(bc::FunctionBuilder &B, const EmitFn &Cond, const EmitFn &Then,
+                const EmitFn &Else = nullptr);
+
+/// Declares `lcg(state) -> state'`, a 64-bit linear congruential step, and
+/// returns its MethodId.  Workloads use it for deterministic in-program
+/// randomness.
+bc::MethodId addLcgFunction(bc::ModuleBuilder &MB);
+
+/// Emits `Dst = lcg(Dst)` followed by pushing `abs(Dst) % Range` onto the
+/// stack (Range is an immediate).
+void emitLcgDraw(bc::FunctionBuilder &B, bc::MethodId Lcg, uint32_t StateVar,
+                 int64_t Range);
+
+} // namespace wl
+} // namespace evm
+
+#endif // EVM_WORKLOADS_KERNELS_H

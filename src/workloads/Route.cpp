@@ -1,0 +1,306 @@
+//===- workloads/Route.cpp - The paper's Fig. 2 running example -----------==//
+//
+// `route [options] FILE...` finds the N shortest routes in a graph:
+//
+//   SYNOPSIS: route [options] FILE...
+//   OPTIONS:  -n N        find N shortest paths (default 1)
+//             -e, --echo  status messages (off by default)
+//
+// with the paper's exact XICL specification (option -n with val, option
+// -e/--echo with val, operands 1:$ of type file with programmer-defined
+// mnodes/medges features).  The program itself is a Bellman-Ford-style
+// relaxation over an LCG-generated graph whose node/edge counts come from
+// the "input file".
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+#include "workloads/Workload.h"
+#include "workloads/WorkloadDetail.h"
+
+#include "support/Format.h"
+
+using namespace evm;
+using namespace evm::wl;
+using namespace evm::wl::detail;
+using bc::FunctionBuilder;
+using bc::MethodId;
+using bc::ModuleBuilder;
+using bc::Opcode;
+using bc::Value;
+
+namespace {
+
+// main(nodes, edges, npaths, echo).
+bc::Module buildRouteModule() {
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 4);
+  MethodId Lcg = addLcgFunction(MB);
+  MethodId LoadGraph = MB.declareFunction("loadGraph", 3);
+  MethodId ResetDist = MB.declareFunction("resetDist", 2);
+  MethodId RelaxEdges = MB.declareFunction("relaxEdges", 4);
+  MethodId ExtractPath = MB.declareFunction("extractPath", 3);
+  MethodId EchoStatus = MB.declareFunction("echoStatus", 2);
+
+  // loadGraph(arr, edges, nodes): edge list (src, dst, weight).
+  {
+    FunctionBuilder &B = MB.functionBuilder(LoadGraph);
+    uint32_t Arr = 0, Edges = 1, Nodes = 2;
+    uint32_t I = B.allocLocal(), State = B.allocLocal(),
+             Base = B.allocLocal();
+    B.constInt(424242);
+    B.storeLocal(State);
+    emitForUp(B, I, 0, Edges, 1, [&] {
+      B.loadLocal(Arr);
+      B.loadLocal(I);
+      B.constInt(3);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Add);
+      B.storeLocal(Base);
+      B.loadLocal(Base);
+      emitLcgDraw(B, Lcg, State, 1 << 20);
+      B.loadLocal(Nodes);
+      B.emit(Opcode::Mod);
+      B.emit(Opcode::HStore);
+      B.loadLocal(Base);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      emitLcgDraw(B, Lcg, State, 1 << 20);
+      B.loadLocal(Nodes);
+      B.emit(Opcode::Mod);
+      B.emit(Opcode::HStore);
+      B.loadLocal(Base);
+      B.constInt(2);
+      B.emit(Opcode::Add);
+      emitLcgDraw(B, Lcg, State, 100);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(Edges);
+    B.ret();
+  }
+
+  // resetDist(dist, nodes): set every distance to "infinity", source to 0.
+  {
+    FunctionBuilder &B = MB.functionBuilder(ResetDist);
+    uint32_t Dist = 0, Nodes = 1;
+    uint32_t I = B.allocLocal();
+    emitForUp(B, I, 0, Nodes, 1, [&] {
+      B.loadLocal(Dist);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.constInt(1 << 28);
+      B.emit(Opcode::HStore);
+    });
+    B.loadLocal(Dist);
+    B.constInt(0);
+    B.emit(Opcode::HStore);
+    B.loadLocal(Nodes);
+    B.ret();
+  }
+
+  // relaxEdges(graph, dist, edges, rounds-marker): one Bellman-Ford pass.
+  {
+    FunctionBuilder &B = MB.functionBuilder(RelaxEdges);
+    uint32_t Graph = 0, Dist = 1, Edges = 2, Round = 3;
+    uint32_t I = B.allocLocal(), Base = B.allocLocal(), Src = B.allocLocal(),
+             Dst = B.allocLocal(), Wt = B.allocLocal(), Cand = B.allocLocal(),
+             Changed = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Changed);
+    emitForUp(B, I, 0, Edges, 1, [&] {
+      B.loadLocal(Graph);
+      B.loadLocal(I);
+      B.constInt(3);
+      B.emit(Opcode::Mul);
+      B.emit(Opcode::Add);
+      B.storeLocal(Base);
+      B.loadLocal(Base);
+      B.emit(Opcode::HLoad);
+      B.storeLocal(Src);
+      B.loadLocal(Base);
+      B.constInt(1);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.storeLocal(Dst);
+      B.loadLocal(Base);
+      B.constInt(2);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.loadLocal(Round);
+      B.emit(Opcode::Add);
+      B.storeLocal(Wt);
+      // cand = dist[src] + wt; if cand < dist[dst]: dist[dst] = cand
+      B.loadLocal(Dist);
+      B.loadLocal(Src);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.loadLocal(Wt);
+      B.emit(Opcode::Add);
+      B.storeLocal(Cand);
+      emitIfElse(
+          B,
+          [&] {
+            B.loadLocal(Cand);
+            B.loadLocal(Dist);
+            B.loadLocal(Dst);
+            B.emit(Opcode::Add);
+            B.emit(Opcode::HLoad);
+            B.emit(Opcode::Lt);
+          },
+          [&] {
+            B.loadLocal(Dist);
+            B.loadLocal(Dst);
+            B.emit(Opcode::Add);
+            B.loadLocal(Cand);
+            B.emit(Opcode::HStore);
+            B.incrementLocal(Changed, 1);
+          });
+    });
+    B.loadLocal(Changed);
+    B.ret();
+  }
+
+  // extractPath(dist, nodes, k): checksum of the k-th shortest frontier.
+  {
+    FunctionBuilder &B = MB.functionBuilder(ExtractPath);
+    uint32_t Dist = 0, Nodes = 1, K = 2;
+    uint32_t I = B.allocLocal(), Sum = B.allocLocal();
+    B.constInt(0);
+    B.storeLocal(Sum);
+    emitForUp(B, I, 0, Nodes, 1, [&] {
+      B.loadLocal(Sum);
+      B.loadLocal(Dist);
+      B.loadLocal(I);
+      B.emit(Opcode::Add);
+      B.emit(Opcode::HLoad);
+      B.loadLocal(K);
+      B.emit(Opcode::Xor);
+      B.emit(Opcode::Add);
+      B.storeLocal(Sum);
+    });
+    B.loadLocal(Sum);
+    B.ret();
+  }
+
+  // echoStatus(round, sum): the -e/--echo path (light).
+  {
+    FunctionBuilder &B = MB.functionBuilder(EchoStatus);
+    uint32_t Round = 0, Sum = 1;
+    B.loadLocal(Round);
+    B.loadLocal(Sum);
+    B.emit(Opcode::Xor);
+    B.constInt(0xff);
+    B.emit(Opcode::And);
+    B.ret();
+  }
+
+  // main(nodes, edges, npaths, echo).
+  {
+    FunctionBuilder &B = MB.functionBuilder(Main);
+    uint32_t Nodes = 0, Edges = 1, NPaths = 2, Echo = 3;
+    uint32_t Graph = B.allocLocal(), Dist = B.allocLocal(),
+             P = B.allocLocal(), R = B.allocLocal(), Acc = B.allocLocal(),
+             Rounds = B.allocLocal();
+    B.loadLocal(Edges);
+    B.constInt(3);
+    B.emit(Opcode::Mul);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(Graph);
+    B.loadLocal(Nodes);
+    B.emit(Opcode::NewArr);
+    B.storeLocal(Dist);
+    B.loadLocal(Graph);
+    B.loadLocal(Edges);
+    B.loadLocal(Nodes);
+    B.call(LoadGraph);
+    B.emit(Opcode::Pop);
+    B.constInt(0);
+    B.storeLocal(Acc);
+    // rounds = min(12, nodes/64 + 4): bounded relaxation sweeps.
+    B.loadLocal(Nodes);
+    B.constInt(64);
+    B.emit(Opcode::Div);
+    B.constInt(4);
+    B.emit(Opcode::Add);
+    B.constInt(12);
+    B.emit(Opcode::Min);
+    B.storeLocal(Rounds);
+    emitForUp(B, P, 0, NPaths, 1, [&] {
+      B.loadLocal(Dist);
+      B.loadLocal(Nodes);
+      B.call(ResetDist);
+      B.emit(Opcode::Pop);
+      emitForUp(B, R, 0, Rounds, 1, [&] {
+        B.loadLocal(Graph);
+        B.loadLocal(Dist);
+        B.loadLocal(Edges);
+        B.loadLocal(P);
+        B.call(RelaxEdges);
+        B.emit(Opcode::Pop);
+      });
+      B.loadLocal(Acc);
+      B.loadLocal(Dist);
+      B.loadLocal(Nodes);
+      B.loadLocal(P);
+      B.call(ExtractPath);
+      B.emit(Opcode::Add);
+      B.storeLocal(Acc);
+      emitIfElse(B, [&] { B.loadLocal(Echo); },
+                 [&] {
+                   B.loadLocal(Acc);
+                   B.loadLocal(P);
+                   B.loadLocal(Acc);
+                   B.call(EchoStatus);
+                   B.emit(Opcode::Add);
+                   B.storeLocal(Acc);
+                 });
+    });
+    B.loadLocal(Acc);
+    B.ret();
+  }
+  return finishModule(MB);
+}
+
+} // namespace
+
+Workload wl::buildRouteExample(uint64_t Seed, size_t NumInputs) {
+  Workload W;
+  W.Name = "Route";
+  W.Suite = "example";
+  W.Module = buildRouteModule();
+  W.UserMethodAttrs = {"mnodes", "medges"};
+  // The paper's Fig. 2(b) specification, verbatim in structure.
+  W.XiclSpec =
+      "option  {name=-n; type=num; attr=val; default=1; has_arg=y}\n"
+      "option  {name=-e:--echo; type=bin; attr=val; default=0; has_arg=n}\n"
+      "operand {position=1:$; type=file; attr=mnodes:medges}\n";
+
+  Rng R(Seed ^ 0x40073000);
+  for (size_t I = 0; I != NumInputs; ++I) {
+    InputCase C;
+    int64_t Nodes = logUniform(R, 100, 4000);
+    int64_t Edges = Nodes * R.nextInt(3, 6);
+    int64_t NPaths = R.nextInt(1, 4);
+    bool Echo = R.nextBool(0.3);
+    std::string File = formatString("graph%02zu", I);
+    std::string Cmd = "route";
+    if (NPaths != 1)
+      Cmd += formatString(" -n %lld", static_cast<long long>(NPaths));
+    if (Echo)
+      Cmd += " -e";
+    Cmd += " " + File;
+    C.CommandLine = Cmd;
+    C.VmArgs = {Value::makeInt(Nodes), Value::makeInt(Edges),
+                Value::makeInt(NPaths), Value::makeInt(Echo ? 1 : 0)};
+    xicl::FileInfo Info;
+    Info.SizeBytes = static_cast<double>(Edges * 12);
+    Info.Lines = static_cast<double>(Edges);
+    Info.Attributes["nodes"] = static_cast<double>(Nodes);
+    Info.Attributes["edges"] = static_cast<double>(Edges);
+    C.Files.emplace_back(File, Info);
+    W.Inputs.push_back(std::move(C));
+  }
+  return W;
+}

@@ -1,0 +1,81 @@
+//===- workloads/Workload.h - Benchmark analogues and input sets ----------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates on 11 programs drawn from SPECjvm98, DaCapo and Java
+/// Grande (Table I).  This library provides MiniVM analogues of all of
+/// them — each a multi-method bytecode program whose hot-method mix and run
+/// length depend on its input — plus the input sets, XICL specifications,
+/// synthetic input-file metadata, and programmer-defined feature extractors
+/// the paper describes (database/query sizes for Db, rule counts for Antlr,
+/// LOC for Bloat, node/edge counts for the route example).
+///
+/// Input sets are generated from a seed so every experiment is
+/// reproducible; sizes follow Table I (76 inputs for Compress, 92 for
+/// Mtrt, 6 for Search, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_WORKLOADS_WORKLOAD_H
+#define EVM_WORKLOADS_WORKLOAD_H
+
+#include "bytecode/Module.h"
+#include "bytecode/Value.h"
+#include "xicl/FileStore.h"
+#include "xicl/XFMethod.h"
+
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace wl {
+
+/// One concrete input to a workload: the command line the XICL translator
+/// sees, the numeric arguments the program's main() receives, and the
+/// synthetic metadata of any files the command line references.
+struct InputCase {
+  std::string CommandLine;
+  std::vector<bc::Value> VmArgs;
+  std::vector<std::pair<std::string, xicl::FileInfo>> Files;
+};
+
+/// A complete benchmark analogue.
+struct Workload {
+  std::string Name;
+  std::string Suite; ///< "jvm98", "dacapo", "grande" (or "example")
+  bc::Module Module;
+  std::string XiclSpec;
+  std::vector<InputCase> Inputs;
+
+  /// Registers this workload's programmer-defined feature extractors
+  /// (no-op for workloads that only use predefined attrs).
+  void registerMethods(xicl::XFMethodRegistry &Registry) const;
+
+  /// Registers every input's file metadata (call once per experiment).
+  void populateFileStore(xicl::FileStore &Store) const;
+
+  /// Names of programmer-defined extractors this workload installs.
+  std::vector<std::string> UserMethodAttrs;
+};
+
+/// The 11 paper benchmarks, in Table I order.
+const std::vector<std::string> &workloadNames();
+
+/// Builds one workload (program + inputs) deterministically from \p Seed.
+/// Asserts on unknown names; see workloadNames().
+Workload buildWorkload(const std::string &Name, uint64_t Seed);
+
+/// Builds all 11 paper workloads.
+std::vector<Workload> buildAllWorkloads(uint64_t Seed);
+
+/// The paper's Fig. 2 running example (`route [options] FILE...`), used by
+/// examples and tests.
+Workload buildRouteExample(uint64_t Seed, size_t NumInputs = 40);
+
+} // namespace wl
+} // namespace evm
+
+#endif // EVM_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,119 @@
+//===- workloads/WorkloadCommon.cpp - Registry and shared plumbing --------==//
+
+#include "workloads/Workload.h"
+#include "workloads/WorkloadDetail.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace evm;
+using namespace evm::wl;
+
+namespace {
+
+/// Programmer-defined extractor name -> FileInfo attribute it reads.  These
+/// are the paper's four user-defined features (Db's database/query sizes,
+/// Antlr's rule count, Bloat's LOC) plus the route example's graph
+/// features.
+const std::map<std::string, std::string> &userAttrTable() {
+  static const std::map<std::string, std::string> Table = {
+      {"mdbsize", "records"}, {"mqueries", "queries"}, {"mrules", "rules"},
+      {"mloc", "loc"},        {"mnodes", "nodes"},     {"medges", "edges"},
+  };
+  return Table;
+}
+
+} // namespace
+
+void Workload::registerMethods(xicl::XFMethodRegistry &Registry) const {
+  for (const std::string &Attr : UserMethodAttrs) {
+    auto It = userAttrTable().find(Attr);
+    assert(It != userAttrTable().end() && "unknown user method attr");
+    const std::string FileAttr = It->second;
+    const std::string AttrName = Attr;
+    Registry.registerMethod(
+        AttrName, [FileAttr, AttrName](const std::string &Raw,
+                                       const xicl::ExtractionContext &Ctx) {
+          std::vector<xicl::Feature> Out;
+          double Value = 0;
+          if (Ctx.Files) {
+            if (auto Info = Ctx.Files->lookup(Raw)) {
+              auto AIt = Info->Attributes.find(FileAttr);
+              if (AIt != Info->Attributes.end())
+                Value = AIt->second;
+            }
+          }
+          Out.push_back(xicl::Feature::numeric(
+              Ctx.FeatureNamePrefix + "." + AttrName, Value));
+          return Out;
+        });
+  }
+}
+
+void Workload::populateFileStore(xicl::FileStore &Store) const {
+  for (const InputCase &Input : Inputs)
+    for (const auto &[Name, Info] : Input.Files)
+      Store.registerFile(Name, Info);
+}
+
+const std::vector<std::string> &wl::workloadNames() {
+  static const std::vector<std::string> Names = {
+      "Compress", "Db",     "Mtrt",       "Antlr",  "Bloat",     "Fop",
+      "Euler",    "MolDyn", "MonteCarlo", "Search", "RayTracer",
+  };
+  return Names;
+}
+
+Workload wl::buildWorkload(const std::string &Name, uint64_t Seed) {
+  if (Name == "Compress")
+    return detail::buildCompress(Seed);
+  if (Name == "Db")
+    return detail::buildDb(Seed);
+  if (Name == "Mtrt")
+    return detail::buildMtrt(Seed);
+  if (Name == "Antlr")
+    return detail::buildAntlr(Seed);
+  if (Name == "Bloat")
+    return detail::buildBloat(Seed);
+  if (Name == "Fop")
+    return detail::buildFop(Seed);
+  if (Name == "Euler")
+    return detail::buildEuler(Seed);
+  if (Name == "MolDyn")
+    return detail::buildMolDyn(Seed);
+  if (Name == "MonteCarlo")
+    return detail::buildMonteCarlo(Seed);
+  if (Name == "Search")
+    return detail::buildSearch(Seed);
+  if (Name == "RayTracer")
+    return detail::buildRayTracer(Seed);
+  assert(false && "unknown workload name");
+  return Workload();
+}
+
+std::vector<Workload> wl::buildAllWorkloads(uint64_t Seed) {
+  std::vector<Workload> All;
+  for (const std::string &Name : workloadNames())
+    All.push_back(buildWorkload(Name, Seed));
+  return All;
+}
+
+int64_t wl::detail::logUniform(Rng &R, int64_t Low, int64_t High) {
+  assert(Low > 0 && Low <= High && "bad log-uniform range");
+  double LogLow = std::log(static_cast<double>(Low));
+  double LogHigh = std::log(static_cast<double>(High));
+  double Drawn = std::exp(R.nextDouble(LogLow, LogHigh));
+  int64_t V = static_cast<int64_t>(Drawn);
+  return std::max(Low, std::min(High, V));
+}
+
+bc::Module wl::detail::finishModule(bc::ModuleBuilder &MB) {
+  auto M = MB.build();
+  assert(M && "workload module failed verification");
+  if (!M) {
+    // Release-build fallback: return an empty module (callers assert too).
+    return bc::Module();
+  }
+  return M.takeValue();
+}

@@ -1,0 +1,47 @@
+//===- workloads/WorkloadDetail.h - Per-benchmark builders (private) ------==//
+//
+// Internal header: the individual benchmark constructors, one per paper
+// workload, implemented in Jvm98.cpp / Dacapo.cpp / Grande.cpp / Route.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_WORKLOADS_WORKLOADDETAIL_H
+#define EVM_WORKLOADS_WORKLOADDETAIL_H
+
+#include "workloads/Workload.h"
+
+#include "bytecode/Builder.h"
+#include "support/Rng.h"
+
+namespace evm {
+namespace wl {
+namespace detail {
+
+// SPECjvm98 analogues.
+Workload buildCompress(uint64_t Seed);
+Workload buildDb(uint64_t Seed);
+Workload buildMtrt(uint64_t Seed);
+// DaCapo analogues.
+Workload buildAntlr(uint64_t Seed);
+Workload buildBloat(uint64_t Seed);
+Workload buildFop(uint64_t Seed);
+// Java Grande analogues.
+Workload buildEuler(uint64_t Seed);
+Workload buildMolDyn(uint64_t Seed);
+Workload buildMonteCarlo(uint64_t Seed);
+Workload buildSearch(uint64_t Seed);
+Workload buildRayTracer(uint64_t Seed);
+
+/// Draws a log-uniform integer in [Low, High] (sizes spread over decades,
+/// like real input collections).
+int64_t logUniform(Rng &R, int64_t Low, int64_t High);
+
+/// Finalizes a ModuleBuilder, asserting verification succeeded (workload
+/// construction bugs are programmer errors, not user input).
+bc::Module finishModule(bc::ModuleBuilder &MB);
+
+} // namespace detail
+} // namespace wl
+} // namespace evm
+
+#endif // EVM_WORKLOADS_WORKLOADDETAIL_H

@@ -1,0 +1,60 @@
+//===- xicl/FileStore.h - Synthetic input-file metadata --------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's operand features often come from input files (a graph file's
+/// node/edge counts, a grammar's rule count, a source file's LOC).  Since
+/// this reproduction has no real benchmark files, workloads register
+/// synthetic metadata here and the XICL translator's file-typed feature
+/// extractors read it — the same code path a real stat()/parse would feed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_XICL_FILESTORE_H
+#define EVM_XICL_FILESTORE_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace evm {
+namespace xicl {
+
+/// Metadata for one synthetic input file.
+struct FileInfo {
+  double SizeBytes = 0;
+  double Lines = 0;
+  /// Domain-specific attributes programmer-defined extractors read,
+  /// e.g. {"nodes", 100}, {"edges", 1000}, {"rules", 42}.
+  std::map<std::string, double> Attributes;
+};
+
+/// Name -> FileInfo registry, one per launch.
+class FileStore {
+public:
+  void registerFile(std::string Name, FileInfo Info) {
+    Files[std::move(Name)] = std::move(Info);
+  }
+
+  /// Looks up \p Name; nullopt for unknown files.
+  std::optional<FileInfo> lookup(const std::string &Name) const {
+    auto It = Files.find(Name);
+    if (It == Files.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  void clear() { Files.clear(); }
+  size_t size() const { return Files.size(); }
+
+private:
+  std::map<std::string, FileInfo> Files;
+};
+
+} // namespace xicl
+} // namespace evm
+
+#endif // EVM_XICL_FILESTORE_H

@@ -1,0 +1,72 @@
+//===- xicl/RuntimeChannel.h - Application -> translator value passing ----==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's efficient-feature-attainment and interactivity mechanism
+/// (Sec. III-B3/B4, Fig. 5): an application can pass values it computes
+/// during initialization — or at interactive points — into the feature
+/// vector via XICLFeatureVector.updateV(), then call done() to tell the VM
+/// no more features are coming so prediction can start.  FeatureChannel is
+/// that shared vector: the evolvable VM installs a done-callback that
+/// triggers (re)prediction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_XICL_RUNTIMECHANNEL_H
+#define EVM_XICL_RUNTIMECHANNEL_H
+
+#include "xicl/FeatureVector.h"
+
+#include <functional>
+#include <utility>
+
+namespace evm {
+namespace xicl {
+
+/// The shared feature vector applications update at run time.
+class FeatureChannel {
+public:
+  using DoneCallback = std::function<void(const FeatureVector &)>;
+
+  FeatureChannel() = default;
+  explicit FeatureChannel(FeatureVector Initial) : FV(std::move(Initial)) {}
+
+  /// Replaces (or appends) the feature named \p Name — the paper's
+  /// updateV(mFeature, subV).
+  void updateV(const std::string &Name, Feature F) {
+    FV.updateV(Name, std::move(F));
+    ++Updates;
+  }
+
+  /// Signals that no more values will be passed; fires the registered
+  /// callback (the VM's prediction trigger).  May be called repeatedly at
+  /// interactive points, re-triggering prediction each time.
+  void done() {
+    ++DoneCalls;
+    if (OnDone)
+      OnDone(FV);
+  }
+
+  /// Installs the VM-side prediction trigger.
+  void setDoneCallback(DoneCallback Callback) {
+    OnDone = std::move(Callback);
+  }
+
+  const FeatureVector &vector() const { return FV; }
+  int numUpdates() const { return Updates; }
+  int numDoneCalls() const { return DoneCalls; }
+
+private:
+  FeatureVector FV;
+  DoneCallback OnDone;
+  int Updates = 0;
+  int DoneCalls = 0;
+};
+
+} // namespace xicl
+} // namespace evm
+
+#endif // EVM_XICL_RUNTIMECHANNEL_H

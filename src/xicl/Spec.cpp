@@ -1,0 +1,216 @@
+//===- xicl/Spec.cpp ------------------------------------------------------==//
+
+#include "xicl/Spec.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace evm;
+using namespace evm::xicl;
+
+std::optional<ComponentType> xicl::parseComponentType(std::string_view Text) {
+  if (Text == "num")
+    return ComponentType::Num;
+  if (Text == "bin")
+    return ComponentType::Bin;
+  if (Text == "str")
+    return ComponentType::Str;
+  if (Text == "file")
+    return ComponentType::File;
+  return std::nullopt;
+}
+
+bool OptionSpec::matches(const std::string &Token) const {
+  return std::find(Names.begin(), Names.end(), Token) != Names.end();
+}
+
+size_t Spec::numDeclaredAttrs() const {
+  size_t Total = 0;
+  for (const OptionSpec &O : Options)
+    Total += O.Attrs.size();
+  for (const OperandSpec &O : Operands)
+    Total += O.Attrs.size();
+  return Total;
+}
+
+namespace {
+
+/// Parses the `key=value; key=value` body of one construct into pairs.
+ErrorOr<std::vector<std::pair<std::string, std::string>>>
+parseBody(const std::string &Body, int Line) {
+  std::vector<std::pair<std::string, std::string>> Pairs;
+  for (const std::string &Piece : splitString(Body, ';')) {
+    std::string Entry = trimString(Piece);
+    if (Entry.empty())
+      continue;
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string::npos)
+      return makeError("line %d: expected key=value, got '%s'", Line,
+                       Entry.c_str());
+    std::string Key = trimString(Entry.substr(0, Eq));
+    std::string Value = trimString(Entry.substr(Eq + 1));
+    if (Key.empty())
+      return makeError("line %d: empty key in '%s'", Line, Entry.c_str());
+    Pairs.emplace_back(std::move(Key), std::move(Value));
+  }
+  return Pairs;
+}
+
+ErrorOr<OptionSpec> parseOption(const std::string &Body, int Line) {
+  OptionSpec Opt;
+  bool SawName = false, SawType = false;
+  auto Pairs = parseBody(Body, Line);
+  if (!Pairs)
+    return Pairs.getError();
+  for (const auto &[Key, Value] : *Pairs) {
+    if (Key == "name") {
+      Opt.Names = splitString(Value, ':');
+      for (std::string &N : Opt.Names)
+        N = trimString(N);
+      SawName = !Opt.Names.empty() && !Opt.Names.front().empty();
+    } else if (Key == "type") {
+      auto T = parseComponentType(Value);
+      if (!T)
+        return makeError("line %d: unknown type '%s'", Line, Value.c_str());
+      Opt.Type = *T;
+      SawType = true;
+    } else if (Key == "attr") {
+      Opt.Attrs = splitString(Value, ':');
+      for (std::string &A : Opt.Attrs)
+        A = trimString(A);
+    } else if (Key == "default") {
+      Opt.Default = Value;
+    } else if (Key == "has_arg") {
+      if (Value != "y" && Value != "n")
+        return makeError("line %d: has_arg must be y or n", Line);
+      Opt.HasArg = Value == "y";
+    } else {
+      return makeError("line %d: unknown option field '%s'", Line,
+                       Key.c_str());
+    }
+  }
+  if (!SawName)
+    return makeError("line %d: option construct needs a name", Line);
+  if (!SawType)
+    return makeError("line %d: option '%s' needs a type", Line,
+                     Opt.primaryName().c_str());
+  if (Opt.Attrs.empty())
+    return makeError("line %d: option '%s' declares no attributes", Line,
+                     Opt.primaryName().c_str());
+  return Opt;
+}
+
+ErrorOr<OperandSpec> parseOperand(const std::string &Body, int Line) {
+  OperandSpec Op;
+  bool SawPosition = false;
+  auto Pairs = parseBody(Body, Line);
+  if (!Pairs)
+    return Pairs.getError();
+  for (const auto &[Key, Value] : *Pairs) {
+    if (Key == "position") {
+      std::vector<std::string> Range = splitString(Value, ':');
+      if (Range.empty() || Range.size() > 2)
+        return makeError("line %d: malformed position '%s'", Line,
+                         Value.c_str());
+      auto ParseEnd = [&](const std::string &Text) -> std::optional<int> {
+        if (Text == "$")
+          return -1;
+        auto V = parseInteger(Text);
+        if (!V || *V < 1)
+          return std::nullopt;
+        return static_cast<int>(*V);
+      };
+      auto Start = ParseEnd(trimString(Range[0]));
+      if (!Start || *Start < 0)
+        return makeError("line %d: malformed position start '%s'", Line,
+                         Value.c_str());
+      Op.PosStart = *Start;
+      if (Range.size() == 2) {
+        auto End = ParseEnd(trimString(Range[1]));
+        if (!End)
+          return makeError("line %d: malformed position end '%s'", Line,
+                           Value.c_str());
+        Op.PosEnd = *End;
+      } else {
+        Op.PosEnd = Op.PosStart;
+      }
+      SawPosition = true;
+    } else if (Key == "type") {
+      auto T = parseComponentType(Value);
+      if (!T)
+        return makeError("line %d: unknown type '%s'", Line, Value.c_str());
+      Op.Type = *T;
+    } else if (Key == "attr") {
+      Op.Attrs = splitString(Value, ':');
+      for (std::string &A : Op.Attrs)
+        A = trimString(A);
+    } else {
+      return makeError("line %d: unknown operand field '%s'", Line,
+                       Key.c_str());
+    }
+  }
+  if (!SawPosition)
+    return makeError("line %d: operand construct needs a position", Line);
+  if (Op.Attrs.empty())
+    return makeError("line %d: operand declares no attributes", Line);
+  return Op;
+}
+
+} // namespace
+
+ErrorOr<Spec> xicl::parseSpec(std::string_view Source) {
+  Spec Result;
+  int LineNo = 0;
+  // Constructs may span lines; accumulate until braces balance.
+  std::string Pending;
+  int PendingLine = 0;
+
+  for (const std::string &RawLine : splitString(Source, '\n')) {
+    ++LineNo;
+    std::string Line = RawLine;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    Line = trimString(Line);
+    if (Line.empty())
+      continue;
+    if (Pending.empty())
+      PendingLine = LineNo;
+    Pending += " " + Line;
+
+    // A construct is complete once we have seen the closing brace.
+    if (Pending.find('{') == std::string::npos ||
+        Pending.find('}') == std::string::npos)
+      continue;
+
+    std::string Construct = trimString(Pending);
+    Pending.clear();
+    size_t Open = Construct.find('{');
+    size_t Close = Construct.rfind('}');
+    if (Close == std::string::npos || Close < Open)
+      return makeError("line %d: malformed construct braces", PendingLine);
+    std::string Kind = trimString(Construct.substr(0, Open));
+    std::string Body = Construct.substr(Open + 1, Close - Open - 1);
+
+    if (Kind == "option") {
+      auto Opt = parseOption(Body, PendingLine);
+      if (!Opt)
+        return Opt.getError();
+      Result.Options.push_back(Opt.takeValue());
+    } else if (Kind == "operand") {
+      auto Op = parseOperand(Body, PendingLine);
+      if (!Op)
+        return Op.getError();
+      Result.Operands.push_back(Op.takeValue());
+    } else {
+      return makeError("line %d: unknown construct '%s'", PendingLine,
+                       Kind.c_str());
+    }
+  }
+  if (!Pending.empty())
+    return makeError("line %d: unterminated construct", PendingLine);
+  if (Result.Options.empty() && Result.Operands.empty())
+    return makeError("specification declares no constructs");
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===- xicl/Spec.h - XICL specification model and parser -------------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Extensible Input Characterization Language (paper Sec. III-A): a
+/// mini-language with exactly two constructs, `option` and `operand`,
+/// describing an application's command-line interface and the potentially
+/// important features of each input component.  Example (paper Fig. 2):
+///
+/// \code
+///   option  {name=-n; type=num; attr=val; default=1; has_arg=y}
+///   option  {name=-e:--echo; type=bin; attr=val; default=0; has_arg=n}
+///   operand {position=1:$; type=file; attr=mnodes:medges}
+/// \endcode
+///
+/// Attribute names starting with 'm' are programmer-defined feature
+/// extractors resolved through the XFMethodRegistry; the rest are XICL
+/// predefined (val, len, fsize, flines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_XICL_SPEC_H
+#define EVM_XICL_SPEC_H
+
+#include "support/Error.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evm {
+namespace xicl {
+
+/// Data type of an input component.
+enum class ComponentType {
+  Num,  ///< numeric argument
+  Bin,  ///< boolean flag
+  Str,  ///< categorical string
+  File, ///< file name; features usually come from file metadata
+};
+
+/// Parses "num"/"bin"/"str"/"file"; nullopt otherwise.
+std::optional<ComponentType> parseComponentType(std::string_view Text);
+
+/// One `option {...}` construct.
+struct OptionSpec {
+  std::vector<std::string> Names; ///< aliases, e.g. {"-e", "--echo"}
+  ComponentType Type = ComponentType::Num;
+  std::vector<std::string> Attrs; ///< feature-extraction method names
+  std::string Default;            ///< used when the option is absent
+  bool HasArg = false;
+
+  /// Primary (first) name, used to prefix feature names.
+  const std::string &primaryName() const { return Names.front(); }
+  bool matches(const std::string &Token) const;
+};
+
+/// One `operand {...}` construct.  Positions are 1-based over operands
+/// (tokens that are not options); PosEnd of -1 encodes `$` (end of line).
+struct OperandSpec {
+  int PosStart = 1;
+  int PosEnd = 1; ///< -1 for '$'
+  ComponentType Type = ComponentType::File;
+  std::vector<std::string> Attrs;
+
+  /// True when 1-based operand position \p Pos falls in this range.
+  bool coversPosition(int Pos) const {
+    return Pos >= PosStart && (PosEnd < 0 || Pos <= PosEnd);
+  }
+};
+
+/// A parsed XICL specification.
+struct Spec {
+  std::vector<OptionSpec> Options;
+  std::vector<OperandSpec> Operands;
+
+  /// Total number of attr entries (the "raw features" count of Table I,
+  /// before tree-based selection).
+  size_t numDeclaredAttrs() const;
+};
+
+/// Parses XICL source text.  Diagnostics carry 1-based line numbers.
+ErrorOr<Spec> parseSpec(std::string_view Source);
+
+} // namespace xicl
+} // namespace evm
+
+#endif // EVM_XICL_SPEC_H

@@ -1,0 +1,82 @@
+//===- xicl/XFMethod.cpp --------------------------------------------------==//
+
+#include "xicl/XFMethod.h"
+
+#include "support/StringUtils.h"
+
+using namespace evm;
+using namespace evm::xicl;
+
+bool XFMethodRegistry::isPredefined(const std::string &Name) {
+  return Name == "val" || Name == "len" || Name == "fsize" ||
+         Name == "flines";
+}
+
+XFMethodRegistry::XFMethodRegistry() {
+  // val: the component's own value.  Numeric for num/bin (bin values are
+  // "0"/"1"), categorical for str/file (a file *name* is categorical; its
+  // useful numeric features come from fsize/flines/m*).
+  registerMethod("val", [](const std::string &Raw,
+                           const ExtractionContext &Ctx) {
+    std::vector<Feature> Out;
+    std::string Name = Ctx.FeatureNamePrefix + ".val";
+    switch (Ctx.Type) {
+    case ComponentType::Num:
+    case ComponentType::Bin: {
+      auto I = parseInteger(Raw);
+      if (I) {
+        Out.push_back(Feature::numeric(Name, static_cast<double>(*I)));
+        break;
+      }
+      auto D = parseDouble(Raw);
+      Out.push_back(Feature::numeric(Name, D ? *D : 0));
+      break;
+    }
+    case ComponentType::Str:
+    case ComponentType::File:
+      Out.push_back(Feature::categorical(Name, Raw));
+      break;
+    }
+    return Out;
+  });
+
+  // len: length of the raw string (e.g. the Search benchmark's input
+  // string length).
+  registerMethod("len",
+                 [](const std::string &Raw, const ExtractionContext &Ctx) {
+                   std::vector<Feature> Out;
+                   Out.push_back(Feature::numeric(
+                       Ctx.FeatureNamePrefix + ".len",
+                       static_cast<double>(Raw.size())));
+                   return Out;
+                 });
+
+  // fsize / flines: file metadata lookups (0 when the file is unknown,
+  // mirroring a failed stat()).
+  auto FileAttr = [](const char *Suffix, double FileInfo::*Member) {
+    return [Suffix, Member](const std::string &Raw,
+                            const ExtractionContext &Ctx) {
+      std::vector<Feature> Out;
+      double Value = 0;
+      if (Ctx.Files) {
+        if (auto Info = Ctx.Files->lookup(Raw))
+          Value = (*Info).*Member;
+      }
+      Out.push_back(Feature::numeric(
+          Ctx.FeatureNamePrefix + "." + Suffix, Value));
+      return Out;
+    };
+  };
+  registerMethod("fsize", FileAttr("fsize", &FileInfo::SizeBytes));
+  registerMethod("flines", FileAttr("flines", &FileInfo::Lines));
+}
+
+void XFMethodRegistry::registerMethod(const std::string &Name,
+                                      XFMethod Method) {
+  Methods[Name] = std::move(Method);
+}
+
+const XFMethod *XFMethodRegistry::getMethod(const std::string &Name) const {
+  auto It = Methods.find(Name);
+  return It == Methods.end() ? nullptr : &It->second;
+}

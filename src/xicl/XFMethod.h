@@ -1,0 +1,67 @@
+//===- xicl/XFMethod.h - Feature-extraction method registry ---------------==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extensibility mechanism of XICL (paper Sec. III-A2 and Fig. 3/4):
+/// every `attr` name in a specification resolves to a feature-extraction
+/// method.  Predefined methods (val, len, fsize, flines) ship with the
+/// registry; programmers register their own (by convention named m*, like
+/// the paper's mNodes/mEdges) as callables.  The registry mirrors the
+/// paper's xfMethodsMap + getMethod reflection bridge, with std::function
+/// standing in for Class.forName.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_XICL_XFMETHOD_H
+#define EVM_XICL_XFMETHOD_H
+
+#include "xicl/FeatureVector.h"
+#include "xicl/FileStore.h"
+#include "xicl/Spec.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace xicl {
+
+/// Context handed to feature-extraction methods.
+struct ExtractionContext {
+  const FileStore *Files = nullptr; ///< may be null (no file operands)
+  ComponentType Type = ComponentType::Str;
+  std::string FeatureNamePrefix; ///< e.g. "-n" or "operand1"
+};
+
+/// One feature-extraction method: raw component value in, features out.
+/// The paper's XFMethod.xfeature(String) with an added context parameter.
+using XFMethod = std::function<std::vector<Feature>(
+    const std::string &RawValue, const ExtractionContext &Ctx)>;
+
+/// Name -> method registry; construction installs the predefined methods.
+class XFMethodRegistry {
+public:
+  XFMethodRegistry();
+
+  /// Registers (or replaces) \p Method under \p Name.  Programmer-defined
+  /// names conventionally start with 'm'.
+  void registerMethod(const std::string &Name, XFMethod Method);
+
+  /// Resolves \p Name; nullptr when unknown.
+  const XFMethod *getMethod(const std::string &Name) const;
+
+  /// True for XICL-predefined method names.
+  static bool isPredefined(const std::string &Name);
+
+private:
+  std::map<std::string, XFMethod> Methods;
+};
+
+} // namespace xicl
+} // namespace evm
+
+#endif // EVM_XICL_XFMETHOD_H

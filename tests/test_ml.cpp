@@ -1,0 +1,355 @@
+//===- tests/test_ml.cpp - Dataset, classification trees, CV, confidence --==//
+
+#include "ml/ClassificationTree.h"
+#include "ml/Confidence.h"
+#include "ml/CrossValidation.h"
+#include "ml/Dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace evm;
+using namespace evm::ml;
+using xicl::Feature;
+using xicl::FeatureVector;
+
+namespace {
+
+FeatureVector fv2(double X1, double X2) {
+  FeatureVector FV;
+  FV.append(Feature::numeric("x1", X1));
+  FV.append(Feature::numeric("x2", X2));
+  return FV;
+}
+
+/// The paper's Fig. 6 training set: class 1 when x1 < 6 (roughly), refined
+/// by x1 < 4.5 / x2 < 4 questions.  We synthesize points obeying:
+///   x1 < 4.5                 -> class 1
+///   4.5 <= x1 < 6 and x2 < 4 -> class 1
+///   otherwise                -> class 2
+Dataset fig6Dataset() {
+  Dataset D;
+  const double X1s[] = {1, 2, 3, 4, 5, 5.5, 5, 7, 8, 6.5, 7.5, 9, 5, 6.8};
+  const double X2s[] = {2, 6, 4, 7, 3, 2, 5, 2, 6, 5, 3, 7, 1, 6};
+  for (size_t I = 0; I != sizeof(X1s) / sizeof(X1s[0]); ++I) {
+    double X1 = X1s[I], X2 = X2s[I];
+    int Label = (X1 < 4.5 || (X1 < 6 && X2 < 4)) ? 1 : 2;
+    D.addExample(fv2(X1, X2), Label);
+  }
+  return D;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dataset
+//===----------------------------------------------------------------------===//
+
+TEST(DatasetTest, SchemaGrowsByName) {
+  Dataset D;
+  D.addExample(fv2(1, 2), 0);
+  EXPECT_EQ(D.numFeatures(), 2u);
+  FeatureVector Extra = fv2(3, 4);
+  Extra.append(Feature::numeric("x3", 5));
+  D.addExample(Extra, 1);
+  EXPECT_EQ(D.numFeatures(), 3u);
+  // The earlier row reads 0 for the new column.
+  EXPECT_DOUBLE_EQ(D.example(0).Values[2], 0);
+  EXPECT_DOUBLE_EQ(D.example(1).Values[2], 5);
+}
+
+TEST(DatasetTest, CategoricalDictionaryEncoding) {
+  Dataset D;
+  FeatureVector A;
+  A.append(Feature::categorical("fmt", "pdf"));
+  FeatureVector B;
+  B.append(Feature::categorical("fmt", "txt"));
+  D.addExample(A, 0);
+  D.addExample(B, 1);
+  EXPECT_TRUE(D.schema()[0].Categorical);
+  EXPECT_EQ(D.schema()[0].Dictionary.size(), 2u);
+  EXPECT_NE(D.example(0).Values[0], D.example(1).Values[0]);
+  // Re-encoding a known category matches; unknown encodes as -1.
+  EXPECT_DOUBLE_EQ(D.encode(A).Values[0], D.example(0).Values[0]);
+  FeatureVector C;
+  C.append(Feature::categorical("fmt", "svg"));
+  EXPECT_DOUBLE_EQ(D.encode(C).Values[0], -1);
+}
+
+TEST(DatasetTest, EncodeIgnoresUnknownNames) {
+  Dataset D;
+  D.addExample(fv2(1, 2), 0);
+  FeatureVector Strange;
+  Strange.append(Feature::numeric("zz", 9));
+  Example E = D.encode(Strange);
+  ASSERT_EQ(E.Values.size(), 2u);
+  EXPECT_DOUBLE_EQ(E.Values[0], 0);
+}
+
+TEST(DatasetTest, LabelsSortedDistinct) {
+  Dataset D;
+  D.addExample(fv2(1, 1), 3);
+  D.addExample(fv2(2, 2), 1);
+  D.addExample(fv2(3, 3), 3);
+  auto L = D.labels();
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[0], 1);
+  EXPECT_EQ(L[1], 3);
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  Dataset D = fig6Dataset();
+  Dataset S = D.subset({0, 2, 4});
+  EXPECT_EQ(S.numExamples(), 3u);
+  EXPECT_EQ(S.numFeatures(), D.numFeatures());
+  EXPECT_DOUBLE_EQ(S.example(1).Values[0], D.example(2).Values[0]);
+}
+
+TEST(DatasetTest, SetLabelRewrites) {
+  Dataset D;
+  D.addExample(fv2(1, 1), 0);
+  D.setLabel(0, 7);
+  EXPECT_EQ(D.example(0).Label, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Entropy
+//===----------------------------------------------------------------------===//
+
+TEST(EntropyTest, PureIsZero) {
+  Dataset D;
+  D.addExample(fv2(1, 1), 1);
+  D.addExample(fv2(2, 2), 1);
+  EXPECT_DOUBLE_EQ(labelEntropy(D, {0, 1}), 0.0);
+}
+
+TEST(EntropyTest, EvenSplitIsOneBit) {
+  Dataset D;
+  D.addExample(fv2(1, 1), 1);
+  D.addExample(fv2(2, 2), 2);
+  EXPECT_DOUBLE_EQ(labelEntropy(D, {0, 1}), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Classification tree
+//===----------------------------------------------------------------------===//
+
+TEST(TreeTest, LearnsFig6Structure) {
+  Dataset D = fig6Dataset();
+  ClassificationTree Tree = ClassificationTree::build(D);
+  // Perfect training accuracy on this separable set.
+  for (size_t I = 0; I != D.numExamples(); ++I)
+    EXPECT_EQ(Tree.predict(D.example(I)), D.example(I).Label) << "row " << I;
+  // Both features participate (the paper's x1 < 6, x1 < 4.5, x2 < 4 tree).
+  auto Used = Tree.usedFeatures();
+  EXPECT_TRUE(Used.count(0));
+  EXPECT_TRUE(Used.count(1));
+}
+
+TEST(TreeTest, GeneralizesOnFig6Grid) {
+  Dataset D = fig6Dataset();
+  ClassificationTree Tree = ClassificationTree::build(D);
+  // Points deep inside each region classify correctly.
+  EXPECT_EQ(Tree.predict(D.encode(fv2(1, 1))), 1);
+  EXPECT_EQ(Tree.predict(D.encode(fv2(5.2, 1.5))), 1);
+  EXPECT_EQ(Tree.predict(D.encode(fv2(8.5, 6.5))), 2);
+  EXPECT_EQ(Tree.predict(D.encode(fv2(7.2, 2.0))), 2);
+}
+
+TEST(TreeTest, ConstantLabelsGiveLeaf) {
+  Dataset D;
+  for (int I = 0; I != 5; ++I)
+    D.addExample(fv2(I, I), 3);
+  ClassificationTree Tree = ClassificationTree::build(D);
+  EXPECT_EQ(Tree.numNodes(), 1u);
+  EXPECT_EQ(Tree.depth(), 1);
+  EXPECT_EQ(Tree.predict(D.encode(fv2(99, 99))), 3);
+  EXPECT_TRUE(Tree.usedFeatures().empty());
+}
+
+TEST(TreeTest, EmptyDatasetPredictsZero) {
+  Dataset D;
+  ClassificationTree Tree = ClassificationTree::build(D);
+  Example E;
+  EXPECT_EQ(Tree.predict(E), 0);
+}
+
+TEST(TreeTest, IrrelevantConstantFeatureNeverUsed) {
+  // The paper's automatic feature selection: an option stuck at its
+  // default can never reduce impurity and never appears in the tree.
+  Dataset D;
+  for (int I = 0; I != 20; ++I) {
+    FeatureVector FV;
+    FV.append(Feature::numeric("size", I));
+    FV.append(Feature::numeric("-q.val", 0)); // never-used option
+    D.addExample(FV, I < 10 ? 0 : 1);
+  }
+  ClassificationTree Tree = ClassificationTree::build(D);
+  auto Used = Tree.usedFeatures();
+  EXPECT_TRUE(Used.count(0));
+  EXPECT_FALSE(Used.count(1));
+}
+
+TEST(TreeTest, CategoricalSplits) {
+  Dataset D;
+  const char *Fmts[] = {"pdf", "txt", "pdf", "txt", "pdf", "txt"};
+  for (int I = 0; I != 6; ++I) {
+    FeatureVector FV;
+    FV.append(Feature::categorical("fmt", Fmts[I]));
+    FV.append(Feature::numeric("noise", I * 7 % 5));
+    D.addExample(FV, Fmts[I][0] == 'p' ? 1 : 2);
+  }
+  ClassificationTree Tree = ClassificationTree::build(D);
+  FeatureVector Pdf;
+  Pdf.append(Feature::categorical("fmt", "pdf"));
+  FeatureVector Txt;
+  Txt.append(Feature::categorical("fmt", "txt"));
+  EXPECT_EQ(Tree.predict(D.encode(Pdf)), 1);
+  EXPECT_EQ(Tree.predict(D.encode(Txt)), 2);
+}
+
+TEST(TreeTest, MaxDepthRespected) {
+  // A hard dataset (labels = parity-ish) cannot exceed the depth cap.
+  Dataset D;
+  Rng R(5);
+  for (int I = 0; I != 200; ++I) {
+    double X = R.nextDouble(0, 100);
+    D.addExample(fv2(X, R.nextDouble(0, 100)),
+                 (static_cast<int>(X) % 2));
+  }
+  TreeParams P;
+  P.MaxDepth = 3;
+  ClassificationTree Tree = ClassificationTree::build(D, P);
+  // depth() counts nodes along the longest path: MaxDepth split levels
+  // plus the leaf.
+  EXPECT_LE(Tree.depth(), P.MaxDepth + 1);
+}
+
+TEST(TreeTest, MinSamplesSplitStopsGrowth) {
+  Dataset D = fig6Dataset();
+  TreeParams P;
+  P.MinSamplesSplit = 1000;
+  ClassificationTree Tree = ClassificationTree::build(D, P);
+  EXPECT_EQ(Tree.numNodes(), 1u);
+}
+
+TEST(TreeTest, PrintShowsQuestions) {
+  Dataset D = fig6Dataset();
+  ClassificationTree Tree = ClassificationTree::build(D);
+  std::string Text = Tree.print(D);
+  EXPECT_NE(Text.find("x1 <"), std::string::npos);
+  EXPECT_NE(Text.find("->"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Parameterized sweep: trees fit threshold concepts at many thresholds
+//===----------------------------------------------------------------------===//
+
+class TreeThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TreeThresholdSweep, RecoversThresholdConcept) {
+  double Threshold = GetParam();
+  Dataset D;
+  Rng R(static_cast<uint64_t>(Threshold * 977) + 1);
+  for (int I = 0; I != 300; ++I) {
+    double X = R.nextDouble(0, 100);
+    D.addExample(fv2(X, R.nextDouble(0, 100)), X < Threshold ? 0 : 1);
+  }
+  ClassificationTree Tree = ClassificationTree::build(D);
+  // Probe away from the boundary.
+  int Correct = 0, Total = 0;
+  for (double X = 2; X < 100; X += 4.7) {
+    if (std::abs(X - Threshold) < 3)
+      continue;
+    ++Total;
+    if (Tree.predict(D.encode(fv2(X, 50))) == (X < Threshold ? 0 : 1))
+      ++Correct;
+  }
+  EXPECT_GE(Correct, Total - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, TreeThresholdSweep,
+                         ::testing::Values(10.0, 25.0, 50.0, 75.0, 90.0));
+
+//===----------------------------------------------------------------------===//
+// Cross-validation
+//===----------------------------------------------------------------------===//
+
+TEST(CrossValidationTest, HighOnSeparableData) {
+  Dataset D;
+  Rng R(3);
+  for (int I = 0; I != 100; ++I) {
+    double X = R.nextDouble(0, 100);
+    D.addExample(fv2(X, 0), X < 50 ? 0 : 1);
+  }
+  Rng Folds(7);
+  EXPECT_GT(kFoldAccuracy(D, 5, Folds), 0.9);
+}
+
+TEST(CrossValidationTest, LowOnRandomLabels) {
+  Dataset D;
+  Rng R(3);
+  for (int I = 0; I != 100; ++I)
+    D.addExample(fv2(R.nextDouble(0, 100), R.nextDouble(0, 100)),
+                 static_cast<int>(R.nextInt(0, 3)));
+  Rng Folds(7);
+  EXPECT_LT(kFoldAccuracy(D, 5, Folds), 0.6);
+}
+
+TEST(CrossValidationTest, TinyDatasetsHandled) {
+  Rng R0(1);
+  Dataset D;
+  EXPECT_DOUBLE_EQ(kFoldAccuracy(D, 5, R0), 0.0);
+  Dataset D2;
+  D2.addExample(fv2(1, 1), 0);
+  Rng R(1);
+  EXPECT_DOUBLE_EQ(kFoldAccuracy(D2, 5, R), 0.0);
+  D2.addExample(fv2(2, 2), 1);
+  EXPECT_GE(kFoldAccuracy(D2, 5, R), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Confidence tracker (paper Fig. 7 arithmetic)
+//===----------------------------------------------------------------------===//
+
+TEST(ConfidenceTest, StartsAtZeroBelowThreshold) {
+  ConfidenceTracker C(0.7, 0.7);
+  EXPECT_DOUBLE_EQ(C.value(), 0.0);
+  EXPECT_FALSE(C.confident());
+}
+
+TEST(ConfidenceTest, DecayedUpdateFormula) {
+  ConfidenceTracker C(0.7, 0.7);
+  C.update(1.0);
+  EXPECT_DOUBLE_EQ(C.value(), 0.7); // (1-0.7)*0 + 0.7*1
+  C.update(1.0);
+  EXPECT_NEAR(C.value(), 0.91, 1e-12);
+  EXPECT_TRUE(C.confident());
+}
+
+TEST(ConfidenceTest, PoorAccuracyDropsConfidence) {
+  ConfidenceTracker C(0.7, 0.7);
+  C.update(1.0);
+  C.update(1.0);
+  ASSERT_TRUE(C.confident());
+  C.update(0.0);
+  EXPECT_NEAR(C.value(), 0.273, 1e-3);
+  EXPECT_FALSE(C.confident());
+}
+
+TEST(ConfidenceTest, GammaWeightsRecency) {
+  ConfidenceTracker Fast(0.9, 0.7), Slow(0.1, 0.7);
+  for (int I = 0; I != 3; ++I) {
+    Fast.update(1.0);
+    Slow.update(1.0);
+  }
+  EXPECT_GT(Fast.value(), Slow.value());
+}
+
+TEST(ConfidenceTest, ConvergesToSteadyAccuracy) {
+  ConfidenceTracker C(0.7, 0.7);
+  for (int I = 0; I != 50; ++I)
+    C.update(0.85);
+  EXPECT_NEAR(C.value(), 0.85, 1e-6);
+}

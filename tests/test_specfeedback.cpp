@@ -1,0 +1,88 @@
+//===- tests/test_specfeedback.cpp - Sec. VI spec-refinement feedback -----==//
+
+#include "evolve/SpecFeedback.h"
+
+#include <gtest/gtest.h>
+
+using namespace evm;
+using namespace evm::evolve;
+using vm::OptLevel;
+using xicl::Feature;
+using xicl::FeatureVector;
+
+namespace {
+
+/// Model trained so that "size" matters, "-q.val" is constant, and
+/// "noise" varies but never helps.
+ModelBuilder trainedModel() {
+  ModelBuilder MB(1);
+  Rng R(3);
+  for (int I = 0; I != 40; ++I) {
+    FeatureVector FV;
+    double Size = I * 25;
+    FV.append(Feature::numeric("size", Size));
+    FV.append(Feature::numeric("-q.val", 0));
+    MethodLevelStrategy Ideal;
+    Ideal.Levels = {Size >= 500 ? OptLevel::O2 : OptLevel::O0};
+    MB.addRun(FV, Ideal);
+  }
+  MB.rebuild();
+  return MB;
+}
+
+} // namespace
+
+TEST(SpecFeedbackTest, IdentifiesConstantAndUnusedFeatures) {
+  ModelBuilder MB = trainedModel();
+  SpecFeedbackCollector Collector;
+  SpecFeedback FB = Collector.analyze(MB);
+  ASSERT_EQ(FB.Features.size(), 2u);
+  EXPECT_EQ(FB.RunsObserved, 40u);
+
+  // "size" varies and is used; "-q.val" is constant and unused.
+  auto Droppable = FB.droppableFeatures();
+  auto Constant = FB.constantFeatures();
+  ASSERT_EQ(Droppable.size(), 1u);
+  EXPECT_EQ(Droppable[0], "-q.val");
+  ASSERT_EQ(Constant.size(), 1u);
+  EXPECT_EQ(Constant[0], "-q.val");
+}
+
+TEST(SpecFeedbackTest, AccuracyTrendComputed) {
+  ModelBuilder MB = trainedModel();
+  SpecFeedbackCollector Collector;
+  for (double A : {0.4, 0.45, 0.5, 0.8, 0.9, 0.95})
+    Collector.recordAccuracy(A);
+  SpecFeedback FB = Collector.analyze(MB);
+  EXPECT_GT(FB.AccuracyTrend, 0.3); // improving
+  EXPECT_GT(FB.MeanRecentAccuracy, 0.8);
+  EXPECT_FALSE(FB.LikelyMissingFeature);
+}
+
+TEST(SpecFeedbackTest, FlagsPlateauedLowAccuracy) {
+  ModelBuilder MB = trainedModel();
+  SpecFeedbackCollector Collector;
+  for (int I = 0; I != 12; ++I)
+    Collector.recordAccuracy(0.5);
+  SpecFeedback FB = Collector.analyze(MB);
+  EXPECT_TRUE(FB.LikelyMissingFeature);
+  EXPECT_NE(FB.render().find("missing"), std::string::npos);
+}
+
+TEST(SpecFeedbackTest, FewRunsNoFalseAlarm) {
+  ModelBuilder MB = trainedModel();
+  SpecFeedbackCollector Collector;
+  Collector.recordAccuracy(0.2);
+  SpecFeedback FB = Collector.analyze(MB);
+  EXPECT_FALSE(FB.LikelyMissingFeature); // not enough evidence yet
+  EXPECT_DOUBLE_EQ(FB.MeanRecentAccuracy, 0.2);
+}
+
+TEST(SpecFeedbackTest, RenderListsEveryFeature) {
+  ModelBuilder MB = trainedModel();
+  SpecFeedbackCollector Collector;
+  std::string Text = Collector.analyze(MB).render();
+  EXPECT_NE(Text.find("size"), std::string::npos);
+  EXPECT_NE(Text.find("-q.val"), std::string::npos);
+  EXPECT_NE(Text.find("never used by models"), std::string::npos);
+}

@@ -1,0 +1,260 @@
+//===- tests/test_support.cpp - support library unit tests ----------------==//
+
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace evm;
+
+//===----------------------------------------------------------------------===//
+// Error / ErrorOr
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorOrTest, SuccessHoldsValue) {
+  ErrorOr<int> V(42);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, 42);
+}
+
+TEST(ErrorOrTest, FailureHoldsError) {
+  ErrorOr<int> V(Error("boom"));
+  ASSERT_FALSE(static_cast<bool>(V));
+  EXPECT_EQ(V.getError().message(), "boom");
+}
+
+TEST(ErrorOrTest, TakeValueMovesOut) {
+  ErrorOr<std::string> V(std::string("payload"));
+  std::string S = V.takeValue();
+  EXPECT_EQ(S, "payload");
+}
+
+TEST(ErrorOrTest, MakeErrorFormats) {
+  Error E = makeError("bad %s at %d", "token", 7);
+  EXPECT_EQ(E.message(), "bad token at 7");
+}
+
+//===----------------------------------------------------------------------===//
+// Format
+//===----------------------------------------------------------------------===//
+
+TEST(FormatTest, BasicSubstitution) {
+  EXPECT_EQ(formatString("%d-%s", 5, "x"), "5-x");
+}
+
+TEST(FormatTest, EmptyFormat) { EXPECT_EQ(formatString("%s", ""), ""); }
+
+TEST(FormatTest, LongOutput) {
+  std::string Long(5000, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 5000u);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, SplitKeepsEmptyPieces) {
+  auto Pieces = splitString("a::b", ':');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[1], "");
+  EXPECT_EQ(Pieces[2], "b");
+}
+
+TEST(StringUtilsTest, SplitSingle) {
+  auto Pieces = splitString("abc", ',');
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_EQ(Pieces[0], "abc");
+}
+
+TEST(StringUtilsTest, SplitWhitespaceDropsEmpty) {
+  auto Pieces = splitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[2], "c");
+}
+
+TEST(StringUtilsTest, TokenizeCommandLineQuotes) {
+  auto Tokens = tokenizeCommandLine("prog -n 3 \"two words\" tail");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[3], "two words");
+}
+
+TEST(StringUtilsTest, TokenizeEmptyLine) {
+  EXPECT_TRUE(tokenizeCommandLine("   ").empty());
+}
+
+TEST(StringUtilsTest, TrimBothEnds) {
+  EXPECT_EQ(trimString("  x y \t"), "x y");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("option", "opt"));
+  EXPECT_FALSE(startsWith("op", "opt"));
+  EXPECT_TRUE(endsWith("label:", ":"));
+  EXPECT_FALSE(endsWith("", ":"));
+}
+
+TEST(StringUtilsTest, ParseIntegerStrict) {
+  EXPECT_EQ(parseInteger("42").value(), 42);
+  EXPECT_EQ(parseInteger("-7").value(), -7);
+  EXPECT_FALSE(parseInteger("42x").has_value());
+  EXPECT_FALSE(parseInteger("").has_value());
+  EXPECT_FALSE(parseInteger("4.2").has_value());
+}
+
+TEST(StringUtilsTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(parseDouble("2.5").value(), 2.5);
+  EXPECT_FALSE(parseDouble("2.5z").has_value());
+}
+
+TEST(StringUtilsTest, JoinStrings) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, Deterministic) {
+  Rng A(7), B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(RngTest, IntRangeInclusive) {
+  Rng R(3);
+  bool SawLow = false, SawHigh = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInt(2, 5);
+    EXPECT_GE(V, 2);
+    EXPECT_LE(V, 5);
+    SawLow |= V == 2;
+    SawHigh |= V == 5;
+  }
+  EXPECT_TRUE(SawLow);
+  EXPECT_TRUE(SawHigh);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng R(5);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6};
+  auto Original = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Original);
+}
+
+TEST(RngTest, ForkIndependentStream) {
+  Rng A(11);
+  Rng Child = A.fork();
+  EXPECT_NE(A.next(), Child.next());
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, MeanAndStddev) {
+  std::vector<double> S = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(S), 2.5);
+  EXPECT_NEAR(stddev(S), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  std::vector<double> S = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(S, 0.0), 10);
+  EXPECT_DOUBLE_EQ(quantile(S, 1.0), 40);
+  EXPECT_DOUBLE_EQ(quantile(S, 0.5), 25);
+  EXPECT_DOUBLE_EQ(median(S), 25);
+}
+
+TEST(StatisticsTest, QuantileSingleSample) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(StatisticsTest, Geomean) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(StatisticsTest, BoxStatsFiveNumbers) {
+  std::vector<double> S;
+  for (int I = 1; I <= 101; ++I)
+    S.push_back(I);
+  BoxStats B = computeBoxStats(S);
+  EXPECT_DOUBLE_EQ(B.Min, 1);
+  EXPECT_DOUBLE_EQ(B.Median, 51);
+  EXPECT_DOUBLE_EQ(B.Max, 101);
+  EXPECT_DOUBLE_EQ(B.Q25, 26);
+  EXPECT_DOUBLE_EQ(B.Q75, 76);
+  EXPECT_EQ(B.Count, 101u);
+}
+
+TEST(StatisticsTest, PearsonPerfectCorrelation) {
+  std::vector<double> X = {1, 2, 3}, Y = {2, 4, 6};
+  EXPECT_NEAR(pearsonCorrelation(X, Y), 1.0, 1e-12);
+  std::vector<double> Z = {6, 4, 2};
+  EXPECT_NEAR(pearsonCorrelation(X, Z), -1.0, 1e-12);
+}
+
+TEST(StatisticsTest, PearsonNoVariance) {
+  std::vector<double> X = {1, 1, 1}, Y = {2, 4, 6};
+  EXPECT_DOUBLE_EQ(pearsonCorrelation(X, Y), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// TextTable
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, AlignsColumns) {
+  TextTable T({"name", "v"});
+  T.beginRow();
+  T.addCell("long-name");
+  T.addCell(int64_t{7});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("long-name  7"), std::string::npos);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+}
+
+TEST(TableTest, NumericFormatting) {
+  TextTable T({"x"});
+  T.beginRow();
+  T.addCell(1.23456, 2);
+  EXPECT_NE(T.render().find("1.23"), std::string::npos);
+}
+
+TEST(TableTest, BoxLineMarkers) {
+  std::string Line = renderBoxLine(1.0, 1.2, 1.5, 1.8, 2.0, 1.0, 2.0, 41);
+  EXPECT_EQ(Line.size(), 41u);
+  EXPECT_EQ(Line.front(), '|');
+  EXPECT_EQ(Line.back(), '|');
+  EXPECT_NE(Line.find('M'), std::string::npos);
+  EXPECT_NE(Line.find('='), std::string::npos);
+}
+
+TEST(TableTest, BoxLineClampsOutOfAxis) {
+  std::string Line = renderBoxLine(0.5, 0.9, 1.0, 1.1, 3.0, 1.0, 2.0, 21);
+  EXPECT_EQ(Line.size(), 21u); // out-of-range values clamp, no crash
+}

@@ -1,0 +1,241 @@
+//===- tests/test_workloads.cpp - Benchmark analogue validation -----------==//
+//
+// Every workload must verify, run trap-free on all of its inputs (spot
+// checked), scale its run time with its size feature, and shift its hot-
+// method mix with its mode options — the properties the paper's learning
+// pipeline depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "bytecode/Verifier.h"
+#include "vm/Aos.h"
+#include "vm/Engine.h"
+#include "xicl/Spec.h"
+#include "xicl/Translator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+using namespace evm;
+using namespace evm::wl;
+
+namespace {
+
+constexpr uint64_t Seed = 20090301;
+
+vm::RunResult runInput(const Workload &W, const InputCase &Input) {
+  vm::TimingModel TM;
+  vm::AdaptivePolicy Policy(TM);
+  vm::ExecutionEngine Engine(W.Module, TM, &Policy);
+  auto R = Engine.run(Input.VmArgs, 60ULL << 30);
+  EXPECT_TRUE(static_cast<bool>(R)) << W.Name << ": "
+                                    << (R ? "" : R.getError().message());
+  return R ? R.takeValue() : vm::RunResult();
+}
+
+} // namespace
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSuite, ModuleVerifies) {
+  Workload W = buildWorkload(GetParam(), Seed);
+  EXPECT_TRUE(bc::verifyModule(W.Module).message().empty())
+      << bc::verifyModule(W.Module).message();
+  EXPECT_GE(W.Module.numFunctions(), 3u);
+}
+
+TEST_P(WorkloadSuite, InputSetNonEmptyAndDeterministic) {
+  Workload A = buildWorkload(GetParam(), Seed);
+  Workload B = buildWorkload(GetParam(), Seed);
+  ASSERT_FALSE(A.Inputs.empty());
+  ASSERT_EQ(A.Inputs.size(), B.Inputs.size());
+  for (size_t I = 0; I != A.Inputs.size(); ++I)
+    EXPECT_EQ(A.Inputs[I].CommandLine, B.Inputs[I].CommandLine);
+}
+
+TEST_P(WorkloadSuite, SpecParsesAndTranslatesEveryInput) {
+  Workload W = buildWorkload(GetParam(), Seed);
+  auto Spec = xicl::parseSpec(W.XiclSpec);
+  ASSERT_TRUE(static_cast<bool>(Spec)) << Spec.getError().message();
+  xicl::XFMethodRegistry Registry;
+  W.registerMethods(Registry);
+  xicl::FileStore Files;
+  W.populateFileStore(Files);
+  xicl::XICLTranslator T(Spec.takeValue(), &Registry, &Files);
+  for (const InputCase &Input : W.Inputs) {
+    auto FV = T.buildFVector(Input.CommandLine);
+    ASSERT_TRUE(static_cast<bool>(FV))
+        << Input.CommandLine << ": " << FV.getError().message();
+    EXPECT_GT(FV->size(), 0u);
+  }
+}
+
+TEST_P(WorkloadSuite, RunsTrapFreeOnSampledInputs) {
+  Workload W = buildWorkload(GetParam(), Seed);
+  // First, middle, last input (full sweeps live in the benches).
+  for (size_t I : {size_t{0}, W.Inputs.size() / 2, W.Inputs.size() - 1}) {
+    vm::RunResult R = runInput(W, W.Inputs[I]);
+    EXPECT_GT(R.Cycles, 0u) << W.Name << " input " << I;
+  }
+}
+
+TEST_P(WorkloadSuite, DeterministicAcrossEngines) {
+  Workload W = buildWorkload(GetParam(), Seed);
+  vm::RunResult R1 = runInput(W, W.Inputs[0]);
+  vm::RunResult R2 = runInput(W, W.Inputs[0]);
+  EXPECT_TRUE(R1.ReturnValue.equals(R2.ReturnValue));
+  EXPECT_EQ(R1.Cycles, R2.Cycles);
+}
+
+TEST_P(WorkloadSuite, HotMethodsAreReinvoked) {
+  // Recompilation only pays off for methods invoked repeatedly; every
+  // workload must have at least one method with many invocations.
+  Workload W = buildWorkload(GetParam(), Seed);
+  vm::RunResult R = runInput(W, W.Inputs[W.Inputs.size() / 2]);
+  uint64_t MaxInvocations = 0;
+  for (const vm::MethodStats &S : R.PerMethod)
+    MaxInvocations = std::max(MaxInvocations, S.Invocations);
+  EXPECT_GE(MaxInvocations, 10u) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSuite,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) { return Info.param; });
+
+//===----------------------------------------------------------------------===//
+// Registry-level checks
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadRegistryTest, ElevenPaperBenchmarks) {
+  EXPECT_EQ(workloadNames().size(), 11u);
+  auto All = buildAllWorkloads(Seed);
+  EXPECT_EQ(All.size(), 11u);
+  EXPECT_EQ(All[0].Name, "Compress");
+  EXPECT_EQ(All[10].Name, "RayTracer");
+}
+
+TEST(WorkloadRegistryTest, TableISuitesAndInputCounts) {
+  auto All = buildAllWorkloads(Seed);
+  std::map<std::string, std::string> Suites;
+  std::map<std::string, size_t> Counts;
+  for (const Workload &W : All) {
+    Suites[W.Name] = W.Suite;
+    Counts[W.Name] = W.Inputs.size();
+  }
+  EXPECT_EQ(Suites["Compress"], "jvm98");
+  EXPECT_EQ(Suites["Antlr"], "dacapo");
+  EXPECT_EQ(Suites["MolDyn"], "grande");
+  // Table I input-set sizes.
+  EXPECT_EQ(Counts["Compress"], 76u);
+  EXPECT_EQ(Counts["Db"], 60u);
+  EXPECT_EQ(Counts["Mtrt"], 92u);
+  EXPECT_EQ(Counts["Search"], 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Input sensitivity of specific workloads
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadSensitivityTest, CompressTimeScalesWithFileSize) {
+  Workload W = buildWorkload("Compress", Seed);
+  // Find a small and a large input by declared file size.
+  size_t Small = 0, Large = 0;
+  for (size_t I = 0; I != W.Inputs.size(); ++I) {
+    if (W.Inputs[I].VmArgs[0].asInt() < W.Inputs[Small].VmArgs[0].asInt())
+      Small = I;
+    if (W.Inputs[I].VmArgs[0].asInt() > W.Inputs[Large].VmArgs[0].asInt())
+      Large = I;
+  }
+  uint64_t SmallCycles = runInput(W, W.Inputs[Small]).Cycles;
+  uint64_t LargeCycles = runInput(W, W.Inputs[Large]).Cycles;
+  EXPECT_GT(LargeCycles, SmallCycles * 5);
+}
+
+TEST(WorkloadSensitivityTest, MtrtModeSelectsHotMethods) {
+  Workload W = buildWorkload("Mtrt", Seed);
+  auto AaId = W.Module.findFunction("samplePixel");
+  auto ReflectId = W.Module.findFunction("reflect");
+  ASSERT_TRUE(AaId.has_value());
+  ASSERT_TRUE(ReflectId.has_value());
+
+  // depth=1, aa=0: neither extra kernel runs.
+  InputCase Plain;
+  Plain.VmArgs = {bc::Value::makeInt(80), bc::Value::makeInt(80),
+                  bc::Value::makeInt(1), bc::Value::makeInt(0),
+                  bc::Value::makeInt(8)};
+  // depth=3, aa=2: both run per pixel.
+  InputCase Fancy = Plain;
+  Fancy.VmArgs[2] = bc::Value::makeInt(3);
+  Fancy.VmArgs[3] = bc::Value::makeInt(2);
+
+  vm::RunResult RPlain = runInput(W, Plain);
+  vm::RunResult RFancy = runInput(W, Fancy);
+  EXPECT_EQ(RPlain.PerMethod[*AaId].Invocations, 0u);
+  EXPECT_EQ(RPlain.PerMethod[*ReflectId].Invocations, 0u);
+  EXPECT_GT(RFancy.PerMethod[*AaId].Invocations, 1000u);
+  EXPECT_GT(RFancy.PerMethod[*ReflectId].Invocations, 1000u);
+}
+
+TEST(WorkloadSensitivityTest, BloatOperationSelectsKernel) {
+  Workload W = buildWorkload("Bloat", Seed);
+  auto OptId = W.Module.findFunction("optimizeMethod");
+  auto InlineId = W.Module.findFunction("inlineExpand");
+  ASSERT_TRUE(OptId.has_value());
+  ASSERT_TRUE(InlineId.has_value());
+  InputCase OpOpt;
+  OpOpt.VmArgs = {bc::Value::makeInt(3000), bc::Value::makeInt(0)};
+  InputCase OpInline;
+  OpInline.VmArgs = {bc::Value::makeInt(3000), bc::Value::makeInt(1)};
+  vm::RunResult ROpt = runInput(W, OpOpt);
+  vm::RunResult RInline = runInput(W, OpInline);
+  EXPECT_GT(ROpt.PerMethod[*OptId].Invocations, 0u);
+  EXPECT_EQ(ROpt.PerMethod[*InlineId].Invocations, 0u);
+  EXPECT_EQ(RInline.PerMethod[*OptId].Invocations, 0u);
+  EXPECT_GT(RInline.PerMethod[*InlineId].Invocations, 0u);
+}
+
+TEST(WorkloadSensitivityTest, RunTimesSpanPaperRange) {
+  // Across all workloads, default run times should span roughly the
+  // paper's 1-26 s (we accept a generous 0.05-40 s envelope).
+  vm::TimingModel TM;
+  double MinSec = 1e30, MaxSec = 0;
+  for (const std::string &Name : workloadNames()) {
+    Workload W = buildWorkload(Name, Seed);
+    vm::RunResult R = runInput(W, W.Inputs[W.Inputs.size() / 2]);
+    double Sec = TM.toSeconds(R.Cycles);
+    MinSec = std::min(MinSec, Sec);
+    MaxSec = std::max(MaxSec, Sec);
+  }
+  EXPECT_GT(MaxSec, 0.5);
+  EXPECT_LT(MaxSec, 60.0);
+  EXPECT_GT(MinSec, 0.005);
+}
+
+//===----------------------------------------------------------------------===//
+// The route example
+//===----------------------------------------------------------------------===//
+
+TEST(RouteExampleTest, BuildsVerifiesAndRuns) {
+  Workload W = buildRouteExample(Seed, 10);
+  EXPECT_TRUE(bc::verifyModule(W.Module).message().empty());
+  EXPECT_EQ(W.Inputs.size(), 10u);
+  vm::RunResult R = runInput(W, W.Inputs[0]);
+  EXPECT_GT(R.Cycles, 0u);
+}
+
+TEST(RouteExampleTest, SpecMatchesPaperFigure2) {
+  Workload W = buildRouteExample(Seed, 4);
+  auto Spec = xicl::parseSpec(W.XiclSpec);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  ASSERT_EQ(Spec->Options.size(), 2u);
+  EXPECT_EQ(Spec->Options[0].primaryName(), "-n");
+  EXPECT_TRUE(Spec->Options[1].matches("--echo"));
+  ASSERT_EQ(Spec->Operands.size(), 1u);
+  EXPECT_EQ(Spec->Operands[0].PosEnd, -1);
+  EXPECT_EQ(Spec->Operands[0].Attrs[0], "mnodes");
+  EXPECT_EQ(Spec->Operands[0].Attrs[1], "medges");
+}
