@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jit_levels.dir/bench_jit_levels.cpp.o"
+  "CMakeFiles/bench_jit_levels.dir/bench_jit_levels.cpp.o.d"
+  "bench_jit_levels"
+  "bench_jit_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jit_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

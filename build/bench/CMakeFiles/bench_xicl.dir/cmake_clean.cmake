@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xicl.dir/bench_xicl.cpp.o"
+  "CMakeFiles/bench_xicl.dir/bench_xicl.cpp.o.d"
+  "bench_xicl"
+  "bench_xicl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xicl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

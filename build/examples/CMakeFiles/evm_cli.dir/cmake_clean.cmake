@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_cli.dir/evm_cli.cpp.o"
+  "CMakeFiles/evm_cli.dir/evm_cli.cpp.o.d"
+  "evm_cli"
+  "evm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route.dir/route.cpp.o"
+  "CMakeFiles/route.dir/route.cpp.o.d"
+  "route"
+  "route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/Assembler.cpp" "src/bytecode/CMakeFiles/evm_bytecode.dir/Assembler.cpp.o" "gcc" "src/bytecode/CMakeFiles/evm_bytecode.dir/Assembler.cpp.o.d"
+  "/root/repo/src/bytecode/Builder.cpp" "src/bytecode/CMakeFiles/evm_bytecode.dir/Builder.cpp.o" "gcc" "src/bytecode/CMakeFiles/evm_bytecode.dir/Builder.cpp.o.d"
+  "/root/repo/src/bytecode/Module.cpp" "src/bytecode/CMakeFiles/evm_bytecode.dir/Module.cpp.o" "gcc" "src/bytecode/CMakeFiles/evm_bytecode.dir/Module.cpp.o.d"
+  "/root/repo/src/bytecode/Opcode.cpp" "src/bytecode/CMakeFiles/evm_bytecode.dir/Opcode.cpp.o" "gcc" "src/bytecode/CMakeFiles/evm_bytecode.dir/Opcode.cpp.o.d"
+  "/root/repo/src/bytecode/Verifier.cpp" "src/bytecode/CMakeFiles/evm_bytecode.dir/Verifier.cpp.o" "gcc" "src/bytecode/CMakeFiles/evm_bytecode.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/evm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_bytecode.dir/Assembler.cpp.o"
+  "CMakeFiles/evm_bytecode.dir/Assembler.cpp.o.d"
+  "CMakeFiles/evm_bytecode.dir/Builder.cpp.o"
+  "CMakeFiles/evm_bytecode.dir/Builder.cpp.o.d"
+  "CMakeFiles/evm_bytecode.dir/Module.cpp.o"
+  "CMakeFiles/evm_bytecode.dir/Module.cpp.o.d"
+  "CMakeFiles/evm_bytecode.dir/Opcode.cpp.o"
+  "CMakeFiles/evm_bytecode.dir/Opcode.cpp.o.d"
+  "CMakeFiles/evm_bytecode.dir/Verifier.cpp.o"
+  "CMakeFiles/evm_bytecode.dir/Verifier.cpp.o.d"
+  "libevm_bytecode.a"
+  "libevm_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

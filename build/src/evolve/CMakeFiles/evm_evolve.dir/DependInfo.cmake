@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evolve/EvolvableVM.cpp" "src/evolve/CMakeFiles/evm_evolve.dir/EvolvableVM.cpp.o" "gcc" "src/evolve/CMakeFiles/evm_evolve.dir/EvolvableVM.cpp.o.d"
+  "/root/repo/src/evolve/ModelBuilder.cpp" "src/evolve/CMakeFiles/evm_evolve.dir/ModelBuilder.cpp.o" "gcc" "src/evolve/CMakeFiles/evm_evolve.dir/ModelBuilder.cpp.o.d"
+  "/root/repo/src/evolve/Repository.cpp" "src/evolve/CMakeFiles/evm_evolve.dir/Repository.cpp.o" "gcc" "src/evolve/CMakeFiles/evm_evolve.dir/Repository.cpp.o.d"
+  "/root/repo/src/evolve/SpecFeedback.cpp" "src/evolve/CMakeFiles/evm_evolve.dir/SpecFeedback.cpp.o" "gcc" "src/evolve/CMakeFiles/evm_evolve.dir/SpecFeedback.cpp.o.d"
+  "/root/repo/src/evolve/Strategy.cpp" "src/evolve/CMakeFiles/evm_evolve.dir/Strategy.cpp.o" "gcc" "src/evolve/CMakeFiles/evm_evolve.dir/Strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/evm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/evm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xicl/CMakeFiles/evm_xicl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/evm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/evm_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_evolve.dir/EvolvableVM.cpp.o"
+  "CMakeFiles/evm_evolve.dir/EvolvableVM.cpp.o.d"
+  "CMakeFiles/evm_evolve.dir/ModelBuilder.cpp.o"
+  "CMakeFiles/evm_evolve.dir/ModelBuilder.cpp.o.d"
+  "CMakeFiles/evm_evolve.dir/Repository.cpp.o"
+  "CMakeFiles/evm_evolve.dir/Repository.cpp.o.d"
+  "CMakeFiles/evm_evolve.dir/SpecFeedback.cpp.o"
+  "CMakeFiles/evm_evolve.dir/SpecFeedback.cpp.o.d"
+  "CMakeFiles/evm_evolve.dir/Strategy.cpp.o"
+  "CMakeFiles/evm_evolve.dir/Strategy.cpp.o.d"
+  "libevm_evolve.a"
+  "libevm_evolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_evolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_harness.dir/Experiments.cpp.o"
+  "CMakeFiles/evm_harness.dir/Experiments.cpp.o.d"
+  "CMakeFiles/evm_harness.dir/Scenario.cpp.o"
+  "CMakeFiles/evm_harness.dir/Scenario.cpp.o.d"
+  "libevm_harness.a"
+  "libevm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/ClassificationTree.cpp" "src/ml/CMakeFiles/evm_ml.dir/ClassificationTree.cpp.o" "gcc" "src/ml/CMakeFiles/evm_ml.dir/ClassificationTree.cpp.o.d"
+  "/root/repo/src/ml/CrossValidation.cpp" "src/ml/CMakeFiles/evm_ml.dir/CrossValidation.cpp.o" "gcc" "src/ml/CMakeFiles/evm_ml.dir/CrossValidation.cpp.o.d"
+  "/root/repo/src/ml/Dataset.cpp" "src/ml/CMakeFiles/evm_ml.dir/Dataset.cpp.o" "gcc" "src/ml/CMakeFiles/evm_ml.dir/Dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xicl/CMakeFiles/evm_xicl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/evm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

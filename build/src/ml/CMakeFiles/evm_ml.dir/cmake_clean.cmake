@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_ml.dir/ClassificationTree.cpp.o"
+  "CMakeFiles/evm_ml.dir/ClassificationTree.cpp.o.d"
+  "CMakeFiles/evm_ml.dir/CrossValidation.cpp.o"
+  "CMakeFiles/evm_ml.dir/CrossValidation.cpp.o.d"
+  "CMakeFiles/evm_ml.dir/Dataset.cpp.o"
+  "CMakeFiles/evm_ml.dir/Dataset.cpp.o.d"
+  "libevm_ml.a"
+  "libevm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

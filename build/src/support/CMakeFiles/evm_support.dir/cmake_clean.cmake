@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_support.dir/Format.cpp.o"
+  "CMakeFiles/evm_support.dir/Format.cpp.o.d"
+  "CMakeFiles/evm_support.dir/Statistics.cpp.o"
+  "CMakeFiles/evm_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/evm_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/evm_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/evm_support.dir/Table.cpp.o"
+  "CMakeFiles/evm_support.dir/Table.cpp.o.d"
+  "libevm_support.a"
+  "libevm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

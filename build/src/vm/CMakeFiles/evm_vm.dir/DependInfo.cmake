@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/CostBenefit.cpp" "src/vm/CMakeFiles/evm_vm.dir/CostBenefit.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/CostBenefit.cpp.o.d"
+  "/root/repo/src/vm/Engine.cpp" "src/vm/CMakeFiles/evm_vm.dir/Engine.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/Engine.cpp.o.d"
+  "/root/repo/src/vm/Eval.cpp" "src/vm/CMakeFiles/evm_vm.dir/Eval.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/Eval.cpp.o.d"
+  "/root/repo/src/vm/Timing.cpp" "src/vm/CMakeFiles/evm_vm.dir/Timing.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/Timing.cpp.o.d"
+  "/root/repo/src/vm/jit/Compiler.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/Compiler.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/Compiler.cpp.o.d"
+  "/root/repo/src/vm/jit/Dominators.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/Dominators.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/Dominators.cpp.o.d"
+  "/root/repo/src/vm/jit/GlobalPasses.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/GlobalPasses.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/GlobalPasses.cpp.o.d"
+  "/root/repo/src/vm/jit/IR.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/IR.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/IR.cpp.o.d"
+  "/root/repo/src/vm/jit/Inliner.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/Inliner.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/Inliner.cpp.o.d"
+  "/root/repo/src/vm/jit/LICM.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/LICM.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/LICM.cpp.o.d"
+  "/root/repo/src/vm/jit/LocalPasses.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/LocalPasses.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/LocalPasses.cpp.o.d"
+  "/root/repo/src/vm/jit/Lowering.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/Lowering.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/Lowering.cpp.o.d"
+  "/root/repo/src/vm/jit/StrengthReduction.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/StrengthReduction.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/StrengthReduction.cpp.o.d"
+  "/root/repo/src/vm/jit/TypeInference.cpp" "src/vm/CMakeFiles/evm_vm.dir/jit/TypeInference.cpp.o" "gcc" "src/vm/CMakeFiles/evm_vm.dir/jit/TypeInference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/evm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/evm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

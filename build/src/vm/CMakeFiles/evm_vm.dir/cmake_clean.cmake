@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_vm.dir/CostBenefit.cpp.o"
+  "CMakeFiles/evm_vm.dir/CostBenefit.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/Engine.cpp.o"
+  "CMakeFiles/evm_vm.dir/Engine.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/Eval.cpp.o"
+  "CMakeFiles/evm_vm.dir/Eval.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/Timing.cpp.o"
+  "CMakeFiles/evm_vm.dir/Timing.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/Compiler.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/Compiler.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/Dominators.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/Dominators.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/GlobalPasses.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/GlobalPasses.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/IR.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/IR.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/Inliner.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/Inliner.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/LICM.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/LICM.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/LocalPasses.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/LocalPasses.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/Lowering.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/Lowering.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/StrengthReduction.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/StrengthReduction.cpp.o.d"
+  "CMakeFiles/evm_vm.dir/jit/TypeInference.cpp.o"
+  "CMakeFiles/evm_vm.dir/jit/TypeInference.cpp.o.d"
+  "libevm_vm.a"
+  "libevm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Dacapo.cpp" "src/workloads/CMakeFiles/evm_workloads.dir/Dacapo.cpp.o" "gcc" "src/workloads/CMakeFiles/evm_workloads.dir/Dacapo.cpp.o.d"
+  "/root/repo/src/workloads/Grande.cpp" "src/workloads/CMakeFiles/evm_workloads.dir/Grande.cpp.o" "gcc" "src/workloads/CMakeFiles/evm_workloads.dir/Grande.cpp.o.d"
+  "/root/repo/src/workloads/Jvm98.cpp" "src/workloads/CMakeFiles/evm_workloads.dir/Jvm98.cpp.o" "gcc" "src/workloads/CMakeFiles/evm_workloads.dir/Jvm98.cpp.o.d"
+  "/root/repo/src/workloads/Kernels.cpp" "src/workloads/CMakeFiles/evm_workloads.dir/Kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/evm_workloads.dir/Kernels.cpp.o.d"
+  "/root/repo/src/workloads/Route.cpp" "src/workloads/CMakeFiles/evm_workloads.dir/Route.cpp.o" "gcc" "src/workloads/CMakeFiles/evm_workloads.dir/Route.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadCommon.cpp" "src/workloads/CMakeFiles/evm_workloads.dir/WorkloadCommon.cpp.o" "gcc" "src/workloads/CMakeFiles/evm_workloads.dir/WorkloadCommon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/evm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/xicl/CMakeFiles/evm_xicl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/evm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_workloads.dir/Dacapo.cpp.o"
+  "CMakeFiles/evm_workloads.dir/Dacapo.cpp.o.d"
+  "CMakeFiles/evm_workloads.dir/Grande.cpp.o"
+  "CMakeFiles/evm_workloads.dir/Grande.cpp.o.d"
+  "CMakeFiles/evm_workloads.dir/Jvm98.cpp.o"
+  "CMakeFiles/evm_workloads.dir/Jvm98.cpp.o.d"
+  "CMakeFiles/evm_workloads.dir/Kernels.cpp.o"
+  "CMakeFiles/evm_workloads.dir/Kernels.cpp.o.d"
+  "CMakeFiles/evm_workloads.dir/Route.cpp.o"
+  "CMakeFiles/evm_workloads.dir/Route.cpp.o.d"
+  "CMakeFiles/evm_workloads.dir/WorkloadCommon.cpp.o"
+  "CMakeFiles/evm_workloads.dir/WorkloadCommon.cpp.o.d"
+  "libevm_workloads.a"
+  "libevm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xicl/Spec.cpp" "src/xicl/CMakeFiles/evm_xicl.dir/Spec.cpp.o" "gcc" "src/xicl/CMakeFiles/evm_xicl.dir/Spec.cpp.o.d"
+  "/root/repo/src/xicl/Translator.cpp" "src/xicl/CMakeFiles/evm_xicl.dir/Translator.cpp.o" "gcc" "src/xicl/CMakeFiles/evm_xicl.dir/Translator.cpp.o.d"
+  "/root/repo/src/xicl/XFMethod.cpp" "src/xicl/CMakeFiles/evm_xicl.dir/XFMethod.cpp.o" "gcc" "src/xicl/CMakeFiles/evm_xicl.dir/XFMethod.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/evm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

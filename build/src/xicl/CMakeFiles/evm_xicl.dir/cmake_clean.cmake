@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_xicl.dir/Spec.cpp.o"
+  "CMakeFiles/evm_xicl.dir/Spec.cpp.o.d"
+  "CMakeFiles/evm_xicl.dir/Translator.cpp.o"
+  "CMakeFiles/evm_xicl.dir/Translator.cpp.o.d"
+  "CMakeFiles/evm_xicl.dir/XFMethod.cpp.o"
+  "CMakeFiles/evm_xicl.dir/XFMethod.cpp.o.d"
+  "libevm_xicl.a"
+  "libevm_xicl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_xicl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

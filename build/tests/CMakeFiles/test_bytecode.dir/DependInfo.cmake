@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bytecode.cpp" "tests/CMakeFiles/test_bytecode.dir/test_bytecode.cpp.o" "gcc" "tests/CMakeFiles/test_bytecode.dir/test_bytecode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/evm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/evolve/CMakeFiles/evm_evolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/evm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/evm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/evm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xicl/CMakeFiles/evm_xicl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/evm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/evm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costbenefit.dir/test_costbenefit.cpp.o"
+  "CMakeFiles/test_costbenefit.dir/test_costbenefit.cpp.o.d"
+  "test_costbenefit"
+  "test_costbenefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costbenefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evolve.dir/test_evolve.cpp.o"
+  "CMakeFiles/test_evolve.dir/test_evolve.cpp.o.d"
+  "test_evolve"
+  "test_evolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

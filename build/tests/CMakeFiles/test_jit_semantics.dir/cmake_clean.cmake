@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit_semantics.dir/test_jit_semantics.cpp.o"
+  "CMakeFiles/test_jit_semantics.dir/test_jit_semantics.cpp.o.d"
+  "test_jit_semantics"
+  "test_jit_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specfeedback.dir/test_specfeedback.cpp.o"
+  "CMakeFiles/test_specfeedback.dir/test_specfeedback.cpp.o.d"
+  "test_specfeedback"
+  "test_specfeedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specfeedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xicl.dir/test_xicl.cpp.o"
+  "CMakeFiles/test_xicl.dir/test_xicl.cpp.o.d"
+  "test_xicl"
+  "test_xicl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xicl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
