@@ -9,6 +9,7 @@
 
 #include "support/Statistics.h"
 #include "support/Table.h"
+#include "vm/Aos.h"
 #include "vm/Engine.h"
 #include "vm/jit/Compiler.h"
 #include "vm/jit/Lowering.h"
@@ -94,6 +95,33 @@ void printCalibrationTable() {
   std::printf("%s\n", Table.render().c_str());
 }
 
+void printWorkerAblationTable() {
+  std::printf("Background-compilation worker ablation (Mtrt, adaptive "
+              "policy):\nstall cycles hit the application clock; overlapped "
+              "cycles run on\nworker timelines concurrently with "
+              "execution.\n\n");
+  TextTable Table({"workers", "totalCycles", "stallCompile",
+                   "overlappedCompile", "compiles"});
+  wl::Workload W = wl::buildWorkload("Mtrt", 20090301);
+  const wl::InputCase &Input = W.Inputs[W.Inputs.size() / 2];
+  for (uint64_t Workers : {0ULL, 1ULL, 2ULL, 4ULL}) {
+    vm::TimingModel TM;
+    TM.NumCompileWorkers = Workers;
+    vm::AdaptivePolicy Policy(TM);
+    vm::ExecutionEngine Engine(W.Module, TM, &Policy);
+    auto R = Engine.run(Input.VmArgs, 60ULL << 30);
+    if (!R)
+      continue;
+    Table.beginRow();
+    Table.addCell(static_cast<int64_t>(Workers));
+    Table.addCell(static_cast<int64_t>(R->Cycles));
+    Table.addCell(static_cast<int64_t>(R->StallCompileCycles));
+    Table.addCell(static_cast<int64_t>(R->OverlappedCompileCycles));
+    Table.addCell(static_cast<int64_t>(R->Compiles.size()));
+  }
+  std::printf("%s\n", Table.render().c_str());
+}
+
 /// Host-time cost of running the optimizing pipelines.
 void BM_CompileAtLevel(benchmark::State &State) {
   static wl::Workload W = wl::buildWorkload("Mtrt", 20090301);
@@ -117,6 +145,7 @@ BENCHMARK(BM_LowerToIR);
 
 int main(int argc, char **argv) {
   printCalibrationTable();
+  printWorkerAblationTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,8 +15,8 @@ using namespace evm::evolve;
 EvolvableVM::EvolvableVM(const bc::Module &M, const std::string &SpecSource,
                          const xicl::XFMethodRegistry *Registry,
                          const xicl::FileStore *Files, EvolveConfig Config)
-    : M(M), Config(Config), Sizes(methodSizes(M)),
-      Model(M.numFunctions(), Config.TreeParams),
+    : M(M), Config(Config), Engine(M, Config.Timing, nullptr),
+      Sizes(methodSizes(M)), Model(M.numFunctions(), Config.TreeParams),
       Confidence(Config.Gamma, Config.ConfidenceThreshold) {
   auto Spec = xicl::parseSpec(SpecSource);
   if (!Spec) {
@@ -79,21 +79,21 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
     EvolvePolicy Proactive(*Predicted);
     vm::AdaptivePolicy Reactive(Config.Timing);
     vm::CombinedPolicy Combined(&Proactive, &Reactive);
-    vm::CompilationPolicy *Policy =
-        Config.ReactiveSafetyNet
-            ? static_cast<vm::CompilationPolicy *>(&Combined)
-            : static_cast<vm::CompilationPolicy *>(&Proactive);
-    vm::ExecutionEngine Engine(M, Config.Timing, Policy);
+    Engine.setPolicy(Config.ReactiveSafetyNet
+                         ? static_cast<vm::CompilationPolicy *>(&Combined)
+                         : static_cast<vm::CompilationPolicy *>(&Proactive));
     auto R = Engine.run(VmArgs, Config.MaxCyclesPerRun, PreRunOverhead,
                         SamplePhase);
+    Engine.setPolicy(nullptr); // the per-run policies go out of scope
     if (!R)
       return R.getError();
     Result = R.takeValue();
   } else {
     vm::AdaptivePolicy Policy(Config.Timing);
-    vm::ExecutionEngine Engine(M, Config.Timing, &Policy);
+    Engine.setPolicy(&Policy);
     auto R = Engine.run(VmArgs, Config.MaxCyclesPerRun, PreRunOverhead,
                         SamplePhase);
+    Engine.setPolicy(nullptr);
     if (!R)
       return R.getError();
     Result = R.takeValue();

@@ -30,9 +30,12 @@ public:
   std::optional<OptLevel>
   onSample(const MethodRuntimeInfo &Info) override {
     // Estimated remaining execution: as many cycles as observed so far.
+    // With a background pipeline the engine reports the current worker
+    // backlog so the model prices queue delay instead of a stall.
     uint64_t FutureCycles = Info.Samples * TM.SampleIntervalCycles;
     return chooseRecompileLevel(TM, Info.Level, FutureCycles,
-                                Info.BytecodeSize);
+                                Info.BytecodeSize,
+                                Info.CompileBacklogCycles);
   }
 
 private:

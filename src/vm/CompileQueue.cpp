@@ -1,0 +1,67 @@
+//===- vm/CompileQueue.cpp ------------------------------------------------==//
+
+#include "vm/CompileQueue.h"
+
+#include <algorithm>
+
+using namespace evm;
+using namespace evm::vm;
+
+void CompileQueue::push(CompileRequest R) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Requests.push_back(std::move(R));
+    ++PushedCount;
+  }
+  WorkAvailable.notify_one();
+}
+
+std::optional<CompileRequest> CompileQueue::pop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WorkAvailable.wait(Lock,
+                     [this] { return ShuttingDown || !Requests.empty(); });
+  if (Requests.empty())
+    return std::nullopt; // shutdown with no work left
+  CompileRequest R = std::move(Requests.front());
+  Requests.pop_front();
+  return R;
+}
+
+void CompileQueue::postResult(CompileResult R) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Results.push_back(std::move(R));
+    ++FinishedCount;
+  }
+  ResultPosted.notify_all();
+}
+
+CompileResult CompileQueue::takeResult(uint64_t SeqNo) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    auto It = std::find_if(Results.begin(), Results.end(),
+                           [SeqNo](const CompileResult &R) {
+                             return R.Request.SeqNo == SeqNo;
+                           });
+    if (It != Results.end()) {
+      CompileResult R = std::move(*It);
+      Results.erase(It);
+      return R;
+    }
+    ResultPosted.wait(Lock);
+  }
+}
+
+void CompileQueue::drainAndDiscard() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  ResultPosted.wait(Lock, [this] { return FinishedCount == PushedCount; });
+  Results.clear();
+}
+
+void CompileQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+}

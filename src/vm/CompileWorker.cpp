@@ -1,0 +1,124 @@
+//===- vm/CompileWorker.cpp -----------------------------------------------==//
+
+#include "vm/CompileWorker.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace evm;
+using namespace evm::vm;
+
+CompileWorkerPool::CompileWorkerPool(const bc::Module &M,
+                                     const TimingModel &TM)
+    : M(M), Capacity(std::max<uint64_t>(1, TM.CompileQueueCapacity)),
+      QueueDelay(TM.CompileQueueDelayCycles) {
+  unsigned N = std::max<unsigned>(1, static_cast<unsigned>(TM.NumCompileWorkers));
+  WorkerFreeCycle.assign(N, 0);
+  Threads.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+CompileWorkerPool::~CompileWorkerPool() {
+  Queue.shutdown();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void CompileWorkerPool::workerMain() {
+  while (std::optional<CompileRequest> R = Queue.pop()) {
+    CompileResult Result;
+    Result.Request = *R;
+    Result.Code = std::make_shared<jit::CompiledFunction>(
+        jit::compileAtLevel(M, R->Method, R->Level));
+    Queue.postResult(std::move(Result));
+  }
+}
+
+bool CompileWorkerPool::hasPending(bc::MethodId Id, OptLevel L) const {
+  for (const CompileRequest &R : InFlight)
+    if (R.Method == Id && levelIndex(R.Level) >= levelIndex(L))
+      return true;
+  return false;
+}
+
+bool CompileWorkerPool::request(bc::MethodId Id, OptLevel L,
+                                uint64_t NowCycles, uint64_t CostCycles) {
+  if (hasPending(Id, L))
+    return false; // coalesce: an equal-or-better compile is in flight
+  // The capacity bound is checked against the *virtual* in-flight set (an
+  // execution-thread quantity), never against host-queue occupancy: whether
+  // a request is dropped must not depend on how fast the real worker
+  // threads happen to drain the queue.
+  if (InFlight.size() >= Capacity) {
+    ++DroppedRequests;
+    return false;
+  }
+
+  // Deterministic virtual scheduling: earliest-free worker, lowest index on
+  // ties, FIFO within a worker.
+  unsigned W = 0;
+  for (unsigned I = 1; I != WorkerFreeCycle.size(); ++I)
+    if (WorkerFreeCycle[I] < WorkerFreeCycle[W])
+      W = I;
+
+  CompileRequest R;
+  R.Method = Id;
+  R.Level = L;
+  R.SeqNo = NextSeqNo;
+  R.RequestCycle = NowCycles;
+  R.CostCycles = CostCycles;
+  R.Worker = W;
+  R.StartCycle = std::max(NowCycles + QueueDelay, WorkerFreeCycle[W]);
+  R.ReadyAtCycle = R.StartCycle + CostCycles;
+
+  Queue.push(R);
+  ++NextSeqNo;
+  WorkerFreeCycle[W] = R.ReadyAtCycle;
+  OverlappedCycles += CostCycles;
+  InFlight.push_back(R);
+  return true;
+}
+
+std::vector<CompileResult>
+CompileWorkerPool::takeReady(uint64_t NowCycles) {
+  std::vector<CompileResult> Ready;
+  if (InFlight.empty())
+    return Ready;
+  // Collect the requests whose virtual ready time has arrived...
+  std::vector<CompileRequest> Due;
+  for (size_t I = 0; I != InFlight.size();) {
+    if (InFlight[I].ReadyAtCycle <= NowCycles) {
+      Due.push_back(InFlight[I]);
+      InFlight.erase(InFlight.begin() + static_cast<ptrdiff_t>(I));
+    } else {
+      ++I;
+    }
+  }
+  // ...in deterministic install order, then block on each host compile.
+  std::sort(Due.begin(), Due.end(),
+            [](const CompileRequest &A, const CompileRequest &B) {
+              return A.ReadyAtCycle != B.ReadyAtCycle
+                         ? A.ReadyAtCycle < B.ReadyAtCycle
+                         : A.SeqNo < B.SeqNo;
+            });
+  Ready.reserve(Due.size());
+  for (const CompileRequest &R : Due)
+    Ready.push_back(Queue.takeResult(R.SeqNo));
+  return Ready;
+}
+
+uint64_t CompileWorkerPool::backlogCycles(uint64_t NowCycles) const {
+  uint64_t Earliest = WorkerFreeCycle[0];
+  for (uint64_t Free : WorkerFreeCycle)
+    Earliest = std::min(Earliest, Free);
+  return Earliest > NowCycles ? Earliest - NowCycles : 0;
+}
+
+void CompileWorkerPool::reset() {
+  Queue.drainAndDiscard();
+  InFlight.clear();
+  std::fill(WorkerFreeCycle.begin(), WorkerFreeCycle.end(), 0);
+  OverlappedCycles = 0;
+  DroppedRequests = 0;
+}

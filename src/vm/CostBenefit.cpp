@@ -8,16 +8,30 @@ using namespace evm::vm;
 std::optional<OptLevel> vm::chooseRecompileLevel(const TimingModel &TM,
                                                  OptLevel Current,
                                                  uint64_t FutureCycles,
-                                                 size_t BytecodeSize) {
+                                                 size_t BytecodeSize,
+                                                 uint64_t QueueBacklogCycles) {
   double StayCost = static_cast<double>(FutureCycles);
   double BestCost = StayCost;
   std::optional<OptLevel> Best;
   for (int I = levelIndex(Current) + 1; I != NumOptLevels; ++I) {
     OptLevel L = levelFromIndex(I);
-    double Execution = StayCost * TM.expectedSpeedup(Current) /
-                       TM.expectedSpeedup(L);
-    double Total = Execution +
-                   static_cast<double>(TM.compileCost(L, BytecodeSize));
+    double Compile = static_cast<double>(TM.compileCost(L, BytecodeSize));
+    double Total;
+    if (TM.NumCompileWorkers == 0) {
+      // Synchronous: stall for the compile, then run the remainder faster.
+      Total = StayCost * TM.expectedSpeedup(Current) / TM.expectedSpeedup(L) +
+              Compile;
+    } else {
+      // Background: no stall.  The method runs at Current speed until the
+      // code lands (handoff + backlog + compile), then faster.
+      double Delay = static_cast<double>(TM.CompileQueueDelayCycles +
+                                         QueueBacklogCycles) +
+                     Compile;
+      double AtCurrent = Delay < StayCost ? Delay : StayCost;
+      Total = AtCurrent + (StayCost - AtCurrent) *
+                              TM.expectedSpeedup(Current) /
+                              TM.expectedSpeedup(L);
+    }
     if (Total < BestCost) {
       BestCost = Total;
       Best = L;

@@ -47,6 +47,14 @@ OptLevel ExecutionEngine::methodLevel(MethodId Id) const {
   return Methods[Id].Level;
 }
 
+void ExecutionEngine::setCodeOverride(
+    MethodId Id, std::shared_ptr<const jit::CompiledFunction> Code) {
+  assert(Id < M.numFunctions() && "method id out of range");
+  if (CodeOverrides.size() < M.numFunctions())
+    CodeOverrides.resize(M.numFunctions());
+  CodeOverrides[Id] = std::move(Code);
+}
+
 void ExecutionEngine::setTrap(TrapKind Kind, MethodId Method,
                               size_t Location) {
   // First trap wins; later ones are consequences of unwinding.
@@ -88,6 +96,7 @@ void ExecutionEngine::sampleTick() {
   Info.Invocations = State.Stats.Invocations;
   Info.Level = State.Level;
   Info.BytecodeSize = M.function(Current).Code.size();
+  Info.CompileBacklogCycles = Workers ? Workers->backlogCycles(Cycles) : 0;
   if (std::optional<OptLevel> L = Policy->onSample(Info))
     installLevel(Current, *L);
   InSamplingHook = false;
@@ -100,6 +109,16 @@ void ExecutionEngine::installLevel(MethodId Id, OptLevel L) {
   assert(L != OptLevel::Baseline && "cannot install baseline");
 
   uint64_t Cost = TM.compileCost(L, M.function(Id).Code.size());
+
+  if (Workers) {
+    // Background pipeline: hand the compile to a worker and keep running
+    // the old code.  The pool's deterministic scheduler (which models the
+    // queue handoff delay and per-worker timelines) decides when the code
+    // becomes installable.
+    Workers->request(Id, L, Cycles, Cost);
+    return;
+  }
+
   CompileCycles += Cost;
   charge(Cost);
 
@@ -109,7 +128,30 @@ void ExecutionEngine::installLevel(MethodId Id, OptLevel L) {
   State.Level = L;
   State.Stats.FinalLevel = L;
   ++State.Stats.NumCompiles;
-  Compiles.push_back(CompileEvent{Id, L, Cycles, Cost});
+  Compiles.push_back(
+      CompileEvent{Id, L, Cycles, Cost, Cycles - Cost, /*Background=*/false});
+}
+
+void ExecutionEngine::drainReadyCompiles() {
+  if (!Workers)
+    return;
+  for (CompileResult &R : Workers->takeReady(Cycles)) {
+    MethodState &State = Methods[R.Request.Method];
+    // A lower-or-equal-level result can arrive after a higher one was
+    // already installed (two requests racing in virtual time); keep the
+    // ladder monotone, as the synchronous path does.
+    if (levelIndex(R.Request.Level) <= levelIndex(State.Level))
+      continue;
+    State.Code = std::move(R.Code);
+    State.Level = R.Request.Level;
+    State.Stats.FinalLevel = R.Request.Level;
+    ++State.Stats.NumCompiles;
+    Compiles.push_back(CompileEvent{R.Request.Method, R.Request.Level,
+                                    R.Request.ReadyAtCycle,
+                                    R.Request.CostCycles,
+                                    R.Request.RequestCycle,
+                                    /*Background=*/true});
+  }
 }
 
 void ExecutionEngine::ensureBaseline(MethodId Id) {
@@ -122,10 +164,13 @@ void ExecutionEngine::ensureBaseline(MethodId Id) {
   CompileCycles += Cost;
   charge(Cost);
   ++State.Stats.NumCompiles;
-  Compiles.push_back(CompileEvent{Id, OptLevel::Baseline, Cycles, Cost});
+  Compiles.push_back(CompileEvent{Id, OptLevel::Baseline, Cycles, Cost,
+                                  Cycles - Cost, /*Background=*/false});
 
   // The paper's Evolve scheme issues a recompilation event right after the
-  // first-time (baseline) compilation.
+  // first-time (baseline) compilation.  With a background pipeline this is
+  // where the predicted level is enqueued — the method starts interpreting
+  // immediately while the optimizing compile runs on a worker.
   if (Policy) {
     MethodRuntimeInfo Info;
     Info.Id = Id;
@@ -133,6 +178,7 @@ void ExecutionEngine::ensureBaseline(MethodId Id) {
     Info.Invocations = 0;
     Info.Level = OptLevel::Baseline;
     Info.BytecodeSize = M.function(Id).Code.size();
+    Info.CompileBacklogCycles = Workers ? Workers->backlogCycles(Cycles) : 0;
     if (std::optional<OptLevel> L = Policy->onFirstInvocation(Info))
       installLevel(Id, *L);
   }
@@ -151,6 +197,9 @@ std::optional<Value> ExecutionEngine::invoke(MethodId Id,
     return std::nullopt;
   }
   ensureBaseline(Id);
+  // Invocation boundaries are where finished background compiles land (no
+  // on-stack replacement: the frame below keeps its old code).
+  drainReadyCompiles();
   if (PendingTrap != TrapKind::None)
     return std::nullopt;
 
@@ -454,11 +503,24 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
   // Reset per-run state so one engine can model repeated launches.
   TheHeap.reset();
   Methods.assign(M.numFunctions(), MethodState());
+  for (size_t Id = 0; Id != CodeOverrides.size(); ++Id) {
+    if (!CodeOverrides[Id])
+      continue;
+    MethodState &State = Methods[Id];
+    State.Code = CodeOverrides[Id];
+    State.Level = CodeOverrides[Id]->Level;
+    State.BaselineCompiled = true; // pinned code needs no baseline compile
+    State.Stats.FinalLevel = State.Level;
+  }
   CallStack.clear();
   Cycles = 0;
   CompileCycles = 0;
   OverheadCycles = 0;
   Compiles.clear();
+  if (TM.NumCompileWorkers > 0 && !Workers)
+    Workers = std::make_unique<CompileWorkerPool>(M, TM);
+  if (Workers)
+    Workers->reset(); // drain in-flight compiles, rewind virtual timelines
   NextSampleAt = TM.SampleIntervalCycles / 2 +
                  SamplePhaseCycles % std::max<uint64_t>(
                                          1, TM.SampleIntervalCycles);
@@ -485,7 +547,10 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
   RunResult Run;
   Run.ReturnValue = *Result;
   Run.Cycles = Cycles;
-  Run.CompileCycles = CompileCycles;
+  Run.StallCompileCycles = CompileCycles;
+  Run.OverlappedCompileCycles = Workers ? Workers->overlappedCycles() : 0;
+  Run.DroppedCompiles = Workers ? Workers->droppedRequests() : 0;
+  Run.CompileCycles = Run.StallCompileCycles + Run.OverlappedCompileCycles;
   Run.OverheadCycles = OverheadCycles;
   Run.PerMethod.reserve(Methods.size());
   for (const MethodState &State : Methods)

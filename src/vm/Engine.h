@@ -23,6 +23,7 @@
 
 #include "bytecode/Module.h"
 #include "support/Error.h"
+#include "vm/CompileWorker.h"
 #include "vm/Heap.h"
 #include "vm/Policy.h"
 #include "vm/Profile.h"
@@ -62,8 +63,24 @@ public:
   /// to the clock; accounted separately in RunResult::OverheadCycles.
   void chargeOverhead(uint64_t Cycles);
 
+  /// Swaps the compilation policy for subsequent run()s (may be null).
+  /// Long-lived hosts (the evolvable VM) change policy per production run
+  /// while keeping one engine — and with it one background worker pool —
+  /// alive across runs instead of respawning threads every run.  The
+  /// pointer is only dereferenced during run(), never stored across it.
+  void setPolicy(CompilationPolicy *P) { Policy = P; }
+
   /// Current level of \p Id (tests and policies may inspect this).
   OptLevel methodLevel(bc::MethodId Id) const;
+
+  /// Pins externally produced compiled code for \p Id: every subsequent
+  /// run() starts the method at Code->Level with this code installed (no
+  /// baseline compile, no recompilation below it).  This is the seam for
+  /// executing code built outside the engine's own pipelines — ahead-of-time
+  /// caches, or the pass-permutation property tests, which must run IR
+  /// produced by arbitrary pass orders.  Pass nullptr to clear.
+  void setCodeOverride(bc::MethodId Id,
+                       std::shared_ptr<const jit::CompiledFunction> Code);
 
   const TimingModel &timingModel() const { return TM; }
 
@@ -94,8 +111,16 @@ private:
   void charge(uint64_t Cycles);
   /// One profiler hit: bumps the current method's samples, runs the policy.
   void sampleTick();
-  /// Compiles \p Id at \p L (charging compile cost) and installs the code.
+  /// Moves \p Id to \p L.  Synchronous mode (TM.NumCompileWorkers == 0)
+  /// compiles on the spot, charging the full stall; background mode
+  /// enqueues a request on the worker pool and returns immediately — the
+  /// method keeps executing at its old level until the code is installable
+  /// (see drainReadyCompiles).
   void installLevel(bc::MethodId Id, OptLevel L);
+  /// Installs every background compile whose virtual ready time has
+  /// arrived (atomic code-pointer swap at an invocation boundary, matching
+  /// the no-OSR rule: new code takes effect at the next invocation).
+  void drainReadyCompiles();
   /// Runs first-encounter baseline compilation and the policy's proactive
   /// hook, if not done yet for this method.
   void ensureBaseline(bc::MethodId Id);
@@ -107,10 +132,15 @@ private:
 
   Heap TheHeap;
   std::vector<MethodState> Methods;
+  /// Per-method pinned code (see setCodeOverride); sparse, usually empty.
+  std::vector<std::shared_ptr<const jit::CompiledFunction>> CodeOverrides;
   std::vector<bc::MethodId> CallStack;
+  /// Background pipeline; null in synchronous mode (created at the first
+  /// run() when TM.NumCompileWorkers > 0).
+  std::unique_ptr<CompileWorkerPool> Workers;
   uint64_t Cycles = 0;
   uint64_t NextSampleAt = 0;
-  uint64_t CompileCycles = 0;
+  uint64_t CompileCycles = 0; ///< charged to the clock (stall account)
   uint64_t OverheadCycles = 0;
   uint64_t MaxCycles = UINT64_MAX;
   std::vector<CompileEvent> Compiles;

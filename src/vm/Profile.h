@@ -25,12 +25,17 @@
 namespace evm {
 namespace vm {
 
-/// One (re)compilation performed during a run.
+/// One (re)compilation performed during a run.  Synchronous compiles have
+/// AtCycle == RequestedAtCycle + CostCycles and stall the application for
+/// the whole cost; background compiles overlap with execution and AtCycle
+/// is the (deterministic) virtual cycle the code became installable.
 struct CompileEvent {
   bc::MethodId Method = 0;
   OptLevel Level = OptLevel::Baseline;
   uint64_t AtCycle = 0;
   uint64_t CostCycles = 0;
+  uint64_t RequestedAtCycle = 0;
+  bool Background = false;
 };
 
 /// Per-method runtime statistics for one run.
@@ -59,8 +64,18 @@ struct MethodStats {
 /// The outcome of one complete execution.
 struct RunResult {
   bc::Value ReturnValue;
-  uint64_t Cycles = 0;         ///< total virtual time, including the below
-  uint64_t CompileCycles = 0;  ///< time spent inside the compilers
+  uint64_t Cycles = 0;         ///< total virtual time, including stalls
+  uint64_t CompileCycles = 0;  ///< time spent inside the compilers (stalled
+                               ///< + overlapped)
+  /// Compile cycles charged to the application clock (baseline compiles
+  /// plus, in synchronous mode, every optimizing compile).  Always a
+  /// component of Cycles.
+  uint64_t StallCompileCycles = 0;
+  /// Compile cycles spent on background worker timelines, overlapped with
+  /// execution; never part of Cycles.  Zero when NumCompileWorkers == 0.
+  uint64_t OverlappedCompileCycles = 0;
+  /// Background requests dropped because the bounded queue was full.
+  uint64_t DroppedCompiles = 0;
   uint64_t OverheadCycles = 0; ///< charged by the evolvable-VM machinery
   std::vector<MethodStats> PerMethod;
   std::vector<CompileEvent> Compiles;

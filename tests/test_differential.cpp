@@ -1,0 +1,151 @@
+//===- tests/test_differential.cpp - Interpreter/JIT differential fuzzer --==//
+//
+// Seeded random-module fuzzer: every generated program is run through the
+// interpreter and through each JIT level (O0/O1/O2), and all four tiers
+// must agree — on the returned value, on heap effects (main ends with a
+// checksum loop over its heap array, so every store is observable in the
+// return value), and on trap behavior (same trap message, or no trap
+// anywhere).  Failures print the seed so a reproduction is one constant
+// away.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Aos.h"
+#include "vm/Engine.h"
+#include "vm/Policy.h"
+
+#include "RandomModule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace evm;
+using namespace evm::vm;
+
+namespace {
+
+constexpr uint64_t NumSeeds = 200;
+constexpr uint64_t SeedBase = 20090301; // fixed: CI runs are reproducible
+constexpr uint64_t MaxCycles = 500000000ULL;
+
+class ForceLevelPolicy : public CompilationPolicy {
+public:
+  explicit ForceLevelPolicy(OptLevel L) : Level(L) {}
+  std::optional<OptLevel>
+  onFirstInvocation(const MethodRuntimeInfo &) override {
+    if (Level == OptLevel::Baseline)
+      return std::nullopt;
+    return Level;
+  }
+
+private:
+  OptLevel Level;
+};
+
+ErrorOr<RunResult> runAtLevel(const bc::Module &M, OptLevel L,
+                              int64_t Input) {
+  TimingModel TM;
+  ForceLevelPolicy Policy(L);
+  ExecutionEngine Engine(M, TM, &Policy);
+  return Engine.run({bc::Value::makeInt(Input)}, MaxCycles);
+}
+
+/// Trap messages have the shape "trap in method 'name' (kind)".  Inlining
+/// legitimately re-attributes a trap to the caller (there is no
+/// deoptimization metadata to reconstruct the inlined frame), so tiers must
+/// agree on the trap *kind*, not on the attributed method.
+std::string trapKindOf(const std::string &Message) {
+  size_t Open = Message.rfind('(');
+  return Open == std::string::npos ? Message : Message.substr(Open);
+}
+
+/// Value equality with NaN considered equal to NaN: generated programs can
+/// legitimately compute NaN (0.0/0.0, sqrt of a negative after F2I jitter),
+/// and "both tiers produced NaN" is agreement, not divergence.
+bool valuesEquivalent(const bc::Value &A, const bc::Value &B) {
+  if (A.kind() == B.kind() && A.isFloat() && std::isnan(A.asFloat()) &&
+      std::isnan(B.asFloat()))
+    return true;
+  return A.equals(B);
+}
+
+} // namespace
+
+TEST(Differential, RandomModulesAgreeAcrossTiers) {
+  const int64_t Inputs[] = {0, 3, 17};
+  uint64_t Trapped = 0, Succeeded = 0;
+  for (uint64_t Seed = SeedBase; Seed != SeedBase + NumSeeds; ++Seed) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    auto MOrErr = test::generateRandomModule(Seed);
+    ASSERT_TRUE(static_cast<bool>(MOrErr))
+        << "seed=" << Seed
+        << " generated an invalid module: " << MOrErr.getError().message();
+    const bc::Module &M = *MOrErr;
+
+    for (int64_t Input : Inputs) {
+      auto Interp = runAtLevel(M, OptLevel::Baseline, Input);
+      for (int L = 1; L <= 3; ++L) {
+        auto Compiled = runAtLevel(M, levelFromIndex(L), Input);
+        if (static_cast<bool>(Interp)) {
+          ASSERT_TRUE(static_cast<bool>(Compiled))
+              << "seed=" << Seed << " input=" << Input << " O" << L - 1
+              << " trapped but the interpreter succeeded: "
+              << Compiled.getError().message();
+          ASSERT_TRUE(
+              valuesEquivalent(Interp->ReturnValue, Compiled->ReturnValue))
+              << "seed=" << Seed << " input=" << Input << " O" << L - 1
+              << ": interp=" << Interp->ReturnValue.str()
+              << " compiled=" << Compiled->ReturnValue.str();
+        } else {
+          ASSERT_FALSE(static_cast<bool>(Compiled))
+              << "seed=" << Seed << " input=" << Input << " O" << L - 1
+              << " succeeded but the interpreter trapped: "
+              << Interp.getError().message();
+          ASSERT_EQ(trapKindOf(Interp.getError().message()),
+                    trapKindOf(Compiled.getError().message()))
+              << "seed=" << Seed << " input=" << Input << " O" << L - 1
+              << ": interp='" << Interp.getError().message()
+              << "' compiled='" << Compiled.getError().message() << "'";
+        }
+      }
+      static_cast<bool>(Interp) ? ++Succeeded : ++Trapped;
+    }
+  }
+  // The corpus must exercise both paths: mostly-successful runs with some
+  // genuine traps, or the trap-parity half of the property is vacuous.
+  EXPECT_GT(Succeeded, NumSeeds);
+  EXPECT_GT(Trapped, 0u);
+}
+
+TEST(Differential, BackgroundPipelineMatchesSynchronous) {
+  // The async compile pipeline must not change *results*, only timing:
+  // for a sample of seeds, an adaptive run with background workers returns
+  // exactly what the synchronous adaptive run returns.
+  for (uint64_t Seed = SeedBase; Seed != SeedBase + 25; ++Seed) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    auto MOrErr = test::generateRandomModule(Seed);
+    ASSERT_TRUE(static_cast<bool>(MOrErr));
+    const bc::Module &M = *MOrErr;
+
+    auto runWithWorkers = [&](uint64_t Workers) {
+      TimingModel TM;
+      TM.NumCompileWorkers = Workers;
+      AdaptivePolicy Policy(TM);
+      ExecutionEngine Engine(M, TM, &Policy);
+      return Engine.run({bc::Value::makeInt(11)}, MaxCycles);
+    };
+    auto Sync = runWithWorkers(0);
+    auto Async = runWithWorkers(2);
+    ASSERT_EQ(static_cast<bool>(Sync), static_cast<bool>(Async))
+        << "seed=" << Seed;
+    if (!Sync) {
+      EXPECT_EQ(Sync.getError().message(), Async.getError().message())
+          << "seed=" << Seed;
+      continue;
+    }
+    EXPECT_TRUE(valuesEquivalent(Sync->ReturnValue, Async->ReturnValue))
+        << "seed=" << Seed << ": sync=" << Sync->ReturnValue.str()
+        << " async=" << Async->ReturnValue.str();
+  }
+}

@@ -1,13 +1,18 @@
 //===- tests/test_passes.cpp - Individual optimization pass tests ---------==//
 
+#include "vm/Engine.h"
 #include "vm/jit/Compiler.h"
 #include "vm/jit/Dominators.h"
 #include "vm/jit/Lowering.h"
 #include "vm/jit/Passes.h"
 
+#include "RandomModule.h"
 #include "TestHelpers.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
 
 using namespace evm;
 using namespace evm::vm;
@@ -665,6 +670,153 @@ TEST(PipelineTest, AllLevelsValidateOnCorpus) {
         EXPECT_EQ(C.Level, L);
         EXPECT_EQ(C.BytecodeSize, M.function(Id).Code.size());
       }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests on random IR (seeded generator from RandomModule.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct NamedPass {
+  const char *Name;
+  bool (*Fn)(IRFunction &);
+  /// True when one application reaches the pass's fixpoint.  LICM hoists
+  /// one dependence level per call by design (the O2 pipeline budgets its
+  /// rounds), so for it the property below is fixpoint *stability* rather
+  /// than single-shot idempotence.
+  bool SingleShot;
+};
+
+constexpr NamedPass FunctionPasses[] = {
+    // inlineCalls is excluded by design: it is budgeted, not idempotent (a
+    // second run can expand calls exposed by the first).
+    {"foldConstantsLocal", foldConstantsLocal, true},
+    {"propagateCopiesLocal", propagateCopiesLocal, true},
+    {"eliminateCommonSubexprsLocal", eliminateCommonSubexprsLocal, true},
+    {"eliminateDeadCode", eliminateDeadCode, true},
+    {"simplifyCFG", simplifyCFG, true},
+    {"hoistLoopInvariants", hoistLoopInvariants, false},
+    {"reduceStrength", reduceStrength, true},
+};
+
+constexpr uint64_t PropertySeedBase = 20090401;
+
+} // namespace
+
+TEST(PassProperties, PassesAreIdempotentOnRandomIR) {
+  // One application of any pass reaches its fixpoint: a second application
+  // reports no change and leaves the printed IR byte-identical.
+  for (uint64_t Seed = PropertySeedBase; Seed != PropertySeedBase + 30;
+       ++Seed) {
+    auto MOrErr = test::generateRandomModule(Seed);
+    ASSERT_TRUE(static_cast<bool>(MOrErr)) << "seed=" << Seed;
+    const bc::Module &M = *MOrErr;
+    for (bc::MethodId Id = 0; Id != M.numFunctions(); ++Id) {
+      for (const NamedPass &P : FunctionPasses) {
+        IRFunction F = lowerToIR(M, Id);
+        P.Fn(F);
+        if (!P.SingleShot)
+          for (int I = 0; I != 32 && P.Fn(F); ++I)
+            ;
+        std::string After = F.print();
+        bool ChangedAgain = P.Fn(F);
+        EXPECT_FALSE(ChangedAgain)
+            << P.Name << " reported a change on its own output (seed="
+            << Seed << " method=" << Id << ")";
+        EXPECT_EQ(F.print(), After)
+            << P.Name << " is not idempotent (seed=" << Seed
+            << " method=" << Id << ")";
+        EXPECT_TRUE(F.validate().empty()) << P.Name << ": " << F.validate();
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Runs \p M fully interpreted (no policy, no recompilation).
+ErrorOr<vm::RunResult> runInterpreted(const bc::Module &M, int64_t Input) {
+  vm::TimingModel TM;
+  vm::ExecutionEngine Engine(M, TM, nullptr);
+  return Engine.run({bc::Value::makeInt(Input)}, 500000000ULL);
+}
+
+/// Runs \p M with every function pinned to code produced by applying
+/// \p Order's passes (in order, once each) to the O0 lowering.
+ErrorOr<vm::RunResult> runWithPassOrder(const bc::Module &M,
+                                        const std::vector<int> &Order,
+                                        int64_t Input) {
+  vm::TimingModel TM;
+  vm::ExecutionEngine Engine(M, TM, nullptr);
+  for (bc::MethodId Id = 0; Id != M.numFunctions(); ++Id) {
+    auto Code = std::make_shared<jit::CompiledFunction>();
+    Code->IR = lowerToIR(M, Id);
+    for (int P : Order)
+      FunctionPasses[static_cast<size_t>(P)].Fn(Code->IR);
+    EXPECT_TRUE(Code->IR.validate().empty()) << Code->IR.validate();
+    Code->Level = OptLevel::O1;
+    Code->BytecodeSize = M.function(Id).Code.size();
+    Engine.setCodeOverride(Id, std::move(Code));
+  }
+  return Engine.run({bc::Value::makeInt(Input)}, 500000000ULL);
+}
+
+bool sameOutcome(const ErrorOr<vm::RunResult> &A,
+                 const ErrorOr<vm::RunResult> &B) {
+  if (static_cast<bool>(A) != static_cast<bool>(B))
+    return false;
+  if (!A)
+    return A.getError().message() == B.getError().message();
+  const bc::Value &VA = A->ReturnValue, &VB = B->ReturnValue;
+  if (VA.isFloat() && VB.isFloat() && std::isnan(VA.asFloat()) &&
+      std::isnan(VB.asFloat()))
+    return true;
+  return VA.equals(VB);
+}
+
+} // namespace
+
+TEST(PassProperties, PassOrderPermutationsPreserveSemantics) {
+  // Any order of the function passes must produce code that behaves exactly
+  // like the interpreter — pass composition has no required sequencing for
+  // correctness, only for optimization quality.
+  const size_t N = sizeof(FunctionPasses) / sizeof(FunctionPasses[0]);
+  std::vector<int> Forward(N);
+  for (size_t I = 0; I != N; ++I)
+    Forward[I] = static_cast<int>(I);
+
+  for (uint64_t Seed = PropertySeedBase; Seed != PropertySeedBase + 12;
+       ++Seed) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    auto MOrErr = test::generateRandomModule(Seed);
+    ASSERT_TRUE(static_cast<bool>(MOrErr));
+    const bc::Module &M = *MOrErr;
+    auto Want = runInterpreted(M, 7);
+
+    // The identity order, its reverse, and a seeded sample of shuffles.
+    std::vector<std::vector<int>> Orders = {Forward};
+    Orders.push_back({Forward.rbegin(), Forward.rend()});
+    Rng Shuffler(Seed * 2 + 1);
+    for (int S = 0; S != 4; ++S) {
+      std::vector<int> O = Forward;
+      Shuffler.shuffle(O);
+      Orders.push_back(std::move(O));
+    }
+
+    for (const std::vector<int> &Order : Orders) {
+      std::string OrderStr;
+      for (int P : Order)
+        OrderStr += std::string(FunctionPasses[static_cast<size_t>(P)].Name) +
+                    " ";
+      auto Got = runWithPassOrder(M, Order, 7);
+      EXPECT_TRUE(sameOutcome(Want, Got))
+          << "pass order [" << OrderStr << "] diverged: interp="
+          << (Want ? Want->ReturnValue.str() : Want.getError().message())
+          << " compiled="
+          << (Got ? Got->ReturnValue.str() : Got.getError().message());
     }
   }
 }
