@@ -1,0 +1,94 @@
+//===- bench/BenchJson.h - Shared --json=PATH support for bench_* ---------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every bench binary accepts `--json=PATH` and writes its headline numbers
+/// machine-readably next to the human tables:
+///
+///   {"bench":"<name>","seed":<seed>,"metrics":[{"name":...,...},...]}
+///
+/// where the metrics array is a support/Metrics.h snapshot.  The
+/// google-benchmark binaries instead map the flag onto the library's own
+/// --benchmark_out JSON.  bench/run_all.sh aggregates all of these into
+/// BENCH_results.json.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_BENCH_BENCHJSON_H
+#define EVM_BENCH_BENCHJSON_H
+
+#include "support/Metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace benchjson {
+
+/// Removes `--json=PATH` from argv (compacting it) and returns the path,
+/// or "" when the flag is absent.
+inline std::string extractJsonFlag(int &argc, char **argv) {
+  std::string Path;
+  int Out = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--json=", 0) == 0)
+      Path = Arg.substr(7);
+    else
+      argv[Out++] = argv[I];
+  }
+  argc = Out;
+  return Path;
+}
+
+/// Writes the bench JSON document.  Returns false (with a message on
+/// stderr) if the file cannot be written.
+inline bool writeBenchJson(const std::string &Path, const std::string &Name,
+                           uint64_t Seed, const MetricsSnapshot &Snap) {
+  if (Path.empty())
+    return true;
+  std::string Body = Snap.renderJson(); // {"metrics":[...]}
+  std::string Doc = "{\"bench\":\"" + Name +
+                    "\",\"seed\":" + std::to_string(Seed) + "," +
+                    Body.substr(1) + "\n";
+  std::ofstream Stream(Path, std::ios::binary);
+  if (!(Stream << Doc)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// For google-benchmark binaries: rewrites `--json=PATH` into the
+/// library's `--benchmark_out=PATH --benchmark_out_format=json` pair.
+/// \p Storage owns the rewritten strings; \p NewArgv is what to hand to
+/// benchmark::Initialize.
+inline void rewriteJsonFlagForGBench(int argc, char **argv,
+                                     std::vector<std::string> &Storage,
+                                     std::vector<char *> &NewArgv) {
+  Storage.clear();
+  Storage.reserve(static_cast<size_t>(argc) + 1);
+  Storage.push_back(argv[0]);
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--json=", 0) == 0) {
+      Storage.push_back("--benchmark_out=" + Arg.substr(7));
+      Storage.push_back("--benchmark_out_format=json");
+    } else {
+      Storage.push_back(Arg);
+    }
+  }
+  NewArgv.clear();
+  for (std::string &S : Storage)
+    NewArgv.push_back(S.data());
+}
+
+} // namespace benchjson
+} // namespace evm
+
+#endif // EVM_BENCH_BENCHJSON_H

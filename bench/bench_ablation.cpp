@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "evolve/EvolvableVM.h"
 #include "harness/Scenario.h"
 #include "support/Statistics.h"
@@ -73,7 +74,9 @@ const char *guardName(evolve::GuardMode G) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = benchjson::extractJsonFlag(argc, argv);
+  MetricsRegistry Metrics;
   std::printf("Ablation: discriminative-guard mode and reactive safety net\n"
               "(speedups vs the default VM; 40 runs per configuration)\n\n");
   TextTable Table({"Program", "guard", "safetyNet", "min", "median", "max",
@@ -98,6 +101,13 @@ int main() {
     for (const Config &Cfg : Configs) {
       AblationResult R =
           runConfig(W, Baselines, Order, Cfg.Guard, Cfg.SafetyNet);
+      std::string Key = std::string("ablation.") + Name + "." +
+                        guardName(Cfg.Guard) +
+                        (Cfg.SafetyNet ? ".net_on" : ".net_off");
+      Metrics.setGauge(Key + ".median_speedup", R.Median);
+      Metrics.setGauge(Key + ".min_speedup", R.Min);
+      Metrics.add(Key + ".predicted_runs",
+                  static_cast<uint64_t>(R.Predicted));
       Table.beginRow();
       Table.addCell(Name);
       Table.addCell(guardName(Cfg.Guard));
@@ -112,5 +122,8 @@ int main() {
   std::printf("Expected shape: guards trade a few early predicted runs for "
               "a better worst\ncase; removing the safety net lowers the "
               "minimum (mispredictions go unrescued).\n");
+  if (!benchjson::writeBenchJson(JsonPath, "ablation", 20090301,
+                                 Metrics.snapshot()))
+    return 2;
   return 0;
 }

@@ -7,12 +7,20 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "harness/Experiments.h"
 
 #include <cstdio>
 
-int main() {
-  std::printf("%s\n", evm::harness::runFig9("Mtrt", 20090301).c_str());
-  std::printf("%s\n", evm::harness::runFig9("Compress", 20090301).c_str());
+int main(int argc, char **argv) {
+  std::string JsonPath = evm::benchjson::extractJsonFlag(argc, argv);
+  evm::MetricsRegistry Metrics;
+  std::printf("%s\n",
+              evm::harness::runFig9("Mtrt", 20090301, &Metrics).c_str());
+  std::printf("%s\n",
+              evm::harness::runFig9("Compress", 20090301, &Metrics).c_str());
+  if (!evm::benchjson::writeBenchJson(JsonPath, "fig9", 20090301,
+                                      Metrics.snapshot()))
+    return 2;
   return 0;
 }

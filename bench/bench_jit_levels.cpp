@@ -7,9 +7,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 #include "vm/Engine.h"
 #include "vm/jit/Compiler.h"
 #include "vm/jit/Lowering.h"
@@ -47,10 +48,10 @@ uint64_t steadyCycles(const wl::Workload &W, const wl::InputCase &Input,
   auto R = Engine.run(Input.VmArgs, 60ULL << 30);
   if (!R)
     return 1;
-  return R->Cycles - R->CompileCycles;
+  return R->Cycles - R->compileCycles();
 }
 
-void printCalibrationTable() {
+void printCalibrationTable(MetricsRegistry &Metrics) {
   std::printf("JIT level calibration (ablation): steady-state speedup over "
               "baseline per level,\nper workload; geometric means feed "
               "TimingModel::expectedSpeedup.\n\n");
@@ -82,10 +83,14 @@ void printCalibrationTable() {
     Table.addCell(100.0 * (1.0 - static_cast<double>(O2Size) /
                                      static_cast<double>(O0Size)),
                   1);
+    Metrics.setGauge("jit." + Name + ".speedup.o2", S2);
     G0.push_back(S0);
     G1.push_back(S1);
     G2.push_back(S2);
   }
+  Metrics.setGauge("jit.geomean_speedup.o0", geomean(G0));
+  Metrics.setGauge("jit.geomean_speedup.o1", geomean(G1));
+  Metrics.setGauge("jit.geomean_speedup.o2", geomean(G2));
   Table.beginRow();
   Table.addCell("geomean");
   Table.addCell(geomean(G0), 2);
@@ -95,7 +100,7 @@ void printCalibrationTable() {
   std::printf("%s\n", Table.render().c_str());
 }
 
-void printWorkerAblationTable() {
+void printWorkerAblationTable(MetricsRegistry &Metrics) {
   std::printf("Background-compilation worker ablation (Mtrt, adaptive "
               "policy):\nstall cycles hit the application clock; overlapped "
               "cycles run on\nworker timelines concurrently with "
@@ -112,11 +117,16 @@ void printWorkerAblationTable() {
     auto R = Engine.run(Input.VmArgs, 60ULL << 30);
     if (!R)
       continue;
+    std::string Key = "jit.workers_" + std::to_string(Workers);
+    Metrics.add(Key + ".total_cycles", R->Cycles);
+    Metrics.add(Key + ".stall_compile_cycles", R->stallCompileCycles());
+    Metrics.add(Key + ".overlapped_compile_cycles",
+                R->overlappedCompileCycles());
     Table.beginRow();
     Table.addCell(static_cast<int64_t>(Workers));
     Table.addCell(static_cast<int64_t>(R->Cycles));
-    Table.addCell(static_cast<int64_t>(R->StallCompileCycles));
-    Table.addCell(static_cast<int64_t>(R->OverlappedCompileCycles));
+    Table.addCell(static_cast<int64_t>(R->stallCompileCycles()));
+    Table.addCell(static_cast<int64_t>(R->overlappedCompileCycles()));
     Table.addCell(static_cast<int64_t>(R->Compiles.size()));
   }
   std::printf("%s\n", Table.render().c_str());
@@ -144,8 +154,13 @@ BENCHMARK(BM_LowerToIR);
 } // namespace
 
 int main(int argc, char **argv) {
-  printCalibrationTable();
-  printWorkerAblationTable();
+  std::string JsonPath = benchjson::extractJsonFlag(argc, argv);
+  MetricsRegistry Metrics;
+  printCalibrationTable(Metrics);
+  printWorkerAblationTable(Metrics);
+  if (!benchjson::writeBenchJson(JsonPath, "jit_levels", 20090301,
+                                 Metrics.snapshot()))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

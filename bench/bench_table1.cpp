@@ -6,11 +6,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "harness/Experiments.h"
 
 #include <cstdio>
 
-int main() {
-  std::printf("%s\n", evm::harness::runTable1(20090301).c_str());
+int main(int argc, char **argv) {
+  std::string JsonPath = evm::benchjson::extractJsonFlag(argc, argv);
+  evm::MetricsRegistry Metrics;
+  std::printf("%s\n", evm::harness::runTable1(20090301, &Metrics).c_str());
+  if (!evm::benchjson::writeBenchJson(JsonPath, "table1", 20090301,
+                                      Metrics.snapshot()))
+    return 2;
   return 0;
 }

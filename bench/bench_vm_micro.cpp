@@ -7,8 +7,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Assembler.h"
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 #include "vm/Engine.h"
+
+#include "BenchJson.h"
 
 #include <benchmark/benchmark.h>
 
@@ -122,4 +124,15 @@ BENCHMARK(BM_AdaptiveRun);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  std::vector<std::string> Storage;
+  std::vector<char *> Argv;
+  evm::benchjson::rewriteJsonFlagForGBench(argc, argv, Storage, Argv);
+  int Argc = static_cast<int>(Argv.size());
+  benchmark::Initialize(&Argc, Argv.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,8 @@
 #include "xicl/Spec.h"
 #include "xicl/Translator.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace evm;
@@ -57,4 +59,15 @@ BENCHMARK(BM_TranslateAllWorkloads);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  std::vector<std::string> Storage;
+  std::vector<char *> Argv;
+  evm::benchjson::rewriteJsonFlagForGBench(argc, argv, Storage, Argv);
+  int Argc = static_cast<int>(Argv.size());
+  benchmark::Initialize(&Argc, Argv.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

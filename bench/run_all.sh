@@ -1,0 +1,79 @@
+#!/bin/sh
+# Runs every bench binary with --json and aggregates the per-bench
+# documents into one BENCH_results.json:
+#
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#
+#   BUILD_DIR  CMake build tree holding bench/ binaries (default: build)
+#   OUT_DIR    where per-bench JSON and BENCH_results.json land
+#              (default: BUILD_DIR/bench-results)
+#
+# FULL=1 additionally runs the long benches (fig10 over all workloads and
+# the google-benchmark microbenchmark suites); the default set finishes in
+# a few minutes.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR/bench-results}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found (build first: cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+# name:binary:extra-args; the microbenchmarks get tiny repetition counts —
+# the JSON is for regression diffing, not timing precision.
+DEFAULT_BENCHES="
+table1:bench_table1:
+fig8:bench_fig8:
+fig9:bench_fig9:
+overhead:bench_overhead:
+sensitivity:bench_sensitivity:
+ablation:bench_ablation:
+jit_levels:bench_jit_levels:--benchmark_min_time=0.01
+"
+FULL_BENCHES="
+fig10:bench_fig10:
+vm_micro:bench_vm_micro:--benchmark_min_time=0.01
+xicl:bench_xicl:--benchmark_min_time=0.01
+ml:bench_ml:--benchmark_min_time=0.01
+"
+
+BENCHES="$DEFAULT_BENCHES"
+if [ "${FULL:-0}" = "1" ]; then
+  BENCHES="$DEFAULT_BENCHES$FULL_BENCHES"
+else
+  echo "(FULL=1 adds fig10 and the microbenchmark suites)"
+fi
+
+NAMES=""
+for Spec in $BENCHES; do
+  Name="${Spec%%:*}"
+  Rest="${Spec#*:}"
+  Bin="${Rest%%:*}"
+  Args="${Rest#*:}"
+  echo "== $Name ($Bin) =="
+  # shellcheck disable=SC2086 # Args is intentionally word-split
+  "$BENCH_DIR/$Bin" --json="$OUT_DIR/$Name.json" $Args \
+    > "$OUT_DIR/$Name.txt"
+  NAMES="$NAMES $Name"
+done
+
+# Aggregate: {"benches":{"<name>":<per-bench doc>,...}}
+RESULTS="$OUT_DIR/BENCH_results.json"
+{
+  printf '{"benches":{'
+  First=1
+  for Name in $NAMES; do
+    [ "$First" = 1 ] || printf ','
+    First=0
+    printf '"%s":' "$Name"
+    cat "$OUT_DIR/$Name.json"
+  done
+  printf '}}\n'
+} | tr -d '\n' > "$RESULTS"
+echo "" >> "$RESULTS"
+
+echo "wrote $RESULTS"

@@ -3,7 +3,7 @@
 // A small command-line tool a downstream user can drive entirely from
 // files, no C++ required:
 //
-//   evm_cli PROGRAM.evm SPEC.xicl RUNS.txt
+//   evm_cli [options] PROGRAM.evm SPEC.xicl RUNS.txt
 //
 //   PROGRAM.evm  MiniVM textual assembly (see bytecode/Assembler.h)
 //   SPEC.xicl    the program's XICL specification
@@ -11,6 +11,16 @@
 //                  <command line> | <main() args, whitespace-separated>
 //                lines starting with '#' are comments.  Integer args are
 //                passed as ints, anything with a '.' as floats.
+//
+// Options:
+//
+//   --trace-out=FILE     write a Chrome trace_event JSON of all runs
+//                        (load in chrome://tracing or ui.perfetto.dev)
+//   --trace-jsonl=FILE   write the raw event stream as JSON Lines
+//                        (the input format of tools/evm-trace)
+//   --metrics-out=FILE   write the final run's metrics snapshot as JSON
+//   --workers=N          background compile workers (default from the
+//                        timing model)
 //
 // The tool replays the runs through one EvolvableVM, prints the per-run
 // evolution, and finishes with the paper's Sec. VI spec feedback.
@@ -23,6 +33,7 @@
 #include "bytecode/Assembler.h"
 #include "evolve/EvolvableVM.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
@@ -45,9 +56,30 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return false;
+  Stream << Text;
+  return static_cast<bool>(Stream);
+}
+
 struct RunLine {
   std::string CommandLine;
   std::vector<bc::Value> Args;
+};
+
+/// Output/engine options parsed off the command line before the three
+/// positional file arguments.
+struct CliOptions {
+  std::string TraceOutPath;   ///< --trace-out= (Chrome trace JSON)
+  std::string TraceJsonlPath; ///< --trace-jsonl= (JSON Lines events)
+  std::string MetricsOutPath; ///< --metrics-out= (metrics snapshot JSON)
+  int64_t Workers = -1;       ///< --workers= (-1: timing-model default)
+
+  bool wantsTrace() const {
+    return !TraceOutPath.empty() || !TraceJsonlPath.empty();
+  }
 };
 
 /// Parses "cmdline | arg arg arg" lines.
@@ -97,8 +129,10 @@ std::vector<RunLine> parseRuns(const std::string &Text, bool &Ok) {
 int replay(const bc::Module &Program, const std::string &Spec,
            const std::vector<RunLine> &Runs,
            const xicl::XFMethodRegistry &Registry,
-           const xicl::FileStore &Files) {
+           const xicl::FileStore &Files, const CliOptions &Options) {
   evolve::EvolveConfig Config;
+  if (Options.Workers >= 0)
+    Config.Timing.NumCompileWorkers = static_cast<uint64_t>(Options.Workers);
   evolve::EvolvableVM VM(Program, Spec, &Registry, &Files, Config);
   if (!VM.specError().empty())
     std::fprintf(stderr,
@@ -106,6 +140,16 @@ int replay(const bc::Module &Program, const std::string &Spec,
                  "prediction\n",
                  VM.specError().c_str());
 
+  TraceRecorder Tracer;
+  if (Options.wantsTrace()) {
+    Tracer.setEnabled(true);
+    if (!Tracer.enabled())
+      std::fprintf(stderr, "warning: binary built with EVM_TRACING=0; "
+                           "trace output will be empty\n");
+    VM.setTracer(&Tracer);
+  }
+
+  MetricsSnapshot LastMetrics;
   std::printf("%-4s %-32s %-7s %-7s %-9s %s\n", "run", "command line",
               "conf", "acc", "cycles", "path");
   for (size_t R = 0; R != Runs.size(); ++R) {
@@ -120,15 +164,44 @@ int replay(const bc::Module &Program, const std::string &Spec,
                 Record->Accuracy,
                 static_cast<unsigned long long>(Record->Result.Cycles),
                 Record->UsedPrediction ? "predicted" : "default");
+    LastMetrics = Record->Result.Metrics;
   }
 
   std::printf("\n%s", VM.specFeedback().render().c_str());
+
+  TraceMeta Meta;
+  Meta.MethodNames.resize(Program.numFunctions());
+  for (size_t F = 0; F != Program.numFunctions(); ++F)
+    Meta.MethodNames[F] = Program.function(static_cast<bc::MethodId>(F)).Name;
+  if (!Options.TraceOutPath.empty() &&
+      !writeFile(Options.TraceOutPath, renderChromeTrace(Tracer.exportOrder(), Meta))) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Options.TraceOutPath.c_str());
+    return 2;
+  }
+  if (!Options.TraceJsonlPath.empty() &&
+      !writeFile(Options.TraceJsonlPath, renderJsonlTrace(Tracer.exportOrder(), Meta))) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Options.TraceJsonlPath.c_str());
+    return 2;
+  }
+  if (!Options.MetricsOutPath.empty() &&
+      !writeFile(Options.MetricsOutPath, LastMetrics.renderJson())) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Options.MetricsOutPath.c_str());
+    return 2;
+  }
+  if (Tracer.droppedEvents())
+    std::fprintf(stderr,
+                 "warning: %llu trace events dropped (MaxEvents cap)\n",
+                 static_cast<unsigned long long>(Tracer.droppedEvents()));
   return 0;
 }
 
 /// Built-in demo when invoked without files: the route example.
-int runDemo() {
-  std::printf("(no arguments: running the built-in route demo; see -h)\n\n");
+int runDemo(const CliOptions &Options) {
+  std::printf("(no file arguments: running the built-in route demo; "
+              "see -h)\n\n");
   wl::Workload Route = wl::buildRouteExample(7, 24);
   xicl::XFMethodRegistry Registry;
   Route.registerMethods(Registry);
@@ -139,29 +212,69 @@ int runDemo() {
     const wl::InputCase &In = Route.Inputs[(R * 5) % Route.Inputs.size()];
     Runs.push_back(RunLine{In.CommandLine, In.VmArgs});
   }
-  return replay(Route.Module, Route.XiclSpec, Runs, Registry, Files);
+  return replay(Route.Module, Route.XiclSpec, Runs, Registry, Files,
+                Options);
+}
+
+void printUsage(const char *Argv0, std::FILE *To) {
+  std::fprintf(To, "usage: %s [options] PROGRAM.evm SPEC.xicl RUNS.txt\n",
+               Argv0);
+  std::fprintf(To, "       %s [options]      (built-in demo)\n", Argv0);
+  std::fprintf(To, "options:\n"
+                   "  --trace-out=FILE    Chrome trace_event JSON "
+                   "(chrome://tracing / Perfetto)\n"
+                   "  --trace-jsonl=FILE  raw event stream, one JSON object "
+                   "per line\n"
+                   "  --metrics-out=FILE  final run's metrics snapshot as "
+                   "JSON\n"
+                   "  --workers=N         background compile workers\n");
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc == 2 && (std::string(argv[1]) == "-h" ||
-                    std::string(argv[1]) == "--help")) {
-    std::printf("usage: %s PROGRAM.evm SPEC.xicl RUNS.txt\n", argv[0]);
-    std::printf("       %s            (built-in demo)\n", argv[0]);
-    return 0;
+  CliOptions Options;
+  std::vector<std::string> Positional;
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-h" || Arg == "--help") {
+      printUsage(argv[0], stdout);
+      return 0;
+    }
+    if (Arg.rfind("--trace-out=", 0) == 0) {
+      Options.TraceOutPath = Arg.substr(12);
+    } else if (Arg.rfind("--trace-jsonl=", 0) == 0) {
+      Options.TraceJsonlPath = Arg.substr(14);
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      Options.MetricsOutPath = Arg.substr(14);
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      auto N = parseInteger(Arg.substr(10));
+      if (!N || *N < 0) {
+        std::fprintf(stderr, "error: bad --workers value '%s'\n",
+                     Arg.substr(10).c_str());
+        return 2;
+      }
+      Options.Workers = *N;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      printUsage(argv[0], stderr);
+      return 2;
+    } else {
+      Positional.push_back(Arg);
+    }
   }
-  if (argc == 1)
-    return runDemo();
-  if (argc != 4) {
-    std::fprintf(stderr, "usage: %s PROGRAM.evm SPEC.xicl RUNS.txt\n",
-                 argv[0]);
+
+  if (Positional.empty())
+    return runDemo(Options);
+  if (Positional.size() != 3) {
+    printUsage(argv[0], stderr);
     return 2;
   }
 
   std::string AsmText, SpecText, RunsText;
-  if (!readFile(argv[1], AsmText) || !readFile(argv[2], SpecText) ||
-      !readFile(argv[3], RunsText)) {
+  if (!readFile(Positional[0], AsmText) ||
+      !readFile(Positional[1], SpecText) ||
+      !readFile(Positional[2], RunsText)) {
     std::fprintf(stderr, "error: cannot read input files\n");
     return 2;
   }
@@ -184,5 +297,5 @@ int main(int argc, char **argv) {
   // relies only on predefined val/len attrs.
   xicl::XFMethodRegistry Registry;
   xicl::FileStore Files;
-  return replay(*Program, SpecText, Runs, Registry, Files);
+  return replay(*Program, SpecText, Runs, Registry, Files, Options);
 }

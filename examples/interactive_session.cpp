@@ -16,7 +16,7 @@
 #include "evolve/ModelBuilder.h"
 #include "evolve/Strategy.h"
 #include "ml/Confidence.h"
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 #include "vm/Engine.h"
 #include "xicl/RuntimeChannel.h"
 

@@ -4,7 +4,7 @@
 
 #include "evolve/EvolvePolicy.h"
 #include "support/Rng.h"
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 #include "xicl/Spec.h"
 
 #include <algorithm>
@@ -26,6 +26,36 @@ EvolvableVM::EvolvableVM(const bc::Module &M, const std::string &SpecSource,
   Translator = std::make_unique<xicl::XICLTranslator>(Spec.takeValue(),
                                                       Registry, Files);
 }
+
+void EvolvableVM::setTracer(TraceRecorder *T) {
+  Tracer = T;
+  Engine.setTracer(T);
+}
+
+namespace {
+
+/// Stable 64-bit FNV-1a over the feature vector's rendering, so the
+/// evolve.predict event carries a deterministic feature-vector id.
+uint64_t fvHash(const xicl::FeatureVector &FV) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : FV.str()) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Highest level a strategy assigns to any method (the trace event's
+/// one-slot summary of a per-method strategy).
+vm::OptLevel maxLevel(const MethodLevelStrategy &S) {
+  vm::OptLevel Max = vm::OptLevel::Baseline;
+  for (vm::OptLevel L : S.Levels)
+    if (vm::levelIndex(L) > vm::levelIndex(Max))
+      Max = L;
+  return Max;
+}
+
+} // namespace
 
 ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
     const std::string &CommandLine, const std::vector<bc::Value> &VmArgs) {
@@ -64,6 +94,21 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
       Predict = false; // no model yet
   }
 
+  // Recorded before the engine starts: the exporter slots this pre-run
+  // event into the run segment it predicts for.
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::EvolvePredict;
+    E.Cycle = 0;
+    E.A = RunsSeen + 1; // matches the engine's run ordinal
+    E.B = HaveFeatures ? fvHash(Record.Features) : 0;
+    E.C = Predict && Predicted ? 1 : 0;
+    E.X = Record.ConfidenceBefore;
+    E.Level = Predicted ? static_cast<int8_t>(maxLevel(*Predicted))
+                        : kTraceNoLevel;
+    Tracer->record(E);
+  }
+
   // 3. Execute with the predicted strategy, or fall back to the default
   //    reactive adaptive system.
   uint64_t PreRunOverhead = Record.ExtractionCycles + Record.PredictionCycles;
@@ -77,7 +122,7 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
     // system keeps running underneath (as in the Jikes implementation), so
     // a mispredicted-too-low method still gets rescued reactively.
     EvolvePolicy Proactive(*Predicted);
-    vm::AdaptivePolicy Reactive(Config.Timing);
+    vm::AdaptivePolicy Reactive(Config.Timing, Tracer);
     vm::CombinedPolicy Combined(&Proactive, &Reactive);
     Engine.setPolicy(Config.ReactiveSafetyNet
                          ? static_cast<vm::CompilationPolicy *>(&Combined)
@@ -89,7 +134,7 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
       return R.getError();
     Result = R.takeValue();
   } else {
-    vm::AdaptivePolicy Policy(Config.Timing);
+    vm::AdaptivePolicy Policy(Config.Timing, Tracer);
     Engine.setPolicy(&Policy);
     auto R = Engine.run(VmArgs, Config.MaxCyclesPerRun, PreRunOverhead,
                         SamplePhase);
@@ -125,6 +170,51 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
 
   Record.CvConfidence = CvConfidence;
   Record.ConfidenceAfter = Confidence.value();
+
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Cycle = Result.Cycles;
+    if (Record.HadPrediction) {
+      // "Agreed" = the posterior ideal (what the reactive system converges
+      // to, given the full profile) matched the prediction well enough to
+      // clear the confidence threshold.
+      size_t Correct = 0;
+      for (size_t I = 0; I != Record.Ideal.Levels.size(); ++I)
+        if (Record.Predicted.levelFor(static_cast<bc::MethodId>(I)) ==
+            Record.Ideal.Levels[I])
+          ++Correct;
+      E.Kind = TraceEventKind::EvolveOutcome;
+      E.A = Record.Accuracy >= Config.ConfidenceThreshold ? 1 : 0;
+      E.B = Correct;
+      E.C = Record.Ideal.Levels.size();
+      E.X = Record.Accuracy;
+      E.Level = static_cast<int8_t>(maxLevel(Record.Ideal));
+      Tracer->record(E);
+    }
+    if (HaveFeatures) {
+      E = TraceEvent();
+      E.Kind = TraceEventKind::ModelRebuild;
+      E.Cycle = Result.Cycles;
+      E.A = RunsSeen + 1;
+      E.X = Config.Guard == GuardMode::CrossValidation ? CvConfidence
+                                                       : Confidence.value();
+      Tracer->record(E);
+    }
+  }
+
+  // Augment the engine's metrics snapshot with the evolvable-VM layer's
+  // accounting, so one snapshot describes the whole run.
+  Result.Metrics.setCounter("evolve.cycles.extraction",
+                            Record.ExtractionCycles);
+  Result.Metrics.setCounter("evolve.cycles.prediction",
+                            Record.PredictionCycles);
+  Result.Metrics.setCounter("evolve.used_prediction",
+                            Record.UsedPrediction ? 1 : 0);
+  Result.Metrics.setCounter("evolve.had_prediction",
+                            Record.HadPrediction ? 1 : 0);
+  Result.Metrics.setGauge("evolve.confidence", Record.ConfidenceAfter);
+  Result.Metrics.setGauge("evolve.accuracy", Record.Accuracy);
+
   Record.Result = std::move(Result);
   ++RunsSeen;
   return Record;

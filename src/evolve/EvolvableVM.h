@@ -96,6 +96,11 @@ public:
   ErrorOr<EvolveRunRecord> runOnce(const std::string &CommandLine,
                                    const std::vector<bc::Value> &VmArgs);
 
+  /// Attaches an event recorder (shared with the engine): each run gains
+  /// evolve.predict / evolve.outcome / model.rebuild events, and the
+  /// RunResult metrics snapshot is augmented with evolve.* entries.
+  void setTracer(TraceRecorder *T);
+
   double confidence() const { return Confidence.value(); }
   /// The cross-validated model accuracy after the latest rebuild (0 until
   /// the CrossValidation guard has something to evaluate).
@@ -128,6 +133,7 @@ private:
   SpecFeedbackCollector Feedback;
   double CvConfidence = 0;
   size_t RunsSeen = 0;
+  TraceRecorder *Tracer = nullptr;
 };
 
 } // namespace evolve

@@ -5,7 +5,7 @@
 #include "support/Format.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 #include "vm/Engine.h"
 
 #include <algorithm>
@@ -31,9 +31,20 @@ std::vector<double> speedups(const ScenarioResult &R) {
   return Out;
 }
 
+/// Rolls a scenario's totals into the bench-wide counters.
+void addRunTotals(MetricsRegistry *Metrics, const ScenarioResult &R) {
+  if (!Metrics)
+    return;
+  for (const RunMetrics &M : R.Runs) {
+    Metrics->add("bench.cycles.total", M.Cycles);
+    Metrics->add("bench.compiles.total", M.Compiles);
+    Metrics->add("bench.runs.total");
+  }
+}
+
 } // namespace
 
-std::string harness::runTable1(uint64_t Seed) {
+std::string harness::runTable1(uint64_t Seed, MetricsRegistry *Metrics) {
   TextTable Table({"Program", "Suite", "#Inputs", "Min(s)", "Max(s)",
                    "FeatTotal", "FeatUsed", "conf", "acc"});
   std::vector<wl::Workload> All = wl::buildAllWorkloads(Seed);
@@ -52,6 +63,13 @@ std::string harness::runTable1(uint64_t Seed) {
     }
 
     ScenarioResult Evolve = Runner.runEvolve(Order);
+    addRunTotals(Metrics, Evolve);
+    if (Metrics) {
+      Metrics->setGauge("table1." + W.Name + ".confidence",
+                        Evolve.FinalConfidence);
+      Metrics->setGauge("table1." + W.Name + ".accuracy",
+                        Evolve.MeanAccuracy);
+    }
 
     Table.beginRow();
     Table.addCell(W.Name);
@@ -69,7 +87,8 @@ std::string harness::runTable1(uint64_t Seed) {
          Table.render();
 }
 
-std::string harness::runFig8(const std::string &WorkloadName, uint64_t Seed) {
+std::string harness::runFig8(const std::string &WorkloadName, uint64_t Seed,
+                             MetricsRegistry *Metrics) {
   wl::Workload W = wl::buildWorkload(WorkloadName, Seed);
   ScenarioRunner Runner(W, makeConfig(Seed));
   size_t Runs = Runner.recommendedRuns();
@@ -77,6 +96,16 @@ std::string harness::runFig8(const std::string &WorkloadName, uint64_t Seed) {
 
   ScenarioResult Evolve = Runner.runEvolve(Order);
   ScenarioResult Rep = Runner.runRep(Order);
+  addRunTotals(Metrics, Evolve);
+  addRunTotals(Metrics, Rep);
+  if (Metrics) {
+    Metrics->setGauge("fig8." + WorkloadName + ".final_confidence",
+                      Evolve.FinalConfidence);
+    Metrics->setGauge("fig8." + WorkloadName + ".median_evolve_speedup",
+                      median(speedups(Evolve)));
+    Metrics->setGauge("fig8." + WorkloadName + ".median_rep_speedup",
+                      median(speedups(Rep)));
+  }
 
   TextTable Table({"run", "conf", "acc", "evolveSpeedup", "repSpeedup",
                    "predicted"});
@@ -97,7 +126,8 @@ std::string harness::runFig8(const std::string &WorkloadName, uint64_t Seed) {
          Table.render();
 }
 
-std::string harness::runFig9(const std::string &WorkloadName, uint64_t Seed) {
+std::string harness::runFig9(const std::string &WorkloadName, uint64_t Seed,
+                             MetricsRegistry *Metrics) {
   wl::Workload W = wl::buildWorkload(WorkloadName, Seed);
   ScenarioRunner Runner(W, makeConfig(Seed));
   size_t Runs = Runner.recommendedRuns();
@@ -105,6 +135,11 @@ std::string harness::runFig9(const std::string &WorkloadName, uint64_t Seed) {
 
   ScenarioResult Evolve = Runner.runEvolve(Order);
   ScenarioResult Rep = Runner.runRep(Order);
+  addRunTotals(Metrics, Evolve);
+  addRunTotals(Metrics, Rep);
+  if (Metrics)
+    Metrics->setGauge("fig9." + WorkloadName + ".median_evolve_speedup",
+                      median(speedups(Evolve)));
 
   // Drop the warmup runs where Evolve made no guarded prediction (the
   // paper excludes the runs before prediction starts), then sort ascending
@@ -144,7 +179,7 @@ std::string harness::runFig9(const std::string &WorkloadName, uint64_t Seed) {
          Table.render();
 }
 
-std::string harness::runFig10(uint64_t Seed) {
+std::string harness::runFig10(uint64_t Seed, MetricsRegistry *Metrics) {
   std::string Out = "Figure 10: speedup boxplots (Evolve vs Rep), "
                     "normalized to the default VM\n\n";
   TextTable Table({"Program", "Scen", "min", "q25", "median", "q75", "max"});
@@ -158,9 +193,15 @@ std::string harness::runFig10(uint64_t Seed) {
     std::vector<size_t> Order = Runner.makeInputOrder(1, Runs);
     ScenarioResult Evolve = Runner.runEvolve(Order);
     ScenarioResult Rep = Runner.runRep(Order);
+    addRunTotals(Metrics, Evolve);
+    addRunTotals(Metrics, Rep);
 
     for (const ScenarioResult *R : {&Evolve, &Rep}) {
       BoxStats S = computeBoxStats(speedups(*R));
+      if (Metrics)
+        Metrics->setGauge("fig10." + Name + "." + R->ScenarioName +
+                              ".median_speedup",
+                          S.Median);
       Table.beginRow();
       Table.addCell(Name);
       Table.addCell(R->ScenarioName);
@@ -183,7 +224,8 @@ std::string harness::runFig10(uint64_t Seed) {
   return Out;
 }
 
-std::string harness::runOverheadAnalysis(uint64_t Seed) {
+std::string harness::runOverheadAnalysis(uint64_t Seed,
+                                         MetricsRegistry *Metrics) {
   TextTable Table({"Program", "meanOverhead%", "maxOverhead%"});
   for (const std::string &Name : wl::workloadNames()) {
     wl::Workload W = wl::buildWorkload(Name, Seed);
@@ -191,11 +233,14 @@ std::string harness::runOverheadAnalysis(uint64_t Seed) {
     size_t Runs = Runner.recommendedRuns();
     std::vector<size_t> Order = Runner.makeInputOrder(1, Runs);
     ScenarioResult Evolve = Runner.runEvolve(Order);
+    addRunTotals(Metrics, Evolve);
 
     std::vector<double> Fractions;
     for (const RunMetrics &M : Evolve.Runs)
       Fractions.push_back(100.0 * static_cast<double>(M.OverheadCycles) /
                           static_cast<double>(M.Cycles));
+    if (Metrics)
+      Metrics->setGauge("overhead." + Name + ".mean_pct", mean(Fractions));
     Table.beginRow();
     Table.addCell(Name);
     Table.addCell(mean(Fractions), 3);
@@ -206,7 +251,8 @@ std::string harness::runOverheadAnalysis(uint64_t Seed) {
          Table.render();
 }
 
-std::string harness::runAsyncCompileAnalysis(uint64_t Seed) {
+std::string harness::runAsyncCompileAnalysis(uint64_t Seed,
+                                             MetricsRegistry *Metrics) {
   // One representative (mid-sized) input per workload, run under the plain
   // adaptive system: the ablation isolates the compilation pipeline, so
   // the evolvable-VM machinery stays out of the picture.
@@ -233,9 +279,23 @@ std::string harness::runAsyncCompileAnalysis(uint64_t Seed) {
     vm::RunResult Async2 = runWithWorkers(2);
     bool Deterministic =
         Async.Cycles == Async2.Cycles &&
-        Async.StallCompileCycles == Async2.StallCompileCycles &&
-        Async.OverlappedCompileCycles == Async2.OverlappedCompileCycles &&
+        Async.stallCompileCycles() == Async2.stallCompileCycles() &&
+        Async.overlappedCompileCycles() == Async2.overlappedCompileCycles() &&
         Async.ReturnValue.equals(Async2.ReturnValue);
+
+    if (Metrics) {
+      std::string N = Name;
+      Metrics->add("bench.cycles.total",
+                   Sync.Cycles + Async.Cycles + Async2.Cycles);
+      Metrics->add("bench.compiles.total", Sync.Compiles.size() +
+                                               Async.Compiles.size() +
+                                               Async2.Compiles.size());
+      Metrics->add("bench.runs.total", 3);
+      Metrics->setGauge("async." + N + ".speedup",
+                        static_cast<double>(Sync.Cycles) /
+                            static_cast<double>(Async.Cycles));
+      Metrics->add("async." + N + ".deterministic", Deterministic ? 1 : 0);
+    }
 
     Table.beginRow();
     Table.addCell(Name);
@@ -244,10 +304,10 @@ std::string harness::runAsyncCompileAnalysis(uint64_t Seed) {
     Table.addCell(static_cast<double>(Sync.Cycles) /
                       static_cast<double>(Async.Cycles),
                   3);
-    Table.addCell(static_cast<int64_t>(Sync.StallCompileCycles));
-    Table.addCell(static_cast<int64_t>(Async.StallCompileCycles));
-    Table.addCell(static_cast<int64_t>(Async.OverlappedCompileCycles));
-    Table.addCell(static_cast<int64_t>(Async.DroppedCompiles));
+    Table.addCell(static_cast<int64_t>(Sync.stallCompileCycles()));
+    Table.addCell(static_cast<int64_t>(Async.stallCompileCycles()));
+    Table.addCell(static_cast<int64_t>(Async.overlappedCompileCycles()));
+    Table.addCell(static_cast<int64_t>(Async.droppedCompiles()));
     Table.addCell(Deterministic ? "yes" : "NO");
   }
   return "Background compilation ablation: synchronous engine vs the\n"
@@ -257,7 +317,8 @@ std::string harness::runAsyncCompileAnalysis(uint64_t Seed) {
          Table.render();
 }
 
-std::string harness::runSensitivity(uint64_t Seed) {
+std::string harness::runSensitivity(uint64_t Seed,
+                                    MetricsRegistry *Metrics) {
   std::string Out =
       "Sensitivity analysis (Sec. V.B.3)\n\n"
       "(a) Confidence threshold sweep on Mtrt: higher thresholds are more\n"
@@ -272,6 +333,11 @@ std::string harness::runSensitivity(uint64_t Seed) {
       ScenarioRunner Runner(W, C);
       std::vector<size_t> Order = Runner.makeInputOrder(1, 70);
       ScenarioResult Evolve = Runner.runEvolve(Order);
+      addRunTotals(Metrics, Evolve);
+      if (Metrics)
+        Metrics->setGauge(formatString("sensitivity.thc_%.1f.median_speedup",
+                                       Threshold),
+                          median(speedups(Evolve)));
       std::vector<double> S = speedups(Evolve);
       int64_t Predicted = 0;
       for (const RunMetrics &M : Evolve.Runs)
@@ -298,6 +364,8 @@ std::string harness::runSensitivity(uint64_t Seed) {
       std::vector<size_t> Order = Runner.makeInputOrder(OrderSeed, 30);
       ScenarioResult Rep = Runner.runRep(Order);
       ScenarioResult Evolve = Runner.runEvolve(Order);
+      addRunTotals(Metrics, Rep);
+      addRunTotals(Metrics, Evolve);
       std::vector<double> RepS = speedups(Rep), EvS = speedups(Evolve);
       Table.beginRow();
       Table.addCell(static_cast<int64_t>(OrderSeed));

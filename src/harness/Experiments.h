@@ -16,42 +16,51 @@
 #define EVM_HARNESS_EXPERIMENTS_H
 
 #include "harness/Scenario.h"
+#include "support/Metrics.h"
 
 #include <string>
 
 namespace evm {
 namespace harness {
 
+/// Each experiment optionally registers its headline numbers (plus
+/// bench.cycles.total / bench.compiles.total roll-ups) into \p Metrics —
+/// the machine-readable channel behind every bench binary's --json flag.
+
 /// Table I: benchmarks, input-set sizes, default running-time ranges,
 /// raw/used feature counts, and final prediction confidence/accuracy.
-std::string runTable1(uint64_t Seed);
+std::string runTable1(uint64_t Seed, MetricsRegistry *Metrics = nullptr);
 
 /// Figure 8: temporal curves (confidence, accuracy, Evolve and Rep
 /// speedups per run) for one workload; the paper shows Mtrt and RayTracer.
-std::string runFig8(const std::string &WorkloadName, uint64_t Seed);
+std::string runFig8(const std::string &WorkloadName, uint64_t Seed,
+                    MetricsRegistry *Metrics = nullptr);
 
 /// Figure 9: speedup-vs-default-running-time correlation for one workload,
 /// rows sorted by default time; the paper shows Mtrt and Compress.
-std::string runFig9(const std::string &WorkloadName, uint64_t Seed);
+std::string runFig9(const std::string &WorkloadName, uint64_t Seed,
+                    MetricsRegistry *Metrics = nullptr);
 
 /// Figure 10: speedup boxplots (min/25%/median/75%/max) for Evolve and Rep
 /// over all benchmarks.
-std::string runFig10(uint64_t Seed);
+std::string runFig10(uint64_t Seed, MetricsRegistry *Metrics = nullptr);
 
 /// Sec. V.B.2: overhead of feature extraction + prediction as a fraction
 /// of run time, per workload (mean and max).
-std::string runOverheadAnalysis(uint64_t Seed);
+std::string runOverheadAnalysis(uint64_t Seed,
+                                MetricsRegistry *Metrics = nullptr);
 
 /// Background-compilation ablation: total virtual cycles and stall vs
 /// overlapped compile cycles for the synchronous engine
 /// (NumCompileWorkers=0) against the background pipeline (workers=1,2) on
 /// four representative workloads, plus a bit-identity check across
 /// repeated async runs.
-std::string runAsyncCompileAnalysis(uint64_t Seed);
+std::string runAsyncCompileAnalysis(uint64_t Seed,
+                                    MetricsRegistry *Metrics = nullptr);
 
 /// Sec. V.B.3: sensitivity to the confidence threshold (on Mtrt) and to
 /// the input arrival order (on RayTracer, Rep vs Evolve).
-std::string runSensitivity(uint64_t Seed);
+std::string runSensitivity(uint64_t Seed, MetricsRegistry *Metrics = nullptr);
 
 } // namespace harness
 } // namespace evm

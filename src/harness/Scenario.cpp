@@ -6,7 +6,7 @@
 #include "evolve/Strategy.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 
 #include <cassert>
 
@@ -33,8 +33,9 @@ uint64_t ScenarioRunner::defaultCycles(size_t InputIndex) {
   assert(InputIndex < W.Inputs.size() && "input index out of range");
   if (DefaultCache[InputIndex])
     return DefaultCache[InputIndex];
-  vm::AdaptivePolicy Policy(Config.Timing);
+  vm::AdaptivePolicy Policy(Config.Timing, Tracer);
   vm::ExecutionEngine Engine(W.Module, Config.Timing, &Policy);
+  Engine.setTracer(Tracer);
   auto R = Engine.run(W.Inputs[InputIndex].VmArgs, Config.MaxCyclesPerRun);
   assert(R && "default run trapped");
   DefaultCache[InputIndex] = R ? (*R).Cycles : 1;
@@ -69,11 +70,12 @@ ScenarioResult ScenarioRunner::runRep(const std::vector<size_t> &Order) {
     // first runs (no confidence guard) — one of the paper's contrasts.
     evolve::RepStrategy Strategy = Repo.deriveStrategy(Sizes);
     evolve::RepPolicy RepTriggers(std::move(Strategy));
-    vm::AdaptivePolicy Adaptive(Config.Timing);
+    vm::AdaptivePolicy Adaptive(Config.Timing, Tracer);
     vm::CombinedPolicy Policy(&RepTriggers, &Adaptive);
 
     uint64_t SamplePhase = Rng(RunIndex++ ^ 0x4e9b2a7c).next();
     vm::ExecutionEngine Engine(W.Module, Config.Timing, &Policy);
+    Engine.setTracer(Tracer);
     auto R = Engine.run(W.Inputs[InputIndex].VmArgs, Config.MaxCyclesPerRun,
                         0, SamplePhase);
     assert(R && "rep run trapped");
@@ -82,7 +84,15 @@ ScenarioResult ScenarioRunner::runRep(const std::vector<size_t> &Order) {
     M.Cycles = (*R).Cycles;
     M.SpeedupVsDefault = static_cast<double>(defaultCycles(InputIndex)) /
                          static_cast<double>(M.Cycles);
+    M.Compiles = (*R).Compiles.size();
     Repo.addRun((*R).PerMethod);
+    if (Tracer && Tracer->enabled()) {
+      TraceEvent E;
+      E.Kind = TraceEventKind::RepositoryUpdate;
+      E.Cycle = (*R).Cycles;
+      E.A = RunIndex; // runs folded into the repository so far
+      Tracer->record(E);
+    }
     Result.Runs.push_back(M);
   }
   return Result;
@@ -98,6 +108,7 @@ ScenarioResult ScenarioRunner::runEvolve(const std::vector<size_t> &Order) {
   EC.ConfidenceThreshold = Config.ConfidenceThreshold;
   EC.MaxCyclesPerRun = Config.MaxCyclesPerRun;
   evolve::EvolvableVM VM(W.Module, W.XiclSpec, &Registry, &Files, EC);
+  VM.setTracer(Tracer);
   assert(VM.specError().empty() && "workload XICL spec failed to parse");
 
   std::vector<double> Confidences, Accuracies;
@@ -116,7 +127,8 @@ ScenarioResult ScenarioRunner::runEvolve(const std::vector<size_t> &Order) {
     M.Accuracy = Record->Accuracy;
     M.UsedPrediction = Record->UsedPrediction;
     M.HadPrediction = Record->HadPrediction;
-    M.OverheadCycles = Record->Result.OverheadCycles;
+    M.OverheadCycles = Record->Result.overheadCycles();
+    M.Compiles = Record->Result.Compiles.size();
     Result.Runs.push_back(M);
 
     Confidences.push_back(Record->ConfidenceAfter);

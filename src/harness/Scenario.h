@@ -25,6 +25,7 @@
 #define EVM_HARNESS_SCENARIO_H
 
 #include "evolve/EvolvableVM.h"
+#include "support/Trace.h"
 #include "workloads/Workload.h"
 
 #include <string>
@@ -44,6 +45,8 @@ struct RunMetrics {
   bool UsedPrediction = false;
   bool HadPrediction = false;
   uint64_t OverheadCycles = 0;
+  uint64_t Compiles = 0; ///< compilation events in the run (0 for Default,
+                         ///< whose cached runs only record cycles)
 };
 
 /// One scenario's full trace plus its aggregates.
@@ -84,6 +87,11 @@ public:
   ScenarioResult runRep(const std::vector<size_t> &Order);
   ScenarioResult runEvolve(const std::vector<size_t> &Order);
 
+  /// Attaches an event recorder to every engine the runner creates
+  /// (default-measurement runs, Rep runs, and the evolvable VM).  Set it
+  /// before the first run; may be null.
+  void setTracer(TraceRecorder *T) { Tracer = T; }
+
   const wl::Workload &workload() const { return W; }
   const ExperimentConfig &config() const { return Config; }
 
@@ -99,6 +107,7 @@ private:
   xicl::XFMethodRegistry Registry;
   xicl::FileStore Files;
   std::vector<uint64_t> DefaultCache; ///< 0 = not yet measured
+  TraceRecorder *Tracer = nullptr;
 };
 
 } // namespace harness

@@ -1,0 +1,132 @@
+//===- support/Metrics.cpp ------------------------------------------------==//
+
+#include "support/Metrics.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace evm;
+
+const char *evm::metricKindName(MetricKind K) {
+  switch (K) {
+  case MetricKind::Counter:
+    return "counter";
+  case MetricKind::Gauge:
+    return "gauge";
+  case MetricKind::Histogram:
+    return "histogram";
+  }
+  return "?";
+}
+
+const MetricValue *MetricsSnapshot::find(const std::string &Name) const {
+  auto It = std::lower_bound(Values.begin(), Values.end(), Name,
+                             [](const MetricValue &V, const std::string &N) {
+                               return V.Name < N;
+                             });
+  if (It == Values.end() || It->Name != Name)
+    return nullptr;
+  return &*It;
+}
+
+uint64_t MetricsSnapshot::counter(const std::string &Name,
+                                  uint64_t Default) const {
+  const MetricValue *V = find(Name);
+  return V && V->Kind == MetricKind::Counter ? V->Counter : Default;
+}
+
+double MetricsSnapshot::gauge(const std::string &Name, double Default) const {
+  const MetricValue *V = find(Name);
+  return V && V->Kind == MetricKind::Gauge ? V->Gauge : Default;
+}
+
+MetricValue &MetricsSnapshot::getOrInsert(const std::string &Name) {
+  auto It = std::lower_bound(Values.begin(), Values.end(), Name,
+                             [](const MetricValue &V, const std::string &N) {
+                               return V.Name < N;
+                             });
+  if (It != Values.end() && It->Name == Name)
+    return *It;
+  MetricValue V;
+  V.Name = Name;
+  return *Values.insert(It, std::move(V));
+}
+
+void MetricsSnapshot::setCounter(const std::string &Name, uint64_t Value) {
+  MetricValue &V = getOrInsert(Name);
+  V.Kind = MetricKind::Counter;
+  V.Counter = Value;
+}
+
+void MetricsSnapshot::setGauge(const std::string &Name, double Value) {
+  MetricValue &V = getOrInsert(Name);
+  V.Kind = MetricKind::Gauge;
+  V.Gauge = Value;
+}
+
+std::string MetricsSnapshot::renderJson() const {
+  std::string Out = "{\"metrics\":[";
+  for (size_t I = 0; I != Values.size(); ++I) {
+    const MetricValue &V = Values[I];
+    if (I)
+      Out += ',';
+    Out += formatString("{\"name\":\"%s\",\"kind\":\"%s\"", V.Name.c_str(),
+                        metricKindName(V.Kind));
+    switch (V.Kind) {
+    case MetricKind::Counter:
+      Out += formatString(",\"value\":%llu",
+                          static_cast<unsigned long long>(V.Counter));
+      break;
+    case MetricKind::Gauge:
+      Out += formatString(",\"value\":%.17g", V.Gauge);
+      break;
+    case MetricKind::Histogram:
+      Out += formatString(
+          ",\"count\":%zu,\"sum\":%.17g,\"min\":%.17g,\"q25\":%.17g,"
+          "\"median\":%.17g,\"q75\":%.17g,\"max\":%.17g",
+          V.Box.Count, V.Sum, V.Box.Min, V.Box.Q25, V.Box.Median, V.Box.Q75,
+          V.Box.Max);
+      break;
+    }
+    Out += '}';
+  }
+  Out += "]}";
+  return Out;
+}
+
+void MetricsRegistry::add(const std::string &Name, uint64_t Delta) {
+  Counters[Name] += Delta;
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  Gauges[Name] = Value;
+}
+
+void MetricsRegistry::observe(const std::string &Name, double Sample) {
+  Histograms[Name].push_back(Sample);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot Snap;
+  for (const auto &[Name, Value] : Counters)
+    Snap.setCounter(Name, Value);
+  for (const auto &[Name, Value] : Gauges)
+    Snap.setGauge(Name, Value);
+  for (const auto &[Name, Samples] : Histograms) {
+    MetricValue &V = Snap.getOrInsert(Name);
+    V.Kind = MetricKind::Histogram;
+    V.Sum = 0;
+    for (double S : Samples)
+      V.Sum += S;
+    if (!Samples.empty())
+      V.Box = computeBoxStats(Samples);
+  }
+  return Snap;
+}
+
+void MetricsRegistry::reset() {
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}

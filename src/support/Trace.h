@@ -1,0 +1,205 @@
+//===- support/Trace.h - Deterministic VM-event tracing -------------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead recorder for the engine's layered decisions: method
+/// invocations, profiler samples, cost-benefit evaluations, compile-queue
+/// scheduling, level transitions, and Evolve predictions.  Timestamps are
+/// **virtual-clock cycles**, so two identical runs produce bit-identical
+/// traces no matter how the OS schedules the background compile workers.
+///
+/// Cost model: with the `EVM_TRACING` macro compiled out (cmake
+/// -DEVM_TRACING=OFF) every record call is dead code; with it compiled in
+/// but the runtime flag off, a record call costs one predictable branch
+/// (`enabled()` is checked before events are even constructed).  Recording
+/// never charges virtual cycles, so enabling tracing cannot perturb the
+/// modeled machine.
+///
+/// Events carry a fixed POD payload (A/B/C uint64 slots plus one double X)
+/// whose meaning depends on the kind; the taxonomy is documented per kind
+/// below and in DESIGN.md's "Observability" section.  Exporters produce
+/// Chrome trace_event JSON (loadable in chrome://tracing or Perfetto; one
+/// pid per engine, tid 0 for the execution thread, tid 1+w for compile
+/// worker w) and a flat JSONL form that `tools/evm-trace` and the tests
+/// parse back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SUPPORT_TRACE_H
+#define EVM_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// Compile-time gate.  The build defines EVM_TRACING=0 to compile the
+/// recorder out entirely (enabled() folds to false and every trace block is
+/// dead code); default is compiled-in.
+#ifndef EVM_TRACING
+#define EVM_TRACING 1
+#endif
+
+namespace evm {
+
+/// The event taxonomy.  Payload slot meaning per kind (unused slots are 0):
+///
+///   Kind              Cycle        Level      A            B          C / X
+///   ----------------- ------------ ---------- ------------ ---------- -----
+///   run.begin         0            -          run ordinal  overhead   -
+///   run.end           end          -          run ordinal  samples    C=stall compile cycles
+///   method.invoke     now          tier       invocation#  depth      -
+///   profile.sample    now          level      samples      -          -
+///   costbenefit.eval  now          chosen(*)  future cyc   backlog    C=current level idx, X=best cost
+///   level.transition  now          new level  old lvl idx  #compiles  -
+///   compile.enqueue   request      level      seqno        cost       C=worker
+///   compile.start     start        level      seqno        cost       - (tid = 1+worker)
+///   compile.ready     ready        level      seqno        -          - (tid = 1+worker)
+///   compile.install   now          level      seqno(**)    cost       C=background 0/1
+///   compile.drop      request      level      in-flight    -          -
+///   compile.coalesce  request      level      exist seqno  exist lvl  -
+///   evolve.predict    0            max pred   run ordinal  fv hash    C=used 0/1, X=confidence before
+///   evolve.outcome    end          max ideal  agreed 0/1   #correct   C=#methods, X=accuracy
+///   model.rebuild     end          -          runs seen    -          X=guard confidence
+///   repository.update end          -          runs in repo -          -
+///
+///   (*)  kTraceNoLevel when the cost-benefit model said "stay put".
+///   (**) synchronous compiles have no queue sequence number; A is 0.
+enum class TraceEventKind : uint8_t {
+  RunBegin,
+  RunEnd,
+  MethodInvoke,
+  ProfileSample,
+  CostBenefitEval,
+  LevelTransition,
+  CompileEnqueue,
+  CompileStart,
+  CompileReady,
+  CompileInstall,
+  CompileDrop,
+  CompileCoalesce,
+  EvolvePredict,
+  EvolveOutcome,
+  ModelRebuild,
+  RepositoryUpdate,
+};
+
+constexpr int NumTraceEventKinds = 16;
+
+/// Stable wire name of \p K ("compile.enqueue", ...).
+const char *traceEventKindName(TraceEventKind K);
+
+/// Inverse of traceEventKindName; nullopt for unknown names.
+std::optional<TraceEventKind> traceEventKindFromName(const std::string &Name);
+
+/// Level value meaning "no level" (distinct from Baseline == -1).
+constexpr int8_t kTraceNoLevel = -2;
+
+/// One recorded event.  POD; 48 bytes.
+struct TraceEvent {
+  uint64_t Cycle = 0; ///< virtual-clock timestamp
+  uint64_t A = 0;     ///< kind-specific (see taxonomy table)
+  uint64_t B = 0;
+  uint64_t C = 0;
+  double X = 0;
+  uint32_t Method = 0; ///< bc::MethodId; 0 for module-level events
+  TraceEventKind Kind = TraceEventKind::RunBegin;
+  int8_t Level = kTraceNoLevel; ///< OptLevel as int, or kTraceNoLevel
+  uint8_t Tid = 0;              ///< 0 = execution thread, 1+w = worker w
+};
+
+/// The growable event arena.  Appends take a mutex so the recorder stays
+/// race-free even if future code records from worker threads; all current
+/// producers run on the execution thread, which is what makes append order
+/// (and therefore export order) deterministic.
+class TraceRecorder {
+public:
+  /// \p MaxEvents bounds the arena; further events are counted in
+  /// droppedEvents() and discarded (deterministically — the cap is hit at
+  /// the same append in every identical run).
+  explicit TraceRecorder(size_t MaxEvents = size_t(1) << 22)
+      : MaxEvents(MaxEvents) {}
+
+  /// The runtime flag.  With EVM_TRACING compiled out this is always
+  /// false and trace blocks behind it fold away.
+  bool enabled() const {
+#if EVM_TRACING
+    return Enabled;
+#else
+    return false;
+#endif
+  }
+
+  void setEnabled(bool On) { Enabled = On; }
+
+  /// Appends \p E if tracing is on.  Callers on hot paths should guard
+  /// event construction with enabled() themselves; this re-check keeps the
+  /// slow path safe regardless.
+  void record(const TraceEvent &E) {
+#if EVM_TRACING
+    if (!Enabled)
+      return;
+    append(E);
+#else
+    (void)E;
+#endif
+  }
+
+  void clear();
+  size_t size() const;
+  uint64_t droppedEvents() const;
+
+  /// Events in export order: the append sequence split into per-run
+  /// segments at each run.begin (trailing evolve.predict events move into
+  /// the segment they predict for), each segment stably sorted by Cycle
+  /// with the run.begin marker hoisted to the front of its cycle.  This
+  /// keeps multi-run traces (virtual clocks restart at 0 every run) in
+  /// run-major order while placing future-stamped compile.start/ready
+  /// events at their virtual time.
+  std::vector<TraceEvent> exportOrder() const;
+
+private:
+  void append(const TraceEvent &E);
+
+  mutable std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+  size_t MaxEvents;
+  uint64_t Dropped = 0;
+  bool Enabled = false;
+};
+
+/// Export metadata: method-id -> name mapping and process naming for the
+/// Chrome exporter.
+struct TraceMeta {
+  std::string ProcessName = "evm-engine";
+  uint32_t Pid = 1;
+  /// MethodNames[id] labels events; ids beyond the vector render as "m<id>".
+  std::vector<std::string> MethodNames;
+};
+
+/// Chrome trace_event JSON ("traceEvents" array, ts in virtual cycles,
+/// compile spans as complete events on their worker's tid; consecutive runs
+/// are laid out back-to-back on the time axis).  Load in chrome://tracing
+/// or https://ui.perfetto.dev.
+std::string renderChromeTrace(const std::vector<TraceEvent> &Events,
+                              const TraceMeta &Meta);
+
+/// Flat JSONL: one event per line, fixed key order
+///   {"cycle":..,"kind":"..","method":..,"name":"..","level":..,"tid":..,
+///    "a":..,"b":..,"c":..,"x":..}
+/// Byte-deterministic for identical event sequences.
+std::string renderJsonlTrace(const std::vector<TraceEvent> &Events,
+                             const TraceMeta &Meta);
+
+/// Parses one JSONL line back into an event (and the method name, when
+/// \p NameOut is non-null).  Returns false on malformed input.
+bool parseJsonlTraceLine(const std::string &Line, TraceEvent &Out,
+                         std::string *NameOut = nullptr);
+
+} // namespace evm
+
+#endif // EVM_SUPPORT_TRACE_H

@@ -1,4 +1,4 @@
-//===- vm/Aos.h - The reactive adaptive optimization system ---------------==//
+//===- vm/AOS.h - The reactive adaptive optimization system ---------------==//
 //
 // Part of the EVM project (CGO 2009 evolvable-VM reproduction).
 //
@@ -16,16 +16,21 @@
 #ifndef EVM_VM_AOS_H
 #define EVM_VM_AOS_H
 
+#include "support/Trace.h"
 #include "vm/CostBenefit.h"
 #include "vm/Policy.h"
 
 namespace evm {
 namespace vm {
 
-/// The default reactive policy (sampling + cost-benefit model).
+/// The default reactive policy (sampling + cost-benefit model).  When given
+/// a recorder it emits a costbenefit.eval event per decision, carrying the
+/// estimates that drove it.
 class AdaptivePolicy : public CompilationPolicy {
 public:
-  explicit AdaptivePolicy(const TimingModel &TM) : TM(TM) {}
+  explicit AdaptivePolicy(const TimingModel &TM,
+                          TraceRecorder *Tracer = nullptr)
+      : TM(TM), Tracer(Tracer) {}
 
   std::optional<OptLevel>
   onSample(const MethodRuntimeInfo &Info) override {
@@ -33,13 +38,28 @@ public:
     // With a background pipeline the engine reports the current worker
     // backlog so the model prices queue delay instead of a stall.
     uint64_t FutureCycles = Info.Samples * TM.SampleIntervalCycles;
-    return chooseRecompileLevel(TM, Info.Level, FutureCycles,
-                                Info.BytecodeSize,
-                                Info.CompileBacklogCycles);
+    RecompileEval Eval;
+    std::optional<OptLevel> Chosen = chooseRecompileLevel(
+        TM, Info.Level, FutureCycles, Info.BytecodeSize,
+        Info.CompileBacklogCycles, &Eval);
+    if (Tracer && Tracer->enabled()) {
+      TraceEvent E;
+      E.Kind = TraceEventKind::CostBenefitEval;
+      E.Cycle = Info.NowCycles;
+      E.Method = Info.Id;
+      E.Level = Chosen ? static_cast<int8_t>(*Chosen) : kTraceNoLevel;
+      E.A = FutureCycles;
+      E.B = Info.CompileBacklogCycles;
+      E.C = static_cast<uint64_t>(levelIndex(Info.Level));
+      E.X = Eval.BestCost;
+      Tracer->record(E);
+    }
+    return Chosen;
   }
 
 private:
   TimingModel TM;
+  TraceRecorder *Tracer;
 };
 
 } // namespace vm

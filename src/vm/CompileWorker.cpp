@@ -44,14 +44,40 @@ bool CompileWorkerPool::hasPending(bc::MethodId Id, OptLevel L) const {
 
 bool CompileWorkerPool::request(bc::MethodId Id, OptLevel L,
                                 uint64_t NowCycles, uint64_t CostCycles) {
-  if (hasPending(Id, L))
-    return false; // coalesce: an equal-or-better compile is in flight
+  bool Tracing = Tracer && Tracer->enabled();
+  if (hasPending(Id, L)) {
+    // Coalesce: an equal-or-better compile is in flight.
+    if (Tracing) {
+      TraceEvent E;
+      E.Kind = TraceEventKind::CompileCoalesce;
+      E.Cycle = NowCycles;
+      E.Method = Id;
+      E.Level = static_cast<int8_t>(L);
+      for (const CompileRequest &R : InFlight)
+        if (R.Method == Id && levelIndex(R.Level) >= levelIndex(L)) {
+          E.A = R.SeqNo;
+          E.B = static_cast<uint64_t>(levelIndex(R.Level));
+          break;
+        }
+      Tracer->record(E);
+    }
+    return false;
+  }
   // The capacity bound is checked against the *virtual* in-flight set (an
   // execution-thread quantity), never against host-queue occupancy: whether
   // a request is dropped must not depend on how fast the real worker
   // threads happen to drain the queue.
   if (InFlight.size() >= Capacity) {
     ++DroppedRequests;
+    if (Tracing) {
+      TraceEvent E;
+      E.Kind = TraceEventKind::CompileDrop;
+      E.Cycle = NowCycles;
+      E.Method = Id;
+      E.Level = static_cast<int8_t>(L);
+      E.A = InFlight.size();
+      Tracer->record(E);
+    }
     return false;
   }
 
@@ -77,6 +103,31 @@ bool CompileWorkerPool::request(bc::MethodId Id, OptLevel L,
   WorkerFreeCycle[W] = R.ReadyAtCycle;
   OverlappedCycles += CostCycles;
   InFlight.push_back(R);
+
+  if (Tracing) {
+    // All three pipeline stages are emitted here, on the execution thread:
+    // the virtual scheduler already fixed the start/ready cycles, so the
+    // future-stamped events are exact and no worker-side recording (with
+    // its host-race ordering) is needed.
+    TraceEvent E;
+    E.Method = Id;
+    E.Level = static_cast<int8_t>(L);
+    E.A = R.SeqNo;
+    E.Kind = TraceEventKind::CompileEnqueue;
+    E.Cycle = NowCycles;
+    E.B = CostCycles;
+    E.C = W;
+    Tracer->record(E);
+    E.Kind = TraceEventKind::CompileStart;
+    E.Cycle = R.StartCycle;
+    E.C = 0;
+    E.Tid = static_cast<uint8_t>(1 + W);
+    Tracer->record(E);
+    E.Kind = TraceEventKind::CompileReady;
+    E.Cycle = R.ReadyAtCycle;
+    E.B = 0;
+    Tracer->record(E);
+  }
   return true;
 }
 

@@ -27,6 +27,7 @@
 #ifndef EVM_VM_COMPILEWORKER_H
 #define EVM_VM_COMPILEWORKER_H
 
+#include "support/Trace.h"
 #include "vm/CompileQueue.h"
 
 #include <thread>
@@ -86,6 +87,12 @@ public:
     return static_cast<unsigned>(WorkerFreeCycle.size());
   }
 
+  /// Points the pool at the engine's recorder (may be null).  Queue events
+  /// (enqueue/start/ready/drop/coalesce) are emitted from the execution
+  /// thread at request time — start/ready carry their *future* virtual
+  /// timestamps, which the deterministic scheduler already knows.
+  void setTracer(TraceRecorder *T) { Tracer = T; }
+
 private:
   void workerMain();
 
@@ -101,6 +108,7 @@ private:
   uint64_t NextSeqNo = 0;
   uint64_t OverlappedCycles = 0;
   uint64_t DroppedRequests = 0;
+  TraceRecorder *Tracer = nullptr; ///< written to from the execution thread
 };
 
 } // namespace vm

@@ -9,7 +9,8 @@ std::optional<OptLevel> vm::chooseRecompileLevel(const TimingModel &TM,
                                                  OptLevel Current,
                                                  uint64_t FutureCycles,
                                                  size_t BytecodeSize,
-                                                 uint64_t QueueBacklogCycles) {
+                                                 uint64_t QueueBacklogCycles,
+                                                 RecompileEval *Eval) {
   double StayCost = static_cast<double>(FutureCycles);
   double BestCost = StayCost;
   std::optional<OptLevel> Best;
@@ -36,6 +37,10 @@ std::optional<OptLevel> vm::chooseRecompileLevel(const TimingModel &TM,
       BestCost = Total;
       Best = L;
     }
+  }
+  if (Eval) {
+    Eval->StayCost = StayCost;
+    Eval->BestCost = BestCost;
   }
   return Best;
 }

@@ -25,6 +25,14 @@
 namespace evm {
 namespace vm {
 
+/// The numbers behind one chooseRecompileLevel decision, for tracing: the
+/// estimated bills the model compared.
+struct RecompileEval {
+  double StayCost = 0; ///< estimated cycles if the method stays put
+  double BestCost = 0; ///< estimated total for the chosen level (== StayCost
+                       ///< when no level beat staying)
+};
+
 /// Sample-time decision: given a method running at \p Current with an
 /// estimated \p FutureCycles of remaining execution (Jikes' assumption:
 /// it will run as long as it already has), returns the level whose
@@ -37,11 +45,15 @@ namespace vm {
 ///     instead the *delay* — queue handoff (TM.CompileQueueDelayCycles),
 ///     the current worker backlog (\p QueueBacklogCycles), and the compile
 ///     itself — during which the method keeps running at \p Current speed.
+///
+/// When \p Eval is non-null it receives the compared estimates (for the
+/// costbenefit.eval trace event).
 std::optional<OptLevel> chooseRecompileLevel(const TimingModel &TM,
                                              OptLevel Current,
                                              uint64_t FutureCycles,
                                              size_t BytecodeSize,
-                                             uint64_t QueueBacklogCycles = 0);
+                                             uint64_t QueueBacklogCycles = 0,
+                                             RecompileEval *Eval = nullptr);
 
 /// Posterior decision: given a method's whole-run baseline-equivalent
 /// execution cycles, the level that minimizes total cost (compile time plus

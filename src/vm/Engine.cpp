@@ -42,6 +42,12 @@ ExecutionEngine::ExecutionEngine(const bc::Module &M, const TimingModel &TM,
                                  CompilationPolicy *Policy)
     : M(M), TM(TM), Policy(Policy) {}
 
+void ExecutionEngine::setTracer(TraceRecorder *T) {
+  Tracer = T;
+  if (Workers)
+    Workers->setTracer(T);
+}
+
 OptLevel ExecutionEngine::methodLevel(MethodId Id) const {
   assert(Id < Methods.size() && "method id out of range (before run?)");
   return Methods[Id].Level;
@@ -87,6 +93,16 @@ void ExecutionEngine::sampleTick() {
   MethodState &State = Methods[Current];
   ++State.Stats.Samples;
 
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::ProfileSample;
+    E.Cycle = Cycles;
+    E.Method = Current;
+    E.Level = static_cast<int8_t>(State.Level);
+    E.A = State.Stats.Samples;
+    Tracer->record(E);
+  }
+
   if (!Policy || InSamplingHook)
     return;
   InSamplingHook = true;
@@ -97,6 +113,7 @@ void ExecutionEngine::sampleTick() {
   Info.Level = State.Level;
   Info.BytecodeSize = M.function(Current).Code.size();
   Info.CompileBacklogCycles = Workers ? Workers->backlogCycles(Cycles) : 0;
+  Info.NowCycles = Cycles;
   if (std::optional<OptLevel> L = Policy->onSample(Info))
     installLevel(Current, *L);
   InSamplingHook = false;
@@ -124,12 +141,26 @@ void ExecutionEngine::installLevel(MethodId Id, OptLevel L) {
 
   auto Code = std::make_shared<jit::CompiledFunction>(
       jit::compileAtLevel(M, Id, L));
+  OptLevel OldLevel = State.Level;
   State.Code = std::move(Code);
   State.Level = L;
   State.Stats.FinalLevel = L;
   ++State.Stats.NumCompiles;
   Compiles.push_back(
       CompileEvent{Id, L, Cycles, Cost, Cycles - Cost, /*Background=*/false});
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Cycle = Cycles;
+    E.Method = Id;
+    E.Level = static_cast<int8_t>(L);
+    E.Kind = TraceEventKind::CompileInstall;
+    E.B = Cost;
+    Tracer->record(E);
+    E.Kind = TraceEventKind::LevelTransition;
+    E.A = static_cast<uint64_t>(levelIndex(OldLevel));
+    E.B = static_cast<uint64_t>(State.Stats.NumCompiles);
+    Tracer->record(E);
+  }
 }
 
 void ExecutionEngine::drainReadyCompiles() {
@@ -142,6 +173,7 @@ void ExecutionEngine::drainReadyCompiles() {
     // ladder monotone, as the synchronous path does.
     if (levelIndex(R.Request.Level) <= levelIndex(State.Level))
       continue;
+    OptLevel OldLevel = State.Level;
     State.Code = std::move(R.Code);
     State.Level = R.Request.Level;
     State.Stats.FinalLevel = R.Request.Level;
@@ -151,6 +183,24 @@ void ExecutionEngine::drainReadyCompiles() {
                                     R.Request.CostCycles,
                                     R.Request.RequestCycle,
                                     /*Background=*/true});
+    if (Tracer && Tracer->enabled()) {
+      // Installed at the current invocation boundary, not the ready cycle:
+      // the code existed since ReadyAtCycle but lands at the next invoke.
+      TraceEvent E;
+      E.Cycle = Cycles;
+      E.Method = R.Request.Method;
+      E.Level = static_cast<int8_t>(R.Request.Level);
+      E.Kind = TraceEventKind::CompileInstall;
+      E.A = R.Request.SeqNo;
+      E.B = R.Request.CostCycles;
+      E.C = 1;
+      Tracer->record(E);
+      E.Kind = TraceEventKind::LevelTransition;
+      E.A = static_cast<uint64_t>(levelIndex(OldLevel));
+      E.B = static_cast<uint64_t>(State.Stats.NumCompiles);
+      E.C = 0;
+      Tracer->record(E);
+    }
   }
 }
 
@@ -166,6 +216,15 @@ void ExecutionEngine::ensureBaseline(MethodId Id) {
   ++State.Stats.NumCompiles;
   Compiles.push_back(CompileEvent{Id, OptLevel::Baseline, Cycles, Cost,
                                   Cycles - Cost, /*Background=*/false});
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::CompileInstall;
+    E.Cycle = Cycles;
+    E.Method = Id;
+    E.Level = static_cast<int8_t>(OptLevel::Baseline);
+    E.B = Cost;
+    Tracer->record(E);
+  }
 
   // The paper's Evolve scheme issues a recompilation event right after the
   // first-time (baseline) compilation.  With a background pipeline this is
@@ -179,6 +238,7 @@ void ExecutionEngine::ensureBaseline(MethodId Id) {
     Info.Level = OptLevel::Baseline;
     Info.BytecodeSize = M.function(Id).Code.size();
     Info.CompileBacklogCycles = Workers ? Workers->backlogCycles(Cycles) : 0;
+    Info.NowCycles = Cycles;
     if (std::optional<OptLevel> L = Policy->onFirstInvocation(Info))
       installLevel(Id, *L);
   }
@@ -205,6 +265,17 @@ std::optional<Value> ExecutionEngine::invoke(MethodId Id,
 
   MethodState &State = Methods[Id];
   ++State.Stats.Invocations;
+  ++Invocations;
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::MethodInvoke;
+    E.Cycle = Cycles;
+    E.Method = Id;
+    E.Level = static_cast<int8_t>(State.Level);
+    E.A = State.Stats.Invocations;
+    E.B = static_cast<uint64_t>(Depth);
+    Tracer->record(E);
+  }
   CallStack.push_back(Id);
 
   std::optional<Value> Result;
@@ -516,9 +587,12 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
   Cycles = 0;
   CompileCycles = 0;
   OverheadCycles = 0;
+  Invocations = 0;
   Compiles.clear();
-  if (TM.NumCompileWorkers > 0 && !Workers)
+  if (TM.NumCompileWorkers > 0 && !Workers) {
     Workers = std::make_unique<CompileWorkerPool>(M, TM);
+    Workers->setTracer(Tracer);
+  }
   if (Workers)
     Workers->reset(); // drain in-flight compiles, rewind virtual timelines
   NextSampleAt = TM.SampleIntervalCycles / 2 +
@@ -527,6 +601,16 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
   MaxCycles = MaxCyclesIn;
   PendingTrap = TrapKind::None;
   InSamplingHook = false;
+
+  ++RunOrdinal;
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::RunBegin;
+    E.Cycle = 0;
+    E.A = RunOrdinal;
+    E.B = PreRunOverheadCycles;
+    Tracer->record(E);
+  }
 
   if (PreRunOverheadCycles)
     chargeOverhead(PreRunOverheadCycles);
@@ -547,14 +631,43 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
   RunResult Run;
   Run.ReturnValue = *Result;
   Run.Cycles = Cycles;
-  Run.StallCompileCycles = CompileCycles;
-  Run.OverlappedCompileCycles = Workers ? Workers->overlappedCycles() : 0;
-  Run.DroppedCompiles = Workers ? Workers->droppedRequests() : 0;
-  Run.CompileCycles = Run.StallCompileCycles + Run.OverlappedCompileCycles;
-  Run.OverheadCycles = OverheadCycles;
   Run.PerMethod.reserve(Methods.size());
   for (const MethodState &State : Methods)
     Run.PerMethod.push_back(State.Stats);
   Run.Compiles = Compiles;
+
+  // Fold the run's accounting into the structured metrics snapshot.  Hot
+  // counters accumulate in plain members during the run; only this one fold
+  // per run touches the string-keyed registry.
+  MetricsRegistry Reg;
+  Reg.add("engine.cycles.total", Cycles);
+  Reg.add("engine.cycles.stall_compile", CompileCycles);
+  Reg.add("engine.cycles.overlapped_compile",
+          Workers ? Workers->overlappedCycles() : 0);
+  Reg.add("engine.cycles.overhead", OverheadCycles);
+  Reg.add("engine.compiles.dropped", Workers ? Workers->droppedRequests() : 0);
+  Reg.add("engine.compiles.total", Compiles.size());
+  Reg.add("engine.invocations.total", Invocations);
+  Reg.add("engine.samples.total", Run.totalSamples());
+  for (const CompileEvent &CE : Compiles) {
+    if (CE.Background)
+      Reg.add("engine.compiles.background");
+    if (CE.Level != OptLevel::Baseline) {
+      Reg.add("engine.compiles.optimizing");
+      Reg.observe("engine.compile.cost_cycles",
+                  static_cast<double>(CE.CostCycles));
+    }
+  }
+  Run.Metrics = Reg.snapshot();
+
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::RunEnd;
+    E.Cycle = Cycles;
+    E.A = RunOrdinal;
+    E.B = Run.totalSamples();
+    E.C = CompileCycles;
+    Tracer->record(E);
+  }
   return Run;
 }

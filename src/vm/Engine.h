@@ -23,6 +23,7 @@
 
 #include "bytecode/Module.h"
 #include "support/Error.h"
+#include "support/Trace.h"
 #include "vm/CompileWorker.h"
 #include "vm/Heap.h"
 #include "vm/Policy.h"
@@ -69,6 +70,12 @@ public:
   /// alive across runs instead of respawning threads every run.  The
   /// pointer is only dereferenced during run(), never stored across it.
   void setPolicy(CompilationPolicy *P) { Policy = P; }
+
+  /// Attaches an event recorder (may be null to detach).  The engine emits
+  /// run/method/sample/compile/transition events with virtual-cycle
+  /// timestamps; the worker pool shares the same recorder.  Recording never
+  /// charges virtual cycles, so traced and untraced runs are cycle-identical.
+  void setTracer(TraceRecorder *T);
 
   /// Current level of \p Id (tests and policies may inspect this).
   OptLevel methodLevel(bc::MethodId Id) const;
@@ -145,6 +152,9 @@ private:
   uint64_t MaxCycles = UINT64_MAX;
   std::vector<CompileEvent> Compiles;
   bool InSamplingHook = false;
+  TraceRecorder *Tracer = nullptr;
+  uint64_t RunOrdinal = 0; ///< run() invocations on this engine, for run.begin
+  uint64_t Invocations = 0; ///< per-run total, folded into the metrics
 
   TrapKind PendingTrap = TrapKind::None;
   bc::MethodId TrapMethod = 0;

@@ -9,7 +9,7 @@
 /// strategies the paper compares:
 ///
 ///   * Default: the reactive cost-benefit adaptive system (AdaptivePolicy,
-///     vm/Aos.h) decides at sample time.
+///     vm/AOS.h) decides at sample time.
 ///   * Evolve:  the predicted per-method level is applied right after the
 ///     first (baseline) compilation via onFirstInvocation.
 ///   * Rep:     repository-derived <sample-count, level> triggers fire in
@@ -41,6 +41,9 @@ struct MethodRuntimeInfo {
   /// prices this queue delay instead of a synchronous compile stall when
   /// the pipeline is asynchronous.
   uint64_t CompileBacklogCycles = 0;
+  /// The engine's virtual clock at the moment of the hook, so policies can
+  /// timestamp the trace events they emit.
+  uint64_t NowCycles = 0;
 };
 
 /// Recompilation decisions.  Hooks return the level to (re)compile the

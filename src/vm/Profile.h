@@ -17,6 +17,7 @@
 
 #include "bytecode/Module.h"
 #include "bytecode/Value.h"
+#include "support/Metrics.h"
 #include "vm/Timing.h"
 
 #include <cstdint>
@@ -62,23 +63,42 @@ struct MethodStats {
 };
 
 /// The outcome of one complete execution.
+///
+/// Accounting lives in the metrics snapshot (engine.* counters, plus
+/// evolve.* entries added by the evolvable VM); the former ad-hoc fields
+/// survive as thin accessors over it.
 struct RunResult {
   bc::Value ReturnValue;
-  uint64_t Cycles = 0;         ///< total virtual time, including stalls
-  uint64_t CompileCycles = 0;  ///< time spent inside the compilers (stalled
-                               ///< + overlapped)
+  uint64_t Cycles = 0; ///< total virtual time, including stalls
+  /// Structured accounting: every engine.* counter/gauge/histogram the run
+  /// produced, name-sorted, with a stable JSON rendering.
+  MetricsSnapshot Metrics;
+  std::vector<MethodStats> PerMethod;
+  std::vector<CompileEvent> Compiles;
+
+  /// Time spent inside the compilers (stalled + overlapped).
+  uint64_t compileCycles() const {
+    return stallCompileCycles() + overlappedCompileCycles();
+  }
   /// Compile cycles charged to the application clock (baseline compiles
   /// plus, in synchronous mode, every optimizing compile).  Always a
   /// component of Cycles.
-  uint64_t StallCompileCycles = 0;
+  uint64_t stallCompileCycles() const {
+    return Metrics.counter("engine.cycles.stall_compile");
+  }
   /// Compile cycles spent on background worker timelines, overlapped with
   /// execution; never part of Cycles.  Zero when NumCompileWorkers == 0.
-  uint64_t OverlappedCompileCycles = 0;
+  uint64_t overlappedCompileCycles() const {
+    return Metrics.counter("engine.cycles.overlapped_compile");
+  }
   /// Background requests dropped because the bounded queue was full.
-  uint64_t DroppedCompiles = 0;
-  uint64_t OverheadCycles = 0; ///< charged by the evolvable-VM machinery
-  std::vector<MethodStats> PerMethod;
-  std::vector<CompileEvent> Compiles;
+  uint64_t droppedCompiles() const {
+    return Metrics.counter("engine.compiles.dropped");
+  }
+  /// Cycles charged by the evolvable-VM machinery.
+  uint64_t overheadCycles() const {
+    return Metrics.counter("engine.cycles.overhead");
+  }
 
   /// Total profiler samples across methods.
   uint64_t totalSamples() const {

@@ -11,7 +11,7 @@
 
 #include "vm/CompileWorker.h"
 #include "vm/Engine.h"
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 
 #include "TestHelpers.h"
 
@@ -187,10 +187,10 @@ TEST(BackgroundCompilation, ZeroWorkersMatchesSynchronousEngine) {
   ASSERT_TRUE(static_cast<bool>(A));
   ASSERT_TRUE(static_cast<bool>(B));
   EXPECT_EQ(A->Cycles, B->Cycles);
-  EXPECT_EQ(A->CompileCycles, B->CompileCycles);
-  EXPECT_EQ(A->OverlappedCompileCycles, 0u);
-  EXPECT_EQ(A->DroppedCompiles, 0u);
-  EXPECT_EQ(A->StallCompileCycles, A->CompileCycles);
+  EXPECT_EQ(A->compileCycles(), B->compileCycles());
+  EXPECT_EQ(A->overlappedCompileCycles(), 0u);
+  EXPECT_EQ(A->droppedCompiles(), 0u);
+  EXPECT_EQ(A->stallCompileCycles(), A->compileCycles());
   for (const CompileEvent &E : A->Compiles)
     EXPECT_FALSE(E.Background);
 }
@@ -212,9 +212,9 @@ TEST(BackgroundCompilation, AsyncRunsAreBitIdenticalAcrossRepeats) {
     RunResult R = runOnce();
     EXPECT_TRUE(R.ReturnValue.equals(First.ReturnValue));
     EXPECT_EQ(R.Cycles, First.Cycles);
-    EXPECT_EQ(R.StallCompileCycles, First.StallCompileCycles);
-    EXPECT_EQ(R.OverlappedCompileCycles, First.OverlappedCompileCycles);
-    EXPECT_EQ(R.DroppedCompiles, First.DroppedCompiles);
+    EXPECT_EQ(R.stallCompileCycles(), First.stallCompileCycles());
+    EXPECT_EQ(R.overlappedCompileCycles(), First.overlappedCompileCycles());
+    EXPECT_EQ(R.droppedCompiles(), First.droppedCompiles());
     ASSERT_EQ(R.Compiles.size(), First.Compiles.size());
     for (size_t I2 = 0; I2 != R.Compiles.size(); ++I2) {
       EXPECT_EQ(R.Compiles[I2].Method, First.Compiles[I2].Method);
@@ -247,7 +247,7 @@ TEST(BackgroundCompilation, BackgroundInstallsAtModeledCycle) {
     EXPECT_GT(E.AtCycle, E.RequestedAtCycle);
   }
   EXPECT_TRUE(SawBackground);
-  EXPECT_GT(R->OverlappedCompileCycles, 0u);
+  EXPECT_GT(R->overlappedCompileCycles(), 0u);
 }
 
 TEST(BackgroundCompilation, AsyncTotalCyclesBeatSynchronousStall) {

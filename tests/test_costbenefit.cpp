@@ -1,6 +1,6 @@
 //===- tests/test_costbenefit.cpp - Recompilation economics ---------------==//
 
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 #include "vm/CostBenefit.h"
 #include "vm/Timing.h"
 

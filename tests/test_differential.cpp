@@ -10,7 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "vm/Aos.h"
+#include "support/Trace.h"
+#include "vm/AOS.h"
 #include "vm/Engine.h"
 #include "vm/Policy.h"
 
@@ -147,5 +148,45 @@ TEST(Differential, BackgroundPipelineMatchesSynchronous) {
     EXPECT_TRUE(valuesEquivalent(Sync->ReturnValue, Async->ReturnValue))
         << "seed=" << Seed << ": sync=" << Sync->ReturnValue.str()
         << " async=" << Async->ReturnValue.str();
+  }
+}
+
+TEST(Differential, TracedBackgroundPipelineIsDeterministic) {
+  // Tracing must be a pure observer: attaching a recorder to the async
+  // pipeline changes neither results nor virtual time, and two identical
+  // traced runs produce byte-identical event streams.  The TSan build runs
+  // this test to race-check the recorder against the worker threads.
+  for (uint64_t Seed = SeedBase; Seed != SeedBase + 10; ++Seed) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    auto MOrErr = test::generateRandomModule(Seed);
+    ASSERT_TRUE(static_cast<bool>(MOrErr));
+    const bc::Module &M = *MOrErr;
+
+    auto runTraced = [&](TraceRecorder *Tracer) {
+      TimingModel TM;
+      TM.NumCompileWorkers = 2;
+      AdaptivePolicy Policy(TM, Tracer);
+      ExecutionEngine Engine(M, TM, &Policy);
+      Engine.setTracer(Tracer);
+      return Engine.run({bc::Value::makeInt(11)}, MaxCycles);
+    };
+
+    TraceRecorder TracerA, TracerB;
+    TracerA.setEnabled(true);
+    TracerB.setEnabled(true);
+    auto Untraced = runTraced(nullptr);
+    auto A = runTraced(&TracerA);
+    auto B = runTraced(&TracerB);
+    ASSERT_EQ(static_cast<bool>(Untraced), static_cast<bool>(A))
+        << "seed=" << Seed;
+    if (!Untraced)
+      continue;
+    EXPECT_EQ(Untraced->Cycles, A->Cycles) << "seed=" << Seed;
+    EXPECT_TRUE(valuesEquivalent(Untraced->ReturnValue, A->ReturnValue))
+        << "seed=" << Seed;
+    TraceMeta Meta;
+    EXPECT_EQ(renderJsonlTrace(TracerA.exportOrder(), Meta),
+              renderJsonlTrace(TracerB.exportOrder(), Meta))
+        << "seed=" << Seed;
   }
 }

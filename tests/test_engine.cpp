@@ -1,6 +1,6 @@
 //===- tests/test_engine.cpp - Engine timing, sampling, recompilation -----==//
 
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 #include "vm/Engine.h"
 
 #include "TestHelpers.h"
@@ -43,7 +43,7 @@ TEST(EngineTest, BaselineCompileChargedOncePerMethod) {
   ASSERT_EQ(R->Compiles.size(), 2u);
   for (const CompileEvent &E : R->Compiles)
     EXPECT_EQ(E.Level, OptLevel::Baseline);
-  EXPECT_GT(R->CompileCycles, 0u);
+  EXPECT_GT(R->compileCycles(), 0u);
 }
 
 TEST(EngineTest, SamplesMatchIntervalArithmetic) {
@@ -130,7 +130,7 @@ TEST(EngineTest, OverheadChargedAndAccounted) {
   ExecutionEngine Engine(M, TM, nullptr);
   auto R = Engine.run({}, 1ULL << 40, /*PreRunOverheadCycles=*/12345);
   ASSERT_TRUE(static_cast<bool>(R));
-  EXPECT_EQ(R->OverheadCycles, 12345u);
+  EXPECT_EQ(R->overheadCycles(), 12345u);
   EXPECT_GT(R->Cycles, 12345u);
 }
 

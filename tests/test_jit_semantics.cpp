@@ -109,7 +109,7 @@ TEST(JitPerformance, LevelsAreFasterThanBaseline) {
   for (int L = 0; L != 4; ++L) {
     auto R = runAtLevel(M, levelFromIndex(L), N);
     ASSERT_TRUE(static_cast<bool>(R));
-    Cycles[L] = R->Cycles - R->CompileCycles;
+    Cycles[L] = R->Cycles - R->compileCycles();
   }
   EXPECT_GT(Cycles[0], Cycles[1]);
   EXPECT_GT(Cycles[1], Cycles[2]);

@@ -1,0 +1,217 @@
+//===- tests/test_trace.cpp - Tracing determinism and schema tests --------==//
+//
+// The tracing acceptance battery:
+//
+//   * two identical traced scenario replays (background workers on) produce
+//     byte-identical JSONL traces and metrics snapshots;
+//   * attaching an enabled recorder never changes virtual cycle counts
+//     (recording is free on the modeled machine, so the tracing-disabled
+//     and EVM_TRACING=OFF builds are cycle-identical by construction);
+//   * the JSONL schema round-trips through parseJsonlTraceLine and only
+//     contains known event kinds;
+//   * the Chrome exporter emits the metadata and span events Perfetto
+//     needs;
+//   * the evm-trace reports (support/TraceAnalysis.h) render the expected
+//     sections from a real trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Scenario.h"
+#include "support/TraceAnalysis.h"
+#include "support/Trace.h"
+#include "vm/AOS.h"
+#include "vm/Engine.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace evm;
+
+namespace {
+
+constexpr uint64_t Seed = 20090301;
+
+TraceMeta metaFor(const bc::Module &M) {
+  TraceMeta Meta;
+  Meta.MethodNames.resize(M.numFunctions());
+  for (uint32_t F = 0; F != M.numFunctions(); ++F)
+    Meta.MethodNames[F] = M.function(static_cast<bc::MethodId>(F)).Name;
+  return Meta;
+}
+
+/// One full traced Evolve replay (workers on); returns the JSONL trace and
+/// the last run's metrics JSON.
+void runTracedScenario(std::string &JsonlOut, std::string &MetricsOut) {
+  wl::Workload W = wl::buildWorkload("Mtrt", Seed);
+  harness::ExperimentConfig C;
+  C.Seed = Seed;
+  C.Timing.NumCompileWorkers = 2;
+  harness::ScenarioRunner Runner(W, C);
+  TraceRecorder Tracer;
+  Tracer.setEnabled(true);
+  Runner.setTracer(&Tracer);
+  std::vector<size_t> Order = Runner.makeInputOrder(1, 8);
+  harness::ScenarioResult Evolve = Runner.runEvolve(Order);
+  ASSERT_EQ(Evolve.Runs.size(), Order.size());
+  JsonlOut = renderJsonlTrace(Tracer.exportOrder(), metaFor(W.Module));
+  MetricsOut.clear();
+  // Metrics determinism rides on the scenario's per-run numbers.
+  for (const harness::RunMetrics &M : Evolve.Runs)
+    MetricsOut += std::to_string(M.Cycles) + "," +
+                  std::to_string(M.OverheadCycles) + "," +
+                  std::to_string(M.Compiles) + ";";
+}
+
+} // namespace
+
+TEST(Trace, IdenticalRunsProduceByteIdenticalTraces) {
+  std::string JsonlA, MetricsA, JsonlB, MetricsB;
+  runTracedScenario(JsonlA, MetricsA);
+  runTracedScenario(JsonlB, MetricsB);
+  ASSERT_FALSE(JsonlA.empty());
+  EXPECT_EQ(JsonlA, JsonlB);
+  EXPECT_EQ(MetricsA, MetricsB);
+}
+
+TEST(Trace, TracingNeverChangesVirtualTime) {
+  // An enabled recorder must be invisible to the modeled machine.  With
+  // EVM_TRACING=OFF every record site is dead code on exactly the path the
+  // disabled-at-runtime branch takes, so this equality also pins the
+  // compiled-out build's cycle counts.
+  wl::Workload W = wl::buildWorkload("Compress", Seed);
+  const wl::InputCase &Input = W.Inputs[W.Inputs.size() / 2];
+  auto runMaybeTraced = [&](TraceRecorder *Tracer) {
+    vm::TimingModel TM;
+    TM.NumCompileWorkers = 2;
+    vm::AdaptivePolicy Policy(TM, Tracer);
+    vm::ExecutionEngine Engine(W.Module, TM, &Policy);
+    Engine.setTracer(Tracer);
+    auto R = Engine.run(Input.VmArgs);
+    EXPECT_TRUE(static_cast<bool>(R));
+    return R ? R->Cycles : 0;
+  };
+  TraceRecorder Enabled, Disabled;
+  Enabled.setEnabled(true);
+  uint64_t PlainCycles = runMaybeTraced(nullptr);
+  uint64_t DisabledCycles = runMaybeTraced(&Disabled);
+  uint64_t EnabledCycles = runMaybeTraced(&Enabled);
+  EXPECT_EQ(PlainCycles, DisabledCycles);
+  EXPECT_EQ(PlainCycles, EnabledCycles);
+  EXPECT_EQ(Disabled.size(), 0u);
+#if EVM_TRACING
+  EXPECT_GT(Enabled.size(), 0u);
+#else
+  EXPECT_EQ(Enabled.size(), 0u);
+#endif
+}
+
+TEST(Trace, EventKindNamesRoundTrip) {
+  for (int K = 0; K != NumTraceEventKinds; ++K) {
+    TraceEventKind Kind = static_cast<TraceEventKind>(K);
+    const char *Name = traceEventKindName(Kind);
+    ASSERT_NE(Name, nullptr);
+    auto Back = traceEventKindFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, Kind) << Name;
+  }
+  EXPECT_FALSE(traceEventKindFromName("not.an.event").has_value());
+}
+
+TEST(Trace, JsonlSchemaRoundTrips) {
+  std::string Jsonl, Metrics;
+  runTracedScenario(Jsonl, Metrics);
+
+  // Parse every line back and re-render: a lossless round-trip proves the
+  // schema carries the full event payload.
+  std::vector<TraceEvent> Parsed;
+  TraceMeta Meta;
+  size_t Start = 0;
+  while (Start < Jsonl.size()) {
+    size_t End = Jsonl.find('\n', Start);
+    ASSERT_NE(End, std::string::npos);
+    std::string Line = Jsonl.substr(Start, End - Start);
+    Start = End + 1;
+    TraceEvent E;
+    std::string Name;
+    ASSERT_TRUE(parseJsonlTraceLine(Line, E, &Name)) << Line;
+    if (E.Method >= Meta.MethodNames.size())
+      Meta.MethodNames.resize(E.Method + 1);
+    Meta.MethodNames[E.Method] = Name;
+    Parsed.push_back(E);
+  }
+  ASSERT_FALSE(Parsed.empty());
+  EXPECT_EQ(renderJsonlTrace(Parsed, Meta), Jsonl);
+
+  // Malformed lines are rejected, not misparsed.
+  TraceEvent E;
+  EXPECT_FALSE(parseJsonlTraceLine("", E));
+  EXPECT_FALSE(parseJsonlTraceLine("{\"cycle\":1}", E));
+  EXPECT_FALSE(parseJsonlTraceLine(
+      "{\"cycle\":1,\"kind\":\"bogus.kind\",\"method\":0,\"name\":\"m\","
+      "\"level\":0,\"tid\":0,\"a\":0,\"b\":0,\"c\":0,\"x\":0}",
+      E));
+}
+
+TEST(Trace, ChromeExportCarriesPerfettoStructure) {
+  std::string Jsonl, Metrics;
+  runTracedScenario(Jsonl, Metrics);
+
+  wl::Workload W = wl::buildWorkload("Mtrt", Seed);
+  harness::ExperimentConfig C;
+  C.Seed = Seed;
+  C.Timing.NumCompileWorkers = 2;
+  harness::ScenarioRunner Runner(W, C);
+  TraceRecorder Tracer;
+  Tracer.setEnabled(true);
+  Runner.setTracer(&Tracer);
+  Runner.runEvolve(Runner.makeInputOrder(1, 4));
+
+  std::string Chrome =
+      renderChromeTrace(Tracer.exportOrder(), metaFor(W.Module));
+  // Top-level object with the trace_event array.
+  EXPECT_EQ(Chrome.rfind("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(Chrome.substr(Chrome.size() - 3), "]}\n");
+  // Thread metadata for the execution thread and both workers.
+  EXPECT_NE(Chrome.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"execution\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"compile-worker 0\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"compile-worker 1\""), std::string::npos);
+  // Compile spans on worker timelines plus decision instants.
+  EXPECT_NE(Chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"compile.enqueue\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"costbenefit.eval\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"evolve.predict\""), std::string::npos);
+}
+
+TEST(Trace, AnalysisReportsRenderFromRealTrace) {
+  std::string Jsonl, Metrics;
+  runTracedScenario(Jsonl, Metrics);
+
+  auto Parsed = parseJsonlTrace(Jsonl);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.getError().message();
+  // 8 Evolve runs plus the traced default-baseline measurement runs the
+  // scenario runner performs for each distinct input.
+  EXPECT_GE(Parsed->Runs.size(), 8u);
+  EXPECT_FALSE(Parsed->MethodNames.empty());
+
+  std::string Timeline = renderTierTimeline(*Parsed);
+  EXPECT_NE(Timeline.find("tier timeline"), std::string::npos);
+  EXPECT_NE(Timeline.find("run 1:"), std::string::npos);
+  EXPECT_NE(Timeline.find("BASE@0"), std::string::npos);
+
+  std::string Compiles = renderCompileAccounting(*Parsed);
+  EXPECT_NE(Compiles.find("Compile-pipeline accounting"), std::string::npos);
+  EXPECT_NE(Compiles.find("total:"), std::string::npos);
+  // Workers were on, so some compile cost must overlap execution.
+  EXPECT_EQ(Compiles.find("total: 0 installs"), std::string::npos);
+
+  std::string Evolve = renderEvolveDiff(*Parsed);
+  EXPECT_NE(Evolve.find("Evolve vs. reactive"), std::string::npos);
+  EXPECT_NE(Evolve.find("reactive"), std::string::npos);
+
+  // Garbage input fails with a line number instead of misparsing.
+  auto Bad = parseJsonlTrace("{\"cycle\":1}\n");
+  EXPECT_FALSE(static_cast<bool>(Bad));
+}

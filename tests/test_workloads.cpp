@@ -10,7 +10,7 @@
 #include "workloads/Workload.h"
 
 #include "bytecode/Verifier.h"
-#include "vm/Aos.h"
+#include "vm/AOS.h"
 #include "vm/Engine.h"
 #include "xicl/Spec.h"
 #include "xicl/Translator.h"
