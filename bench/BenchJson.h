@@ -8,9 +8,11 @@
 /// Every bench binary accepts `--json=PATH` and writes its headline numbers
 /// machine-readably next to the human tables:
 ///
-///   {"bench":"<name>","seed":<seed>,"metrics":[{"name":...,...},...]}
+///   {"bench":"<name>","seed":<seed>,"metrics":[...],"phases":[...]}
 ///
-/// where the metrics array is a support/Metrics.h snapshot.  The
+/// where the metrics array is a support/Metrics.h snapshot and the optional
+/// phases array is a support/Profiler.h phase tree (tools/evm-prof reads
+/// either a bench document or evm_cli --profile-out output).  The
 /// google-benchmark binaries instead map the flag onto the library's own
 /// --benchmark_out JSON.  bench/run_all.sh aggregates all of these into
 /// BENCH_results.json.
@@ -21,6 +23,7 @@
 #define EVM_BENCH_BENCHJSON_H
 
 #include "support/Metrics.h"
+#include "support/Profiler.h"
 
 #include <cstdio>
 #include <fstream>
@@ -47,15 +50,24 @@ inline std::string extractJsonFlag(int &argc, char **argv) {
 }
 
 /// Writes the bench JSON document.  Returns false (with a message on
-/// stderr) if the file cannot be written.
+/// stderr) if the file cannot be written.  \p Phases, when given and
+/// nonempty, is appended as a "phases" array (the document then doubles as
+/// an evm-prof input).
 inline bool writeBenchJson(const std::string &Path, const std::string &Name,
-                           uint64_t Seed, const MetricsSnapshot &Snap) {
+                           uint64_t Seed, const MetricsSnapshot &Snap,
+                           const PhaseTreeSnapshot *Phases = nullptr) {
   if (Path.empty())
     return true;
   std::string Body = Snap.renderJson(); // {"metrics":[...]}
   std::string Doc = "{\"bench\":\"" + Name +
                     "\",\"seed\":" + std::to_string(Seed) + "," +
-                    Body.substr(1) + "\n";
+                    Body.substr(1);
+  if (Phases && !Phases->empty()) {
+    Doc.pop_back(); // '}' -> ,"phases":[...]}
+    Doc += ',';
+    Doc += Phases->renderJson().substr(1);
+  }
+  Doc += "\n";
   std::ofstream Stream(Path, std::ios::binary);
   if (!(Stream << Doc)) {
     std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());

@@ -77,6 +77,8 @@ const char *guardName(evolve::GuardMode G) {
 int main(int argc, char **argv) {
   std::string JsonPath = benchjson::extractJsonFlag(argc, argv);
   MetricsRegistry Metrics;
+  PhaseProfiler Profiler;
+  ProfilerInstallGuard ProfilerGuard(&Profiler);
   std::printf("Ablation: discriminative-guard mode and reactive safety net\n"
               "(speedups vs the default VM; 40 runs per configuration)\n\n");
   TextTable Table({"Program", "guard", "safetyNet", "min", "median", "max",
@@ -122,8 +124,9 @@ int main(int argc, char **argv) {
   std::printf("Expected shape: guards trade a few early predicted runs for "
               "a better worst\ncase; removing the safety net lowers the "
               "minimum (mispredictions go unrescued).\n");
+  PhaseTreeSnapshot Phases = Profiler.snapshot();
   if (!benchjson::writeBenchJson(JsonPath, "ablation", 20090301,
-                                 Metrics.snapshot()))
+                                 Metrics.snapshot(), &Phases))
     return 2;
   return 0;
 }

@@ -15,12 +15,15 @@
 int main(int argc, char **argv) {
   std::string JsonPath = evm::benchjson::extractJsonFlag(argc, argv);
   evm::MetricsRegistry Metrics;
+  evm::PhaseProfiler Profiler;
+  evm::ProfilerInstallGuard ProfilerGuard(&Profiler);
   std::printf("%s\n",
               evm::harness::runFig9("Mtrt", 20090301, &Metrics).c_str());
   std::printf("%s\n",
               evm::harness::runFig9("Compress", 20090301, &Metrics).c_str());
+  evm::PhaseTreeSnapshot Phases = Profiler.snapshot();
   if (!evm::benchjson::writeBenchJson(JsonPath, "fig9", 20090301,
-                                      Metrics.snapshot()))
+                                      Metrics.snapshot(), &Phases))
     return 2;
   return 0;
 }

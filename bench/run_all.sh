@@ -2,16 +2,29 @@
 # Runs every bench binary with --json and aggregates the per-bench
 # documents into one BENCH_results.json:
 #
-#   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#   bench/run_all.sh [--check] [BUILD_DIR] [OUT_DIR]
 #
 #   BUILD_DIR  CMake build tree holding bench/ binaries (default: build)
 #   OUT_DIR    where per-bench JSON and BENCH_results.json land
 #              (default: BUILD_DIR/bench-results)
+#   --check    after aggregating, diff against the committed baseline
+#              (BENCH_results.json at the repo root) with
+#              tools/bench-compare; exits nonzero on regression
 #
 # FULL=1 additionally runs the long benches (fig10 over all workloads and
-# the google-benchmark microbenchmark suites); the default set finishes in
-# a few minutes.
+# the google-benchmark microbenchmark suites — their wall-clock timings are
+# not deterministic, so they never gate); the default set is the
+# virtual-clock deterministic one and finishes in a few minutes.
 set -eu
+
+SCRIPT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)"
+REPO_DIR="$(dirname -- "$SCRIPT_DIR")"
+
+CHECK=0
+if [ "${1:-}" = "--check" ]; then
+  CHECK=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR/bench-results}"
@@ -24,7 +37,9 @@ fi
 mkdir -p "$OUT_DIR"
 
 # name:binary:extra-args; the microbenchmarks get tiny repetition counts —
-# the JSON is for regression diffing, not timing precision.
+# the JSON is for regression diffing, not timing precision.  The default
+# set holds only deterministic virtual-clock benches so that the aggregate
+# can be diffed byte-for-byte against the committed baseline.
 DEFAULT_BENCHES="
 table1:bench_table1:
 fig8:bench_fig8:
@@ -32,10 +47,10 @@ fig9:bench_fig9:
 overhead:bench_overhead:
 sensitivity:bench_sensitivity:
 ablation:bench_ablation:
-jit_levels:bench_jit_levels:--benchmark_min_time=0.01
 "
 FULL_BENCHES="
 fig10:bench_fig10:
+jit_levels:bench_jit_levels:--benchmark_min_time=0.01
 vm_micro:bench_vm_micro:--benchmark_min_time=0.01
 xicl:bench_xicl:--benchmark_min_time=0.01
 ml:bench_ml:--benchmark_min_time=0.01
@@ -77,3 +92,13 @@ RESULTS="$OUT_DIR/BENCH_results.json"
 echo "" >> "$RESULTS"
 
 echo "wrote $RESULTS"
+
+if [ "$CHECK" = 1 ]; then
+  BASELINE="$REPO_DIR/BENCH_results.json"
+  if [ ! -f "$BASELINE" ]; then
+    echo "error: no committed baseline at $BASELINE" >&2
+    exit 2
+  fi
+  echo "== bench-compare vs $BASELINE =="
+  "$REPO_DIR/tools/bench-compare" "$BASELINE" "$RESULTS"
+fi

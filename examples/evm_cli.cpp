@@ -12,15 +12,14 @@
 //                lines starting with '#' are comments.  Integer args are
 //                passed as ints, anything with a '.' as floats.
 //
-// Options:
+// Options: see printUsage (trace/metrics/profile outputs, workers).
 //
-//   --trace-out=FILE     write a Chrome trace_event JSON of all runs
-//                        (load in chrome://tracing or ui.perfetto.dev)
-//   --trace-jsonl=FILE   write the raw event stream as JSON Lines
-//                        (the input format of tools/evm-trace)
-//   --metrics-out=FILE   write the final run's metrics snapshot as JSON
-//   --workers=N          background compile workers (default from the
-//                        timing model)
+// Exit codes:
+//
+//   0  success
+//   1  scenario failure (assembly error, unusable runs file, trapped run)
+//   2  usage error (bad or unknown flag, wrong positional arguments)
+//   3  file I/O error (unreadable input, unwritable output)
 //
 // The tool replays the runs through one EvolvableVM, prints the per-run
 // evolution, and finishes with the paper's Sec. VI spec feedback.
@@ -32,12 +31,14 @@
 
 #include "bytecode/Assembler.h"
 #include "evolve/EvolvableVM.h"
+#include "support/Profiler.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -72,13 +73,20 @@ struct RunLine {
 /// Output/engine options parsed off the command line before the three
 /// positional file arguments.
 struct CliOptions {
-  std::string TraceOutPath;   ///< --trace-out= (Chrome trace JSON)
-  std::string TraceJsonlPath; ///< --trace-jsonl= (JSON Lines events)
-  std::string MetricsOutPath; ///< --metrics-out= (metrics snapshot JSON)
-  int64_t Workers = -1;       ///< --workers= (-1: timing-model default)
+  std::string TraceOutPath;    ///< --trace-out= (Chrome trace JSON)
+  std::string TraceJsonlPath;  ///< --trace-jsonl= (JSON Lines events)
+  std::string MetricsOutPath;  ///< --metrics-out= (metrics snapshot JSON)
+  std::string ProfileOutPath;  ///< --profile-out= (phases+metrics JSON)
+  std::string ProfileFoldPath; ///< --profile-collapsed= (flamegraph.pl)
+  std::string ProfileSpeedPath; ///< --profile-speedscope=
+  int64_t Workers = -1;        ///< --workers= (-1: timing-model default)
 
   bool wantsTrace() const {
     return !TraceOutPath.empty() || !TraceJsonlPath.empty();
+  }
+  bool wantsProfile() const {
+    return !ProfileOutPath.empty() || !ProfileFoldPath.empty() ||
+           !ProfileSpeedPath.empty();
   }
 };
 
@@ -149,6 +157,19 @@ int replay(const bc::Module &Program, const std::string &Spec,
     VM.setTracer(&Tracer);
   }
 
+  // Phase profiling: installed for the whole replay so the tree spans
+  // every run plus the between-run offline work (model rebuilds).
+  // Attribution never charges the virtual clock, so cycle counts are
+  // identical with or without it.
+  PhaseProfiler Profiler;
+  std::optional<ProfilerInstallGuard> ProfileGuard;
+  if (Options.wantsProfile()) {
+    ProfileGuard.emplace(&Profiler);
+    if (!PhaseProfiler::current())
+      std::fprintf(stderr, "warning: binary built with EVM_PROFILING=0; "
+                           "profile output will be empty\n");
+  }
+
   MetricsSnapshot LastMetrics;
   std::printf("%-4s %-32s %-7s %-7s %-9s %s\n", "run", "command line",
               "conf", "acc", "cycles", "path");
@@ -177,19 +198,49 @@ int replay(const bc::Module &Program, const std::string &Spec,
       !writeFile(Options.TraceOutPath, renderChromeTrace(Tracer.exportOrder(), Meta))) {
     std::fprintf(stderr, "error: cannot write %s\n",
                  Options.TraceOutPath.c_str());
-    return 2;
+    return 3;
   }
   if (!Options.TraceJsonlPath.empty() &&
       !writeFile(Options.TraceJsonlPath, renderJsonlTrace(Tracer.exportOrder(), Meta))) {
     std::fprintf(stderr, "error: cannot write %s\n",
                  Options.TraceJsonlPath.c_str());
-    return 2;
+    return 3;
   }
   if (!Options.MetricsOutPath.empty() &&
       !writeFile(Options.MetricsOutPath, LastMetrics.renderJson())) {
     std::fprintf(stderr, "error: cannot write %s\n",
                  Options.MetricsOutPath.c_str());
-    return 2;
+    return 3;
+  }
+  if (Options.wantsProfile()) {
+    PhaseTreeSnapshot Phases = Profiler.snapshot();
+    if (!Options.ProfileOutPath.empty()) {
+      // Composed document: phases plus the final run's metrics, so
+      // evm-prof's --latency report has histogram percentiles to read.
+      std::string Doc = Phases.renderJson();
+      Doc.pop_back(); // strip '}'
+      Doc += ',';
+      Doc += LastMetrics.renderJson().substr(1); // strip '{'
+      Doc += '\n';
+      if (!writeFile(Options.ProfileOutPath, Doc)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     Options.ProfileOutPath.c_str());
+        return 3;
+      }
+    }
+    if (!Options.ProfileFoldPath.empty() &&
+        !writeFile(Options.ProfileFoldPath, Phases.renderCollapsed())) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Options.ProfileFoldPath.c_str());
+      return 3;
+    }
+    if (!Options.ProfileSpeedPath.empty() &&
+        !writeFile(Options.ProfileSpeedPath,
+                   Phases.renderSpeedscope("evm_cli replay") + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Options.ProfileSpeedPath.c_str());
+      return 3;
+    }
   }
   if (Tracer.droppedEvents())
     std::fprintf(stderr,
@@ -220,14 +271,23 @@ void printUsage(const char *Argv0, std::FILE *To) {
   std::fprintf(To, "usage: %s [options] PROGRAM.evm SPEC.xicl RUNS.txt\n",
                Argv0);
   std::fprintf(To, "       %s [options]      (built-in demo)\n", Argv0);
-  std::fprintf(To, "options:\n"
-                   "  --trace-out=FILE    Chrome trace_event JSON "
-                   "(chrome://tracing / Perfetto)\n"
-                   "  --trace-jsonl=FILE  raw event stream, one JSON object "
-                   "per line\n"
-                   "  --metrics-out=FILE  final run's metrics snapshot as "
-                   "JSON\n"
-                   "  --workers=N         background compile workers\n");
+  std::fprintf(
+      To,
+      "observability options:\n"
+      "  --trace-out=FILE           Chrome trace_event JSON of all runs\n"
+      "                             (chrome://tracing / ui.perfetto.dev)\n"
+      "  --trace-jsonl=FILE         raw event stream, one JSON object per\n"
+      "                             line (input of tools/evm-trace)\n"
+      "  --metrics-out=FILE         final run's metrics snapshot as JSON\n"
+      "  --profile-out=FILE         phase-profile JSON (phases + metrics;\n"
+      "                             input of tools/evm-prof)\n"
+      "  --profile-collapsed=FILE   collapsed stacks (flamegraph.pl)\n"
+      "  --profile-speedscope=FILE  speedscope JSON (speedscope.app)\n"
+      "engine options:\n"
+      "  --workers=N                background compile workers (0 =\n"
+      "                             synchronous compilation)\n"
+      "exit codes: 0 success; 1 scenario failure (assembly error, unusable\n"
+      "runs, trapped run); 2 usage error; 3 file I/O error\n");
 }
 
 } // namespace
@@ -247,6 +307,12 @@ int main(int argc, char **argv) {
       Options.TraceJsonlPath = Arg.substr(14);
     } else if (Arg.rfind("--metrics-out=", 0) == 0) {
       Options.MetricsOutPath = Arg.substr(14);
+    } else if (Arg.rfind("--profile-out=", 0) == 0) {
+      Options.ProfileOutPath = Arg.substr(14);
+    } else if (Arg.rfind("--profile-collapsed=", 0) == 0) {
+      Options.ProfileFoldPath = Arg.substr(20);
+    } else if (Arg.rfind("--profile-speedscope=", 0) == 0) {
+      Options.ProfileSpeedPath = Arg.substr(21);
     } else if (Arg.rfind("--workers=", 0) == 0) {
       auto N = parseInteger(Arg.substr(10));
       if (!N || *N < 0) {
@@ -276,7 +342,7 @@ int main(int argc, char **argv) {
       !readFile(Positional[1], SpecText) ||
       !readFile(Positional[2], RunsText)) {
     std::fprintf(stderr, "error: cannot read input files\n");
-    return 2;
+    return 3;
   }
 
   auto Program = bc::assembleModule(AsmText);
@@ -289,7 +355,7 @@ int main(int argc, char **argv) {
   std::vector<RunLine> Runs = parseRuns(RunsText, Ok);
   if (!Ok || Runs.empty()) {
     std::fprintf(stderr, "error: no usable runs\n");
-    return 2;
+    return 1;
   }
 
   // File-typed features read from a FileStore; a standalone CLI has no

@@ -3,6 +3,7 @@
 #include "evolve/EvolvableVM.h"
 
 #include "evolve/EvolvePolicy.h"
+#include "support/Profiler.h"
 #include "support/Rng.h"
 #include "vm/AOS.h"
 #include "xicl/Spec.h"
@@ -214,6 +215,21 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
                             Record.HadPrediction ? 1 : 0);
   Result.Metrics.setGauge("evolve.confidence", Record.ConfidenceAfter);
   Result.Metrics.setGauge("evolve.accuracy", Record.Accuracy);
+
+  // Refine the engine's pre-run overhead lump into its xicl/ml components
+  // (the engine only sees the sum), then re-snapshot so Result.Phases
+  // carries the split plus the offline ml/rebuild work done above.  Same
+  // idiom as the metrics augmentation: the engine's snapshot is taken
+  // first, the evolvable-VM layer extends it.
+  if (PhaseProfiler *P = PhaseProfiler::current()) {
+    if (Record.ExtractionCycles)
+      P->attributeChild({"run", "overhead"}, "xicl/characterize",
+                        Record.ExtractionCycles);
+    if (Record.PredictionCycles)
+      P->attributeChild({"run", "overhead"}, "ml/predict",
+                        Record.PredictionCycles);
+    Result.Phases = P->snapshot();
+  }
 
   Record.Result = std::move(Result);
   ++RunsSeen;

@@ -40,6 +40,19 @@ struct PredictionStats {
   uint64_t toCycles() const { return 80 * Trees + 40 * TreeNodesVisited; }
 };
 
+/// Work accounting for one offline model rebuild.  The paper keeps this
+/// stage off the application clock, so its modeled cost lands under the
+/// phase profiler's "offline" root rather than the engine's.
+struct RebuildStats {
+  uint64_t TreesBuilt = 0;
+  uint64_t NodesBuilt = 0;
+  uint64_t ExamplesScanned = 0;
+
+  uint64_t toCycles() const {
+    return 500 * TreesBuilt + 120 * NodesBuilt + 20 * ExamplesScanned;
+  }
+};
+
 /// Per-application model store: feature vectors + per-method ideal levels
 /// accumulated across runs, and the trees trained from them.
 class ModelBuilder {
@@ -63,6 +76,10 @@ public:
           PredictionStats *Stats = nullptr) const;
 
   size_t numRuns() const { return Labels.size(); }
+
+  /// Work done by the most recent rebuild() (zeroed stats before the
+  /// first).
+  const RebuildStats &lastRebuildStats() const { return LastRebuild; }
 
   /// Names of input features used by at least one method's tree — the
   /// paper's automatically selected features (Table I "Used").
@@ -100,6 +117,7 @@ private:
     ml::ClassificationTree Tree;
   };
   std::vector<MethodModel> Models;
+  RebuildStats LastRebuild;
   bool Built = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include "evolve/Repository.h"
 
+#include "support/Profiler.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -14,6 +16,11 @@ void ProfileRepository::addRun(const std::vector<vm::MethodStats> &Profile) {
   for (size_t M = 0; M != Profile.size(); ++M)
     Samples[M] = Profile[M].Samples;
   Runs.push_back(std::move(Samples));
+  // Repository I/O happens between runs, off the application clock; the
+  // modeled write cost covers serializing one per-method histogram row.
+  if (PhaseProfiler *P = PhaseProfiler::current())
+    P->chargeAt({"offline", "repository/add_run"},
+                25 * static_cast<uint64_t>(Profile.size()), 1);
 }
 
 RepStrategy ProfileRepository::deriveStrategy(
@@ -21,6 +28,13 @@ RepStrategy ProfileRepository::deriveStrategy(
   RepStrategy Strategy;
   if (Runs.empty())
     return Strategy;
+  // Offline derivation: the scan is (methods x runs x grid); the modeled
+  // cost charges the dominant methods-x-runs factor.
+  ScopedPhase OfflineScope("offline");
+  ScopedPhase DeriveScope("repository/derive");
+  if (PhaseProfiler *P = PhaseProfiler::current())
+    P->charge(60 * static_cast<uint64_t>(MethodSizes.size()) *
+              static_cast<uint64_t>(Runs.size()));
   const size_t NumMethods = MethodSizes.size();
   Strategy.PerMethod.resize(NumMethods);
 

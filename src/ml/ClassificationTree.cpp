@@ -3,6 +3,7 @@
 #include "ml/ClassificationTree.h"
 
 #include "support/Format.h"
+#include "support/Profiler.h"
 
 #include <algorithm>
 #include <cassert>
@@ -164,6 +165,9 @@ ClassificationTree::buildNode(const Dataset &D,
 
 ClassificationTree ClassificationTree::build(const Dataset &D,
                                              const TreeParams &Params) {
+  // Nests under whatever offline frame invoked the training (ml/rebuild,
+  // ml/crossval); the caller charges the modeled cost.
+  PROF_SCOPE("tree/build");
   ClassificationTree Tree;
   std::vector<size_t> All(D.numExamples());
   for (size_t I = 0; I != All.size(); ++I)

@@ -84,9 +84,10 @@ std::string MetricsSnapshot::renderJson() const {
     case MetricKind::Histogram:
       Out += formatString(
           ",\"count\":%zu,\"sum\":%.17g,\"min\":%.17g,\"q25\":%.17g,"
-          "\"median\":%.17g,\"q75\":%.17g,\"max\":%.17g",
+          "\"median\":%.17g,\"q75\":%.17g,\"max\":%.17g,\"p50\":%.17g,"
+          "\"p90\":%.17g,\"p99\":%.17g",
           V.Box.Count, V.Sum, V.Box.Min, V.Box.Q25, V.Box.Median, V.Box.Q75,
-          V.Box.Max);
+          V.Box.Max, V.P50, V.P90, V.P99);
       break;
     }
     Out += '}';
@@ -119,8 +120,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     V.Sum = 0;
     for (double S : Samples)
       V.Sum += S;
-    if (!Samples.empty())
+    if (!Samples.empty()) {
       V.Box = computeBoxStats(Samples);
+      V.P50 = quantile(Samples, 0.50);
+      V.P90 = quantile(Samples, 0.90);
+      V.P99 = quantile(Samples, 0.99);
+    }
   }
   return Snap;
 }

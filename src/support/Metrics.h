@@ -47,6 +47,11 @@ struct MetricValue {
   double Gauge = 0;     ///< Kind == Gauge
   BoxStats Box;         ///< Kind == Histogram (Box.Count = sample count)
   double Sum = 0;       ///< Kind == Histogram: sum of samples
+  /// Kind == Histogram: latency-style percentiles (linear interpolation,
+  /// like the box quartiles).  P50 duplicates Box.Median by construction.
+  double P50 = 0;
+  double P90 = 0;
+  double P99 = 0;
 };
 
 /// An immutable, name-sorted copy of a registry's state.

@@ -16,6 +16,7 @@
 #ifndef EVM_VM_AOS_H
 #define EVM_VM_AOS_H
 
+#include "support/Profiler.h"
 #include "support/Trace.h"
 #include "vm/CostBenefit.h"
 #include "vm/Policy.h"
@@ -38,6 +39,11 @@ public:
     // With a background pipeline the engine reports the current worker
     // backlog so the model prices queue delay instead of a stall.
     uint64_t FutureCycles = Info.Samples * TM.SampleIntervalCycles;
+    // Free on the virtual clock (the model evaluation rides the sample);
+    // the phase frame nests under the engine's aos/sample so evaluation
+    // counts show up in the tree (a triggered compile is charged by the
+    // engine under aos/sample itself, after this returns).
+    PROF_SCOPE("costbenefit");
     RecompileEval Eval;
     std::optional<OptLevel> Chosen = chooseRecompileLevel(
         TM, Info.Level, FutureCycles, Info.BytecodeSize,

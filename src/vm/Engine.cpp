@@ -36,6 +36,56 @@ uint64_t irInstrCost(const jit::IRInstr &I) {
   }
 }
 
+/// Phase-frame names per optimizing level (stable string literals).
+const char *jitExecPhase(OptLevel L) {
+  switch (L) {
+  case OptLevel::O0:
+    return "jit:o0";
+  case OptLevel::O1:
+    return "jit:o1";
+  default:
+    return "jit:o2";
+  }
+}
+
+const char *compilePhase(OptLevel L) {
+  switch (L) {
+  case OptLevel::O0:
+    return "jit/compile/o0";
+  case OptLevel::O1:
+    return "jit/compile/o1";
+  default:
+    return "jit/compile/o2";
+  }
+}
+
+/// Background-lane frame (under the "background" root).
+const char *backgroundCompilePhase(OptLevel L) {
+  switch (L) {
+  case OptLevel::O0:
+    return "compile/o0";
+  case OptLevel::O1:
+    return "compile/o1";
+  default:
+    return "compile/o2";
+  }
+}
+
+/// Splits a compile-cost lump already attributed to the *current* scope
+/// (the jit/compile/oN node) across the pipeline's passes, proportional to
+/// recorded pass work.  Integer shares; the rounding remainder stays on
+/// the compile node itself.
+void splitPassCycles(PhaseProfiler &P, const jit::CompiledFunction &Code,
+                     uint64_t Cost) {
+  uint64_t TotalWork = 0;
+  for (const jit::PassWork &PW : Code.Passes)
+    TotalWork += PW.Work;
+  if (!TotalWork)
+    return;
+  for (const jit::PassWork &PW : Code.Passes)
+    P.splitToChild(PW.Name, Cost * PW.Work / TotalWork, PW.Runs);
+}
+
 } // namespace
 
 ExecutionEngine::ExecutionEngine(const bc::Module &M, const TimingModel &TM,
@@ -73,6 +123,8 @@ void ExecutionEngine::setTrap(TrapKind Kind, MethodId Method,
 
 void ExecutionEngine::charge(uint64_t N) {
   Cycles += N;
+  if (Prof)
+    Prof->charge(N);
   if (Cycles > MaxCycles)
     setTrap(TrapKind::FuelExhausted, CallStack.empty() ? 0 : CallStack.back(),
             0);
@@ -89,6 +141,10 @@ void ExecutionEngine::charge(uint64_t N) {
 void ExecutionEngine::sampleTick() {
   if (CallStack.empty())
     return; // time outside any method (compiler setup, VM machinery)
+  // The sample itself is free (the paper's profiler rides the timer
+  // interrupt); any synchronous recompilation the policy triggers charges
+  // under this frame, which is exactly the "AOS decided here" attribution.
+  PROF_SCOPE("aos/sample");
   MethodId Current = CallStack.back();
   MethodState &State = Methods[Current];
   ++State.Stats.Samples;
@@ -137,10 +193,17 @@ void ExecutionEngine::installLevel(MethodId Id, OptLevel L) {
   }
 
   CompileCycles += Cost;
-  charge(Cost);
-
+  // Compile before charging so the pass-work breakdown exists when the
+  // cost lump is attributed; compileAtLevel is pure, so the reorder is
+  // unobservable outside the profiler.
   auto Code = std::make_shared<jit::CompiledFunction>(
       jit::compileAtLevel(M, Id, L));
+  {
+    ScopedPhase CompileScope(compilePhase(L));
+    charge(Cost);
+    if (Prof)
+      splitPassCycles(*Prof, *Code, Cost);
+  }
   OptLevel OldLevel = State.Level;
   State.Code = std::move(Code);
   State.Level = L;
@@ -167,6 +230,24 @@ void ExecutionEngine::drainReadyCompiles() {
   if (!Workers)
     return;
   for (CompileResult &R : Workers->takeReady(Cycles)) {
+    // Attribute the worker's (overlapped) compile cycles to the background
+    // lane, split across passes — for every finished result, including ones
+    // superseded by a higher level: the worker spent the cycles either way.
+    if (Prof && R.Code) {
+      const char *Lane = backgroundCompilePhase(R.Request.Level);
+      uint64_t Cost = R.Request.CostCycles;
+      uint64_t TotalWork = 0, Attributed = 0;
+      for (const jit::PassWork &PW : R.Code->Passes)
+        TotalWork += PW.Work;
+      if (TotalWork) {
+        for (const jit::PassWork &PW : R.Code->Passes) {
+          uint64_t Share = Cost * PW.Work / TotalWork;
+          Prof->chargeAt({"background", Lane, PW.Name}, Share, PW.Runs);
+          Attributed += Share;
+        }
+      }
+      Prof->chargeAt({"background", Lane}, Cost - Attributed, 1);
+    }
     MethodState &State = Methods[R.Request.Method];
     // A lower-or-equal-level result can arrive after a higher one was
     // already installed (two requests racing in virtual time); keep the
@@ -212,7 +293,10 @@ void ExecutionEngine::ensureBaseline(MethodId Id) {
   uint64_t Cost =
       TM.compileCost(OptLevel::Baseline, M.function(Id).Code.size());
   CompileCycles += Cost;
-  charge(Cost);
+  {
+    PROF_SCOPE("jit/compile/baseline");
+    charge(Cost);
+  }
   ++State.Stats.NumCompiles;
   Compiles.push_back(CompileEvent{Id, OptLevel::Baseline, Cycles, Cost,
                                   Cycles - Cost, /*Background=*/false});
@@ -256,6 +340,10 @@ std::optional<Value> ExecutionEngine::invoke(MethodId Id,
     setTrap(TrapKind::CallDepthExceeded, Id, 0);
     return std::nullopt;
   }
+  // One phase frame per guest method, named after it, so profiles read as
+  // call trees; a first-encounter baseline compile of the callee lands
+  // under the callee's own frame.
+  ScopedPhase MethodScope(M.function(Id).Name);
   ensureBaseline(Id);
   // Invocation boundaries are where finished background compiles land (no
   // on-stack replacement: the frame below keeps its old code).
@@ -298,6 +386,7 @@ ExecutionEngine::interpret(MethodId Id, const std::vector<Value> &Args,
   const bc::Function &F = M.function(Id);
   assert(Args.size() == F.NumParams && "arity mismatch");
 
+  PROF_SCOPE("interp");
   charge(TM.InterpCallOverhead);
   std::vector<Value> Locals(F.NumLocals, Value::makeInt(0));
   for (size_t K = 0; K != Args.size(); ++K)
@@ -457,6 +546,7 @@ std::optional<Value> ExecutionEngine::executeCompiled(
   const jit::IRFunction &F = Code.IR;
   assert(Args.size() == F.NumParams && "arity mismatch");
 
+  ScopedPhase TierScope(jitExecPhase(Code.Level));
   charge(TM.CompiledCallOverhead);
   std::vector<Value> Regs(F.NumRegs, Value::makeInt(0));
   for (size_t K = 0; K != Args.size(); ++K)
@@ -601,6 +691,11 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
   MaxCycles = MaxCyclesIn;
   PendingTrap = TrapKind::None;
   InSamplingHook = false;
+  Prof = PhaseProfiler::current();
+  // Everything charged to this run's clock lands under the "run" root; the
+  // profiler accumulates across run()s of a persistent engine, so
+  // totalUnder("run") tracks the sum of RunResult::Cycles.
+  ScopedPhase RunScope("run");
 
   ++RunOrdinal;
   if (Tracer && Tracer->enabled()) {
@@ -612,8 +707,12 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
     Tracer->record(E);
   }
 
-  if (PreRunOverheadCycles)
+  if (PreRunOverheadCycles) {
+    // The evolvable VM refines this lump into xicl/ml shares post-run via
+    // PhaseProfiler::attributeChild.
+    PROF_SCOPE("overhead");
     chargeOverhead(PreRunOverheadCycles);
+  }
 
   auto MainId = M.findFunction("main");
   if (!MainId)
@@ -650,8 +749,11 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
   Reg.add("engine.invocations.total", Invocations);
   Reg.add("engine.samples.total", Run.totalSamples());
   for (const CompileEvent &CE : Compiles) {
-    if (CE.Background)
+    if (CE.Background) {
       Reg.add("engine.compiles.background");
+      Reg.observe("engine.compile.install_delay_cycles",
+                  static_cast<double>(CE.AtCycle - CE.RequestedAtCycle));
+    }
     if (CE.Level != OptLevel::Baseline) {
       Reg.add("engine.compiles.optimizing");
       Reg.observe("engine.compile.cost_cycles",
@@ -659,6 +761,8 @@ ErrorOr<RunResult> ExecutionEngine::run(const std::vector<Value> &Args,
     }
   }
   Run.Metrics = Reg.snapshot();
+  if (Prof)
+    Run.Phases = Prof->snapshot();
 
   if (Tracer && Tracer->enabled()) {
     TraceEvent E;

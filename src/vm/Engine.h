@@ -23,6 +23,7 @@
 
 #include "bytecode/Module.h"
 #include "support/Error.h"
+#include "support/Profiler.h"
 #include "support/Trace.h"
 #include "vm/CompileWorker.h"
 #include "vm/Heap.h"
@@ -153,6 +154,11 @@ private:
   std::vector<CompileEvent> Compiles;
   bool InSamplingHook = false;
   TraceRecorder *Tracer = nullptr;
+  /// The phase profiler installed on the execution thread, cached at run()
+  /// entry (one TLS read per run instead of one per charge).  Attribution
+  /// never advances the virtual clock, so profiled and unprofiled runs are
+  /// cycle-identical.
+  PhaseProfiler *Prof = nullptr;
   uint64_t RunOrdinal = 0; ///< run() invocations on this engine, for run.begin
   uint64_t Invocations = 0; ///< per-run total, folded into the metrics
 

@@ -18,6 +18,7 @@
 #include "bytecode/Module.h"
 #include "bytecode/Value.h"
 #include "support/Metrics.h"
+#include "support/Profiler.h"
 #include "vm/Timing.h"
 
 #include <cstdint>
@@ -73,6 +74,10 @@ struct RunResult {
   /// Structured accounting: every engine.* counter/gauge/histogram the run
   /// produced, name-sorted, with a stable JSON rendering.
   MetricsSnapshot Metrics;
+  /// Phase attribution of every charged cycle (see support/Profiler.h);
+  /// empty unless a PhaseProfiler was installed on the execution thread
+  /// during run().  Cumulative across run()s of a persistent engine.
+  PhaseTreeSnapshot Phases;
   std::vector<MethodStats> PerMethod;
   std::vector<CompileEvent> Compiles;
 

@@ -13,15 +13,44 @@ using namespace evm::vm::jit;
 
 namespace {
 
+/// Wraps pass invocations to record per-pass work (see PassWork) into the
+/// CompiledFunction, aggregated by pass name in first-execution order.
+class PassRecorder {
+public:
+  PassRecorder(CompiledFunction &Out, const IRFunction &F) : Out(Out), F(F) {}
+
+  template <typename BodyT> bool run(const char *Name, BodyT &&Body) {
+    uint64_t Work = F.numInstrs();
+    bool Changed = Body();
+    note(Name, Work);
+    return Changed;
+  }
+
+  void note(const char *Name, uint64_t Work) {
+    for (PassWork &P : Out.Passes) {
+      if (P.Name == Name) {
+        P.Work += Work;
+        ++P.Runs;
+        return;
+      }
+    }
+    Out.Passes.push_back(PassWork{Name, Work, 1});
+  }
+
+private:
+  CompiledFunction &Out;
+  const IRFunction &F;
+};
+
 /// One round of the scalar cleanup pipeline; returns whether anything
 /// changed.
-bool runCleanupRound(IRFunction &F) {
+bool runCleanupRound(PassRecorder &R, IRFunction &F) {
   bool Changed = false;
-  Changed |= propagateCopiesLocal(F);
-  Changed |= foldConstantsLocal(F);
-  Changed |= eliminateCommonSubexprsLocal(F);
-  Changed |= eliminateDeadCode(F);
-  Changed |= simplifyCFG(F);
+  Changed |= R.run("copyprop", [&] { return propagateCopiesLocal(F); });
+  Changed |= R.run("fold", [&] { return foldConstantsLocal(F); });
+  Changed |= R.run("cse", [&] { return eliminateCommonSubexprsLocal(F); });
+  Changed |= R.run("dce", [&] { return eliminateDeadCode(F); });
+  Changed |= R.run("simplifycfg", [&] { return simplifyCFG(F); });
   return Changed;
 }
 
@@ -37,31 +66,41 @@ CompiledFunction jit::compileAtLevel(const bc::Module &M, bc::MethodId Id,
   Out.BytecodeSize = M.function(Id).Code.size();
   Out.IR = lowerToIR(M, Id);
   IRFunction &F = Out.IR;
+  PassRecorder R(Out, F);
+  R.note("lower", Out.BytecodeSize);
 
   if (Level == OptLevel::O0)
     return Out;
 
   if (Level == OptLevel::O1) {
-    runCleanupRound(F);
-    inlineCalls(F, M, Id, Inlining.MaxCalleeSizeO1, Inlining.MaxInlinesO1);
-    for (int Round = 0; Round != 3 && runCleanupRound(F); ++Round)
+    runCleanupRound(R, F);
+    R.run("inline", [&] {
+      return inlineCalls(F, M, Id, Inlining.MaxCalleeSizeO1,
+                         Inlining.MaxInlinesO1);
+    });
+    for (int Round = 0; Round != 3 && runCleanupRound(R, F); ++Round)
       ;
     return Out;
   }
 
   // O2.
-  inlineCalls(F, M, Id, Inlining.MaxCalleeSizeO2, Inlining.MaxInlinesO2);
-  for (int Round = 0; Round != 3 && runCleanupRound(F); ++Round)
+  R.run("inline", [&] {
+    return inlineCalls(F, M, Id, Inlining.MaxCalleeSizeO2,
+                       Inlining.MaxInlinesO2);
+  });
+  for (int Round = 0; Round != 3 && runCleanupRound(R, F); ++Round)
     ;
-  reduceStrength(F);
+  R.run("strength", [&] { return reduceStrength(F); });
   // LICM processes one loop per call; iterate to a fixpoint.
-  for (int Round = 0; Round != 64 && hoistLoopInvariants(F); ++Round)
+  for (int Round = 0;
+       Round != 64 && R.run("licm", [&] { return hoistLoopInvariants(F); });
+       ++Round)
     ;
-  for (int Round = 0; Round != 3 && runCleanupRound(F); ++Round)
+  for (int Round = 0; Round != 3 && runCleanupRound(R, F); ++Round)
     ;
-  reduceStrength(F);
-  eliminateDeadCode(F);
-  simplifyCFG(F);
+  R.run("strength", [&] { return reduceStrength(F); });
+  R.run("dce", [&] { return eliminateDeadCode(F); });
+  R.run("simplifycfg", [&] { return simplifyCFG(F); });
 
   assert(F.validate().empty() && "pipeline produced invalid IR");
   return Out;

@@ -26,15 +26,32 @@
 #include "vm/Timing.h"
 #include "vm/jit/IR.h"
 
+#include <string>
+#include <vector>
+
 namespace evm {
 namespace vm {
 namespace jit {
+
+/// Work one pass did during a compilation, aggregated over its runs: the
+/// instruction count of the function at each entry to the pass, summed.
+/// The engine's phase profiler distributes the level's modeled compile
+/// cost across passes proportionally to Work (the real pipelines are
+/// roughly linear per invocation), so relative Work is what matters.
+struct PassWork {
+  std::string Name;
+  uint64_t Work = 0;
+  uint64_t Runs = 0;
+};
 
 /// The output of one compilation.
 struct CompiledFunction {
   IRFunction IR;
   OptLevel Level = OptLevel::O0;
   size_t BytecodeSize = 0;
+  /// The pipeline's passes in first-execution order (see PassWork); empty
+  /// only for code built outside compileAtLevel.
+  std::vector<PassWork> Passes;
 };
 
 /// Inlining thresholds per optimizing level (bytecode size, call-site

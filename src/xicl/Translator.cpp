@@ -3,6 +3,7 @@
 #include "xicl/Translator.h"
 
 #include "support/Format.h"
+#include "support/Profiler.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -63,6 +64,10 @@ std::string operandPrefix(const OperandSpec &Op) {
 
 ErrorOr<FeatureVector> XICLTranslator::buildFVector(
     std::string_view CommandLine) {
+  // Entered once per characterization; the modeled cost is charged to the
+  // engine's clock by the evolvable VM (run;overhead;xicl/characterize),
+  // so this frame carries entry counts only.
+  PROF_SCOPE("xicl/characterize");
   Stats = TranslationStats();
   std::vector<std::string> Tokens = tokenizeCommandLine(CommandLine);
   Stats.TokensScanned = Tokens.size();

@@ -215,3 +215,84 @@ TEST(Trace, AnalysisReportsRenderFromRealTrace) {
   auto Bad = parseJsonlTrace("{\"cycle\":1}\n");
   EXPECT_FALSE(static_cast<bool>(Bad));
 }
+
+TEST(TraceAnalysis, EmptyTraceParsesAndRendersHeaders) {
+  // An empty file (or one of only blank lines) is a valid, empty trace;
+  // every report degrades to its header plus empty totals.
+  for (const char *Text : {"", "\n\n\n"}) {
+    auto Parsed = parseJsonlTrace(Text);
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << '"' << Text << '"';
+    EXPECT_TRUE(Parsed->Events.empty());
+    EXPECT_TRUE(Parsed->Runs.empty());
+    EXPECT_NE(renderTierTimeline(*Parsed).find("tier timeline"),
+              std::string::npos);
+    std::string Compiles = renderCompileAccounting(*Parsed);
+    EXPECT_NE(Compiles.find("Compile-pipeline accounting"),
+              std::string::npos);
+    EXPECT_NE(Compiles.find("total: 0 installs"), std::string::npos);
+    EXPECT_NE(renderEvolveDiff(*Parsed).find("Evolve"), std::string::npos);
+  }
+}
+
+TEST(TraceAnalysis, ZeroCompileEventsDegradeGracefully) {
+  // Strip every compile.* event from a real trace: the accounting report
+  // must show empty pipelines, not crash or misattribute.
+  std::string Jsonl, Metrics;
+  runTracedScenario(Jsonl, Metrics);
+  auto Parsed = parseJsonlTrace(Jsonl);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+
+  std::vector<TraceEvent> Kept;
+  for (const TraceEvent &E : Parsed->Events) {
+    switch (E.Kind) {
+    case TraceEventKind::CompileEnqueue:
+    case TraceEventKind::CompileStart:
+    case TraceEventKind::CompileReady:
+    case TraceEventKind::CompileInstall:
+    case TraceEventKind::CompileDrop:
+    case TraceEventKind::CompileCoalesce:
+      continue;
+    default:
+      Kept.push_back(E);
+    }
+  }
+  ASSERT_LT(Kept.size(), Parsed->Events.size());
+
+  // Round-trip the stripped events through the JSONL text path so the
+  // run re-segmentation logic sees them too.
+  TraceMeta Meta;
+  for (const auto &[Method, Name] : Parsed->MethodNames) {
+    if (Method >= Meta.MethodNames.size())
+      Meta.MethodNames.resize(Method + 1);
+    Meta.MethodNames[Method] = Name;
+  }
+  auto Reparsed = parseJsonlTrace(renderJsonlTrace(Kept, Meta));
+  ASSERT_TRUE(static_cast<bool>(Reparsed));
+  EXPECT_EQ(Reparsed->Runs.size(), Parsed->Runs.size());
+
+  std::string Compiles = renderCompileAccounting(*Reparsed);
+  EXPECT_NE(Compiles.find("total: 0 installs, 0 stall cycles"),
+            std::string::npos);
+  // The other reports still render from the remaining events.
+  EXPECT_NE(renderTierTimeline(*Reparsed).find("tier timeline"),
+            std::string::npos);
+  EXPECT_NE(renderEvolveDiff(*Reparsed).find("Evolve"), std::string::npos);
+}
+
+TEST(TraceAnalysis, TruncatedJsonlFailsWithLineNumber) {
+  std::string Jsonl, Metrics;
+  runTracedScenario(Jsonl, Metrics);
+  // Cut mid-way through the third line: the parser must reject the
+  // partial object and name the line, not silently drop the tail.
+  size_t FirstNl = Jsonl.find('\n');
+  ASSERT_NE(FirstNl, std::string::npos);
+  size_t SecondNl = Jsonl.find('\n', FirstNl + 1);
+  ASSERT_NE(SecondNl, std::string::npos);
+  std::string Truncated = Jsonl.substr(0, SecondNl + 1 + 10);
+  ASSERT_NE(Truncated.back(), '\n');
+  auto Bad = parseJsonlTrace(Truncated);
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_NE(Bad.getError().message().find("malformed trace event at line 3"),
+            std::string::npos)
+      << Bad.getError().message();
+}
