@@ -47,6 +47,7 @@ fig9:bench_fig9:
 overhead:bench_overhead:
 sensitivity:bench_sensitivity:
 ablation:bench_ablation:
+crossrun:bench_crossrun:
 "
 FULL_BENCHES="
 fig10:bench_fig10:

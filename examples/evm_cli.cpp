@@ -31,11 +31,13 @@
 
 #include "bytecode/Assembler.h"
 #include "evolve/EvolvableVM.h"
+#include "store/KnowledgeStore.h"
 #include "support/Profiler.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
 #include "workloads/Workload.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -80,6 +82,9 @@ struct CliOptions {
   std::string ProfileFoldPath; ///< --profile-collapsed= (flamegraph.pl)
   std::string ProfileSpeedPath; ///< --profile-speedscope=
   int64_t Workers = -1;        ///< --workers= (-1: timing-model default)
+  std::string StorePath;       ///< --store= (cross-run knowledge store)
+  bool StoreReadonly = false;  ///< --store-readonly (warm start, no save)
+  bool StoreReset = false;     ///< --store-reset (delete before loading)
 
   bool wantsTrace() const {
     return !TraceOutPath.empty() || !TraceJsonlPath.empty();
@@ -148,6 +153,47 @@ int replay(const bc::Module &Program, const std::string &Spec,
                  "prediction\n",
                  VM.specError().c_str());
 
+  // Cross-run knowledge store: warm-start before the first run.  A missing
+  // file is a normal cold start; damage degrades gracefully (the VM keeps
+  // whatever sections survived); only genuine I/O failures are errors.
+  if (!Options.StorePath.empty()) {
+    if (Options.StoreReset &&
+        std::remove(Options.StorePath.c_str()) != 0 && errno != ENOENT) {
+      std::fprintf(stderr, "error: cannot reset store %s\n",
+                   Options.StorePath.c_str());
+      return 3;
+    }
+    store::KnowledgeStore KS;
+    store::StoreReadStats Stats;
+    store::LoadStatus St = store::loadStoreFile(Options.StorePath, KS, Stats);
+    if (St == store::LoadStatus::IoError) {
+      std::fprintf(stderr, "error: cannot read store %s\n",
+                   Options.StorePath.c_str());
+      return 3;
+    }
+    evolve::WarmStartResult Warm = VM.warmStart(
+        KS, St == store::LoadStatus::Loaded ? &Stats : nullptr);
+    if (St == store::LoadStatus::Loaded && !Stats.clean())
+      std::fprintf(stderr,
+                   "warning: store %s damaged (%u sections, %u records "
+                   "dropped%s); continuing with what survived\n",
+                   Options.StorePath.c_str(), Stats.SectionsDropped,
+                   Stats.RecordsDropped,
+                   Stats.Truncated ? ", truncated" : "");
+    if (Warm.Applied)
+      std::printf("store: warm start from %s (%zu runs restored, %zu models "
+                  "%s, generation %llu)\n",
+                  Options.StorePath.c_str(), Warm.RunsRestored,
+                  Warm.Retrained ? VM.model().numMethods()
+                                 : Warm.ModelsImported,
+                  Warm.Retrained ? "retrained" : "imported",
+                  static_cast<unsigned long long>(KS.Header.Generation));
+    else
+      std::printf("store: cold start (%s)\n",
+                  St == store::LoadStatus::NotFound ? "no store file yet"
+                                                    : "store was empty");
+  }
+
   TraceRecorder Tracer;
   if (Options.wantsTrace()) {
     Tracer.setEnabled(true);
@@ -189,6 +235,32 @@ int replay(const bc::Module &Program, const std::string &Spec,
   }
 
   std::printf("\n%s", VM.specFeedback().render().c_str());
+
+  // Checkpoint back into the store (read-modify-write: reload, merge under
+  // newest-wins, bump the generation) unless the store is read-only.
+  if (!Options.StorePath.empty() && !Options.StoreReadonly) {
+    store::KnowledgeStore Disk;
+    store::StoreReadStats DiskStats;
+    if (store::loadStoreFile(Options.StorePath, Disk, DiskStats) ==
+        store::LoadStatus::IoError) {
+      std::fprintf(stderr, "error: cannot re-read store %s\n",
+                   Options.StorePath.c_str());
+      return 3;
+    }
+    store::KnowledgeStore Mem = VM.checkpoint(Disk.Header.Generation + 1);
+    Mem.Header.App = "evm_cli";
+    bool Saved =
+        store::saveStoreFile(Options.StorePath, store::mergeStores(Disk, Mem));
+    VM.noteStoreSave(Saved);
+    if (!Saved) {
+      std::fprintf(stderr, "error: cannot write store %s\n",
+                   Options.StorePath.c_str());
+      return 3;
+    }
+    std::printf("store: saved %s (%zu runs, generation %llu)\n",
+                Options.StorePath.c_str(), Mem.Runs.size(),
+                static_cast<unsigned long long>(Mem.Header.Generation));
+  }
 
   TraceMeta Meta;
   Meta.MethodNames.resize(Program.numFunctions());
@@ -286,8 +358,18 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "engine options:\n"
       "  --workers=N                background compile workers (0 =\n"
       "                             synchronous compilation)\n"
+      "knowledge-store options:\n"
+      "  --store=FILE               cross-run knowledge store: warm-start\n"
+      "                             the VM from FILE before the first run\n"
+      "                             and checkpoint back into it afterwards\n"
+      "                             (missing file = cold start; damaged\n"
+      "                             file = recover what survived)\n"
+      "  --store-readonly           warm-start only, never write the store\n"
+      "  --store-reset              delete the store file first (fresh\n"
+      "                             cold start), then proceed as --store\n"
       "exit codes: 0 success; 1 scenario failure (assembly error, unusable\n"
-      "runs, trapped run); 2 usage error; 3 file I/O error\n");
+      "runs, trapped run); 2 usage error; 3 file I/O error (unreadable or\n"
+      "unwritable input, output, or store file)\n");
 }
 
 } // namespace
@@ -313,6 +395,12 @@ int main(int argc, char **argv) {
       Options.ProfileFoldPath = Arg.substr(20);
     } else if (Arg.rfind("--profile-speedscope=", 0) == 0) {
       Options.ProfileSpeedPath = Arg.substr(21);
+    } else if (Arg.rfind("--store=", 0) == 0) {
+      Options.StorePath = Arg.substr(8);
+    } else if (Arg == "--store-readonly") {
+      Options.StoreReadonly = true;
+    } else if (Arg == "--store-reset") {
+      Options.StoreReset = true;
     } else if (Arg.rfind("--workers=", 0) == 0) {
       auto N = parseInteger(Arg.substr(10));
       if (!N || *N < 0) {
@@ -328,6 +416,18 @@ int main(int argc, char **argv) {
     } else {
       Positional.push_back(Arg);
     }
+  }
+
+  if ((Options.StoreReadonly || Options.StoreReset) &&
+      Options.StorePath.empty()) {
+    std::fprintf(stderr, "error: --store-readonly/--store-reset need "
+                         "--store=FILE\n");
+    return 2;
+  }
+  if (Options.StoreReadonly && Options.StoreReset) {
+    std::fprintf(stderr,
+                 "error: --store-readonly and --store-reset conflict\n");
+    return 2;
   }
 
   if (Positional.empty())

@@ -216,6 +216,21 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
   Result.Metrics.setGauge("evolve.confidence", Record.ConfidenceAfter);
   Result.Metrics.setGauge("evolve.accuracy", Record.Accuracy);
 
+  // Cross-run store accounting, only once a store is actually in play —
+  // storeless runs keep their metric set unchanged.
+  if (StoreStats.Loads || StoreStats.Saves) {
+    Result.Metrics.setCounter("store.loads", StoreStats.Loads);
+    Result.Metrics.setCounter("store.saves", StoreStats.Saves);
+    Result.Metrics.setCounter("store.save_failures", StoreStats.SaveFailures);
+    Result.Metrics.setCounter("store.sections.loaded",
+                              StoreStats.SectionsLoaded);
+    Result.Metrics.setCounter("store.sections.dropped",
+                              StoreStats.SectionsDropped);
+    Result.Metrics.setCounter("store.records.dropped",
+                              StoreStats.RecordsDropped);
+    Result.Metrics.setCounter("store.corrupt", StoreStats.Corrupt);
+  }
+
   // Refine the engine's pre-run overhead lump into its xicl/ml components
   // (the engine only sees the sum), then re-snapshot so Result.Phases
   // carries the split plus the offline ml/rebuild work done above.  Same
@@ -234,6 +249,123 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
   Record.Result = std::move(Result);
   ++RunsSeen;
   return Record;
+}
+
+WarmStartResult EvolvableVM::warmStart(const store::KnowledgeStore &KS,
+                                       const store::StoreReadStats *Stats) {
+  ++StoreStats.Loads;
+  if (Stats) {
+    StoreStats.SectionsLoaded += Stats->SectionsLoaded;
+    StoreStats.SectionsDropped += Stats->SectionsDropped;
+    StoreStats.RecordsDropped += Stats->RecordsDropped;
+    if (!Stats->clean())
+      ++StoreStats.Corrupt;
+  }
+
+  WarmStartResult Result;
+  if (!KS.empty()) {
+    Result.Applied = true;
+
+    // Replay the persisted training runs.  Rows whose label count does not
+    // match this module (damage, or a store written for another program)
+    // are skipped — everything else must stay usable.
+    for (const store::StoredRun &Run : KS.Runs) {
+      if (Run.Labels.size() != Model.numMethods()) {
+        ++Result.RunsSkipped;
+        continue;
+      }
+      MethodLevelStrategy Ideal;
+      Ideal.Levels.reserve(Run.Labels.size());
+      for (int Label : Run.Labels)
+        Ideal.Levels.push_back(vm::levelFromIndex(
+            std::max(0, std::min(vm::NumOptLevels - 1, Label))));
+      Model.addRun(Run.Features, Ideal);
+      ++Result.RunsRestored;
+    }
+
+    // Install the serialized trees; damaged tree text falls back to
+    // retraining, which reproduces them deterministically from the runs.
+    bool Imported = false;
+    if (!KS.Models.empty()) {
+      std::vector<ExportedMethodModel> Exported;
+      Exported.reserve(KS.Models.size());
+      for (const store::StoredMethodModel &M : KS.Models) {
+        ExportedMethodModel E;
+        E.Constant = M.Constant;
+        E.ConstantLabel = M.ConstantLabel;
+        E.Tree = M.Tree;
+        Exported.push_back(std::move(E));
+      }
+      Imported = Model.importModels(Exported);
+      if (Imported)
+        Result.ModelsImported = KS.Models.size();
+    }
+    if (!Imported && Result.RunsRestored) {
+      Model.rebuild();
+      Result.Retrained = true;
+    }
+
+    if (KS.HasConfidence) {
+      Confidence.restore(KS.Confidence);
+      double Cv = KS.CvConfidence;
+      if (!(Cv >= 0)) // store bytes: clamp, also catches NaN
+        Cv = 0;
+      CvConfidence = Cv > 1 ? 1 : Cv;
+      RunsSeen = static_cast<size_t>(KS.RunsSeen);
+    }
+  }
+
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::StoreLoad;
+    E.Cycle = 0; // between-run event; slots before the next run segment
+    E.A = Result.RunsRestored;
+    E.B = Result.ModelsImported;
+    E.C = Stats ? Stats->SectionsDropped + Stats->RecordsDropped : 0;
+    E.X = Confidence.value();
+    Tracer->record(E);
+  }
+  return Result;
+}
+
+store::KnowledgeStore EvolvableVM::checkpoint(uint64_t Generation) const {
+  store::KnowledgeStore KS;
+  KS.Header.Generation = Generation;
+
+  KS.HasConfidence = true;
+  KS.Confidence = Confidence.value();
+  KS.CvConfidence = CvConfidence;
+  KS.RunsSeen = RunsSeen;
+
+  const std::vector<xicl::FeatureVector> &Raw = Model.rawRuns();
+  const std::vector<std::vector<int>> &Labels = Model.labelRows();
+  KS.Runs.reserve(Raw.size());
+  for (size_t I = 0; I != Raw.size() && I != Labels.size(); ++I) {
+    store::StoredRun Run;
+    Run.Features = Raw[I];
+    Run.Labels = Labels[I];
+    KS.Runs.push_back(std::move(Run));
+  }
+
+  for (const ExportedMethodModel &E : Model.exportModels()) {
+    store::StoredMethodModel M;
+    M.Constant = E.Constant;
+    M.ConstantLabel = E.ConstantLabel;
+    M.Tree = E.Tree;
+    M.Gen = Generation;
+    KS.Models.push_back(std::move(M));
+  }
+
+  if (Tracer && Tracer->enabled()) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::StoreSave;
+    E.Cycle = 0;
+    E.A = KS.Runs.size();
+    E.B = KS.Models.size();
+    E.C = Generation;
+    Tracer->record(E);
+  }
+  return KS;
 }
 
 bool EvolvableVM::guardOpen() const {

@@ -23,6 +23,7 @@
 #include "evolve/SpecFeedback.h"
 #include "evolve/Strategy.h"
 #include "ml/Confidence.h"
+#include "store/KnowledgeStore.h"
 #include "support/Error.h"
 #include "vm/Engine.h"
 #include "xicl/Translator.h"
@@ -79,6 +80,29 @@ struct EvolveRunRecord {
   xicl::FeatureVector Features;
 };
 
+/// What warmStart managed to reinstate (feeds store.* metrics and logs).
+struct WarmStartResult {
+  bool Applied = false;      ///< the document was non-empty and consumed
+  size_t RunsRestored = 0;   ///< training runs replayed into the model
+  size_t RunsSkipped = 0;    ///< rows whose label count mismatched the module
+  size_t ModelsImported = 0; ///< trees installed straight from the store
+  bool Retrained = false;    ///< tree import failed; models rebuilt from runs
+};
+
+/// Cross-run store I/O accounting, surfaced as store.* metrics on every
+/// run's snapshot.
+struct StoreIoStats {
+  uint64_t Loads = 0;
+  uint64_t Saves = 0;
+  uint64_t SaveFailures = 0;
+  uint64_t SectionsLoaded = 0;
+  uint64_t SectionsDropped = 0;
+  uint64_t RecordsDropped = 0;
+  /// Loads whose file carried any recovered damage (the fuzz test's
+  /// "store.corrupt" signal).
+  uint64_t Corrupt = 0;
+};
+
 /// The evolvable VM for one application.
 class EvolvableVM {
 public:
@@ -114,6 +138,35 @@ public:
   /// derived from the accumulated models and per-run accuracies.
   SpecFeedback specFeedback() const;
 
+  /// Applies a loaded knowledge document to this VM before its first run:
+  /// replays the persisted training runs into the model builder
+  /// (reconstructing the encoded dataset byte-identically), installs the
+  /// serialized trees — retraining from the replayed runs when any tree
+  /// text is damaged — and restores the confidence state including
+  /// RunsSeen, which keeps per-run sample phases continuous across
+  /// launches.  An empty document is a no-op, so warm-starting from an
+  /// empty store is cycle-identical to a cold start.  When \p Stats is
+  /// given (the read stats of the load), corruption counters fold into the
+  /// store.* metrics.  Records a store.load trace event.
+  WarmStartResult warmStart(const store::KnowledgeStore &KS,
+                            const store::StoreReadStats *Stats = nullptr);
+
+  /// Snapshot of the VM's accumulated knowledge as a store document whose
+  /// header and per-model generations are \p Generation.  Callers merge it
+  /// against the on-disk store (store::mergeStores) and pick the
+  /// generation — typically disk generation + 1.  Records a store.save
+  /// trace event.
+  store::KnowledgeStore checkpoint(uint64_t Generation) const;
+
+  /// Accounts one saveStoreFile outcome in the store.* metrics.
+  void noteStoreSave(bool Ok) {
+    ++StoreStats.Saves;
+    if (!Ok)
+      ++StoreStats.SaveFailures;
+  }
+
+  const StoreIoStats &storeStats() const { return StoreStats; }
+
 private:
   /// Is the discriminative gate open under the configured guard mode?
   bool guardOpen() const;
@@ -133,6 +186,7 @@ private:
   SpecFeedbackCollector Feedback;
   double CvConfidence = 0;
   size_t RunsSeen = 0;
+  StoreIoStats StoreStats;
   TraceRecorder *Tracer = nullptr;
 };
 

@@ -130,6 +130,43 @@ double ModelBuilder::crossValidatedAccuracy(int Folds, Rng &R) const {
   return Sum / static_cast<double>(NumMethods);
 }
 
+std::vector<ExportedMethodModel> ModelBuilder::exportModels() const {
+  std::vector<ExportedMethodModel> Out;
+  if (!Built)
+    return Out;
+  Out.reserve(Models.size());
+  for (const MethodModel &M : Models) {
+    ExportedMethodModel E;
+    E.Constant = M.Constant;
+    E.ConstantLabel = M.ConstantLabel;
+    if (!M.Constant)
+      E.Tree = M.Tree.serialize();
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+bool ModelBuilder::importModels(const std::vector<ExportedMethodModel> &Exported) {
+  if (Exported.size() != NumMethods)
+    return false;
+  std::vector<MethodModel> Incoming(NumMethods);
+  for (size_t M = 0; M != NumMethods; ++M) {
+    const ExportedMethodModel &E = Exported[M];
+    Incoming[M].Constant = E.Constant;
+    Incoming[M].ConstantLabel = E.ConstantLabel;
+    if (E.Constant)
+      continue;
+    std::optional<ml::ClassificationTree> Tree =
+        ml::ClassificationTree::deserialize(E.Tree);
+    if (!Tree)
+      return false; // damaged tree text: leave state untouched, retrain
+    Incoming[M].Tree = std::move(*Tree);
+  }
+  Models = std::move(Incoming);
+  Built = true;
+  return true;
+}
+
 std::set<std::string> ModelBuilder::usedFeatureNames() const {
   std::set<std::string> Names;
   if (!Built)

@@ -53,6 +53,15 @@ struct RebuildStats {
   }
 };
 
+/// One method model in serialized form — the currency between ModelBuilder
+/// and the persistent knowledge store.  \c Tree holds
+/// ml::ClassificationTree::serialize() text when \c Constant is false.
+struct ExportedMethodModel {
+  bool Constant = true;
+  int ConstantLabel = vm::levelIndex(vm::OptLevel::Baseline);
+  std::string Tree;
+};
+
 /// Per-application model store: feature vectors + per-method ideal levels
 /// accumulated across runs, and the trees trained from them.
 class ModelBuilder {
@@ -101,6 +110,26 @@ public:
   /// Per-method label columns (levelIndex encoding), aligned with
   /// encodedRuns() rows.
   const std::vector<std::vector<int>> &labelRows() const { return Labels; }
+
+  /// The raw (un-encoded) feature vector of every recorded run, aligned
+  /// with labelRows(); what the knowledge store persists, because replaying
+  /// them through addRun reconstructs the encoded table byte-identically.
+  const std::vector<xicl::FeatureVector> &rawRuns() const { return RawRuns; }
+
+  size_t numMethods() const { return NumMethods; }
+
+  /// Whether rebuild() (or a successful importModels) has produced models.
+  bool built() const { return Built; }
+
+  /// Serializes the trained per-method models; empty before the first
+  /// rebuild.
+  std::vector<ExportedMethodModel> exportModels() const;
+
+  /// Installs previously exported models (warm start), replacing any
+  /// current ones.  False — with the builder left untouched — when the
+  /// model count does not match NumMethods or any tree text fails to
+  /// parse; callers then retrain from the replayed runs instead.
+  bool importModels(const std::vector<ExportedMethodModel> &Exported);
 
 private:
   size_t NumMethods;

@@ -52,6 +52,17 @@ public:
 
   size_t numRuns() const { return Runs.size(); }
 
+  /// The recorded per-run, per-method sample histograms — what the
+  /// persistent knowledge store serializes for the Rep baseline.
+  const std::vector<std::vector<uint64_t>> &runs() const { return Runs; }
+
+  /// Reinstates persisted histograms (warm start), replacing any current
+  /// ones.  The rows are store bytes; deriveStrategy already tolerates
+  /// ragged rows, so no validation is needed here.
+  void restoreRuns(std::vector<std::vector<uint64_t>> Histograms) {
+    Runs = std::move(Histograms);
+  }
+
   /// Derives the average-performance-maximizing strategy: for each method,
   /// the (k, o) pair whose expected net benefit over the recorded runs —
   /// cycles saved by running at level o from sample k onward, minus compile

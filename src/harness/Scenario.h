@@ -32,6 +32,9 @@
 #include <vector>
 
 namespace evm {
+namespace evolve {
+class ProfileRepository;
+}
 namespace harness {
 
 /// Per-run measurements (fields beyond Cycles are Evolve-only).
@@ -87,6 +90,28 @@ public:
   ScenarioResult runRep(const std::vector<size_t> &Order);
   ScenarioResult runEvolve(const std::vector<size_t> &Order);
 
+  /// Multi-launch Evolve: \p Order is split into \p NumLaunches contiguous
+  /// chunks and each chunk runs in a *fresh* EvolvableVM that warm-starts
+  /// from the knowledge store at \p StorePath and checkpoints back into it
+  /// (read-modify-write through store::mergeStores) when its chunk ends —
+  /// the paper's "VM evolves across process lifetimes", persisted through
+  /// the store instead of the in-process object.  Because warm start
+  /// restores the full training set, models, confidence, and RunsSeen
+  /// (sample-phase continuity), the result is cycle-identical to
+  /// runEvolve(Order) in one process.  The store file's I/O status is not
+  /// surfaced here; launches degrade to cold start on damage (see
+  /// EvolvableVM::warmStart).
+  ScenarioResult runEvolveLaunches(const std::vector<size_t> &Order,
+                                   size_t NumLaunches,
+                                   const std::string &StorePath);
+
+  /// Multi-launch Rep: same chunking, with the ProfileRepository's
+  /// histogram rows persisted through the store's repository section.
+  /// Cycle-identical to runRep(Order) in one process.
+  ScenarioResult runRepLaunches(const std::vector<size_t> &Order,
+                                size_t NumLaunches,
+                                const std::string &StorePath);
+
   /// Attaches an event recorder to every engine the runner creates
   /// (default-measurement runs, Rep runs, and the evolvable VM).  Set it
   /// before the first run; may be null.
@@ -102,6 +127,22 @@ public:
   }
 
 private:
+  /// Runs Order[Begin, End) through \p VM, appending per-run metrics and
+  /// the confidence/accuracy series (shared by the single-process and
+  /// multi-launch Evolve paths).
+  void runEvolveSpan(evolve::EvolvableVM &VM, const std::vector<size_t> &Order,
+                     size_t Begin, size_t End, ScenarioResult &Result,
+                     std::vector<double> &Confidences,
+                     std::vector<double> &Accuracies);
+
+  /// Runs Order[Begin, End) under \p Repo's triggers.  \p Begin doubles as
+  /// the global run ordinal for the per-run sample phase, which is what
+  /// keeps multi-launch Rep cycle-identical to single-process Rep.
+  void runRepSpan(evolve::ProfileRepository &Repo,
+                  const std::vector<size_t> &Sizes,
+                  const std::vector<size_t> &Order, size_t Begin, size_t End,
+                  ScenarioResult &Result);
+
   const wl::Workload &W;
   ExperimentConfig Config;
   xicl::XFMethodRegistry Registry;

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 
 using namespace evm;
@@ -240,6 +242,111 @@ int ClassificationTree::depth() const {
     }
   }
   return Max;
+}
+
+void ClassificationTree::serializeNode(const Node *N, std::string &Out) {
+  if (N->IsLeaf) {
+    Out += formatString("L%d", N->Label);
+    return;
+  }
+  if (N->Categorical)
+    Out += formatString("C%zu:%d(", N->FeatureIndex, N->CategoryId);
+  else
+    Out += formatString("N%zu:%.17g(", N->FeatureIndex, N->Threshold);
+  serializeNode(N->Left.get(), Out);
+  Out += ")(";
+  serializeNode(N->Right.get(), Out);
+  Out += ')';
+}
+
+std::string ClassificationTree::serialize() const {
+  assert(Root && "serializing an unbuilt tree");
+  std::string Out;
+  serializeNode(Root.get(), Out);
+  return Out;
+}
+
+std::unique_ptr<ClassificationTree::Node>
+ClassificationTree::parseNode(std::string_view Text, size_t &Pos, int Depth) {
+  // Bounded: MaxDepth in training is 12, but the text is store bytes and
+  // untrusted until proven well-formed.
+  if (Depth > 64 || Pos >= Text.size())
+    return nullptr;
+
+  // Scans a number token ([-+.eE0-9]*) starting at Pos; empty tokens fail.
+  auto ScanNumber = [&]() -> std::string {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '+' || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E'))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  };
+  auto Expect = [&](char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  };
+
+  char Kind = Text[Pos++];
+  auto N = std::make_unique<Node>();
+  if (Kind == 'L') {
+    std::string Tok = ScanNumber();
+    if (Tok.empty())
+      return nullptr;
+    char *End = nullptr;
+    N->Label = static_cast<int>(std::strtol(Tok.c_str(), &End, 10));
+    if (*End != '\0')
+      return nullptr;
+    return N;
+  }
+  if (Kind != 'N' && Kind != 'C')
+    return nullptr;
+
+  std::string FeatTok = ScanNumber();
+  if (FeatTok.empty() || !Expect(':'))
+    return nullptr;
+  char *End = nullptr;
+  N->FeatureIndex = static_cast<size_t>(std::strtoull(FeatTok.c_str(), &End, 10));
+  if (*End != '\0')
+    return nullptr;
+  N->IsLeaf = false;
+  N->Categorical = Kind == 'C';
+
+  std::string ValTok = ScanNumber();
+  if (ValTok.empty())
+    return nullptr;
+  if (N->Categorical) {
+    N->CategoryId = static_cast<int>(std::strtol(ValTok.c_str(), &End, 10));
+  } else {
+    N->Threshold = std::strtod(ValTok.c_str(), &End);
+  }
+  if (*End != '\0')
+    return nullptr;
+
+  if (!Expect('('))
+    return nullptr;
+  N->Left = parseNode(Text, Pos, Depth + 1);
+  if (!N->Left || !Expect(')') || !Expect('('))
+    return nullptr;
+  N->Right = parseNode(Text, Pos, Depth + 1);
+  if (!N->Right || !Expect(')'))
+    return nullptr;
+  return N;
+}
+
+std::optional<ClassificationTree>
+ClassificationTree::deserialize(std::string_view Text) {
+  size_t Pos = 0;
+  std::unique_ptr<Node> Root = parseNode(Text, Pos, 0);
+  if (!Root || Pos != Text.size())
+    return std::nullopt;
+  ClassificationTree Tree;
+  Tree.Root = std::move(Root);
+  return Tree;
 }
 
 std::string ClassificationTree::print(const Dataset &D) const {

@@ -25,7 +25,9 @@
 #include "ml/Dataset.h"
 
 #include <memory>
+#include <optional>
 #include <set>
+#include <string_view>
 
 namespace evm {
 namespace ml {
@@ -61,6 +63,16 @@ public:
   /// Multi-line rendering ("x2 < 4.5?" style) for tests and debugging.
   std::string print(const Dataset &D) const;
 
+  /// Canonical preorder text for the knowledge store: leaves are
+  /// "L<label>", numeric splits "N<feat>:<threshold>(<left>)(<right>)",
+  /// categorical splits "C<feat>:<catid>(<left>)(<right>)".  Thresholds
+  /// render as %.17g, so serialize(deserialize(T)) == T byte for byte.
+  std::string serialize() const;
+
+  /// Rebuilds a tree from serialize() text; nullopt on any malformed input
+  /// (loaders fall back to retraining from the persisted examples).
+  static std::optional<ClassificationTree> deserialize(std::string_view Text);
+
 private:
   struct Node {
     bool IsLeaf = true;
@@ -76,6 +88,9 @@ private:
   static std::unique_ptr<Node> buildNode(const Dataset &D,
                                          const std::vector<size_t> &Rows,
                                          const TreeParams &Params,
+                                         int Depth);
+  static void serializeNode(const Node *N, std::string &Out);
+  static std::unique_ptr<Node> parseNode(std::string_view Text, size_t &Pos,
                                          int Depth);
   std::unique_ptr<Node> Root;
 };

@@ -38,6 +38,17 @@ public:
     Conf = (1 - Gamma) * Conf + Gamma * Accuracy;
   }
 
+  /// Reinstates a persisted confidence value (warm start).  The input is
+  /// store bytes, so out-of-range or NaN clamps into [0,1] instead of
+  /// asserting — a damaged store must never abort a run.
+  void restore(double Value) {
+    if (!(Value >= 0)) // also catches NaN
+      Value = 0;
+    if (Value > 1)
+      Value = 1;
+    Conf = Value;
+  }
+
   double value() const { return Conf; }
   double threshold() const { return Threshold; }
 

@@ -1,0 +1,32 @@
+//===- store/Crc32.cpp ----------------------------------------------------===//
+
+#include "store/Crc32.h"
+
+using namespace evm;
+
+namespace {
+
+/// 256-entry lookup table for polynomial 0xEDB88320 (reflected 0x04C11DB7),
+/// built once on first use.
+struct Crc32Table {
+  uint32_t Entries[256];
+
+  Crc32Table() {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      Entries[I] = C;
+    }
+  }
+};
+
+} // namespace
+
+uint32_t store::crc32(std::string_view Data) {
+  static const Crc32Table Table;
+  uint32_t C = 0xFFFFFFFFu;
+  for (char Ch : Data)
+    C = Table.Entries[(C ^ static_cast<unsigned char>(Ch)) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}

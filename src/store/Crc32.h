@@ -1,0 +1,30 @@
+//===- store/Crc32.h - CRC-32 checksums for store sections ----------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (the IEEE 802.3 reflected polynomial, zlib-compatible) used by the
+/// knowledge-store file format to detect per-section corruption.  Checked
+/// against the standard "123456789" -> 0xCBF43926 test vector in
+/// tests/test_store.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_STORE_CRC32_H
+#define EVM_STORE_CRC32_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace evm {
+namespace store {
+
+/// CRC-32 of \p Data (initial value 0xFFFFFFFF, final xor, reflected).
+uint32_t crc32(std::string_view Data);
+
+} // namespace store
+} // namespace evm
+
+#endif // EVM_STORE_CRC32_H

@@ -1,0 +1,337 @@
+//===- store/Json.cpp -----------------------------------------------------===//
+
+#include "store/Json.h"
+
+#include <cstdlib>
+
+using namespace evm;
+using namespace evm::store;
+
+const JsonValue *JsonValue::field(std::string_view Name) const {
+  if (TheKind != Kind::Object)
+    return nullptr;
+  for (const auto &[Key, Val] : Obj)
+    if (Key == Name)
+      return &Val;
+  return nullptr;
+}
+
+double JsonValue::asDouble(double Default) const {
+  return TheKind == Kind::Number ? Num : Default;
+}
+
+uint64_t JsonValue::asU64(uint64_t Default) const {
+  if (TheKind != Kind::Number || NumText.empty() || NumText[0] == '-')
+    return Default;
+  char *End = nullptr;
+  uint64_t V = std::strtoull(NumText.c_str(), &End, 10);
+  // Fractional or exponent spellings fall back to the double value so a
+  // hand-edited "3.0" still reads as 3.
+  if (End && *End != '\0')
+    return Num >= 0 ? static_cast<uint64_t>(Num) : Default;
+  return V;
+}
+
+int64_t JsonValue::asI64(int64_t Default) const {
+  if (TheKind != Kind::Number || NumText.empty())
+    return Default;
+  char *End = nullptr;
+  int64_t V = std::strtoll(NumText.c_str(), &End, 10);
+  if (End && *End != '\0')
+    return static_cast<int64_t>(Num);
+  return V;
+}
+
+bool JsonValue::asBool(bool Default) const {
+  return TheKind == Kind::Bool ? BoolVal : Default;
+}
+
+namespace evm {
+namespace store {
+
+/// Recursive-descent parser over a string_view.  Depth-bounded; any error
+/// sets Failed and unwinds.
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue V = parseValue(/*Depth=*/0);
+    skipSpace();
+    if (Failed || Pos != Text.size())
+      return std::nullopt;
+    return V;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  std::string_view Text;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  void fail() { Failed = true; }
+
+  void skipSpace() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) == Word) {
+      Pos += Word.size();
+      return true;
+    }
+    fail();
+    return false;
+  }
+
+  JsonValue parseValue(int Depth) {
+    JsonValue V;
+    if (Depth > MaxDepth) {
+      fail();
+      return V;
+    }
+    skipSpace();
+    if (Pos >= Text.size()) {
+      fail();
+      return V;
+    }
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"':
+      V.TheKind = JsonValue::Kind::String;
+      V.Str = parseString();
+      return V;
+    case 't':
+      V.TheKind = JsonValue::Kind::Bool;
+      V.BoolVal = true;
+      literal("true");
+      return V;
+    case 'f':
+      V.TheKind = JsonValue::Kind::Bool;
+      V.BoolVal = false;
+      literal("false");
+      return V;
+    case 'n':
+      literal("null");
+      return V;
+    default:
+      return parseNumber();
+    }
+  }
+
+  JsonValue parseObject(int Depth) {
+    JsonValue V;
+    V.TheKind = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipSpace();
+    if (consume('}'))
+      return V;
+    while (!Failed) {
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != '"') {
+        fail();
+        break;
+      }
+      std::string Key = parseString();
+      if (Failed || !consume(':')) {
+        fail();
+        break;
+      }
+      V.Obj.emplace_back(std::move(Key), parseValue(Depth + 1));
+      if (consume(','))
+        continue;
+      if (!consume('}'))
+        fail();
+      break;
+    }
+    return V;
+  }
+
+  JsonValue parseArray(int Depth) {
+    JsonValue V;
+    V.TheKind = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipSpace();
+    if (consume(']'))
+      return V;
+    while (!Failed) {
+      V.Arr.push_back(parseValue(Depth + 1));
+      if (consume(','))
+        continue;
+      if (!consume(']'))
+        fail();
+      break;
+    }
+    return V;
+  }
+
+  std::string parseString() {
+    std::string Out;
+    ++Pos; // opening quote
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          break;
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+        case '\\':
+        case '/':
+          Out.push_back(E);
+          break;
+        case 'n':
+          Out.push_back('\n');
+          break;
+        case 't':
+          Out.push_back('\t');
+          break;
+        case 'r':
+          Out.push_back('\r');
+          break;
+        case 'b':
+          Out.push_back('\b');
+          break;
+        case 'f':
+          Out.push_back('\f');
+          break;
+        case 'u': {
+          // The store writer only escapes control characters; decode the
+          // BMP code point as Latin-1-ish bytes, enough for round-trip of
+          // what we emit.
+          if (Pos + 4 > Text.size()) {
+            fail();
+            return Out;
+          }
+          unsigned Code = 0;
+          for (int I = 0; I != 4; ++I) {
+            char H = Text[Pos++];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= unsigned(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= unsigned(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= unsigned(H - 'A' + 10);
+            else {
+              fail();
+              return Out;
+            }
+          }
+          if (Code < 0x80) {
+            Out.push_back(static_cast<char>(Code));
+          } else if (Code < 0x800) {
+            Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+            Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+          } else {
+            Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+            Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+            Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail();
+          return Out;
+        }
+        continue;
+      }
+      Out.push_back(C);
+    }
+    fail(); // unterminated
+    return Out;
+  }
+
+  JsonValue parseNumber() {
+    JsonValue V;
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool SawDigit = false;
+    auto TakeDigits = [&] {
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        SawDigit = true;
+      }
+    };
+    TakeDigits();
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      TakeDigits();
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      TakeDigits();
+    }
+    if (!SawDigit) {
+      fail();
+      return V;
+    }
+    V.TheKind = JsonValue::Kind::Number;
+    V.NumText.assign(Text.substr(Start, Pos - Start));
+    V.Num = std::strtod(V.NumText.c_str(), nullptr);
+    return V;
+  }
+};
+
+} // namespace store
+} // namespace evm
+
+std::optional<JsonValue> JsonValue::parse(std::string_view Text) {
+  return JsonParser(Text).run();
+}
+
+std::string store::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out.push_back(Hex[(C >> 4) & 0xF]);
+        Out.push_back(Hex[C & 0xF]);
+      } else {
+        Out.push_back(C);
+      }
+      break;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- store/Json.h - Minimal JSON reader for store records ---------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader for the knowledge-store's
+/// JSON-lines records.  Writers in this codebase emit canonical flat-ish
+/// objects through support/Format, so the reader only needs the standard
+/// value grammar (objects, arrays, strings, numbers, booleans, null) plus a
+/// recursion-depth bound that keeps adversarially nested input from
+/// overflowing the stack — store files are untrusted bytes until their CRC
+/// checks out, and the CRC itself lives inside a record this parser reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_STORE_JSON_H
+#define EVM_STORE_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace evm {
+namespace store {
+
+/// One parsed JSON value.  Number values keep their raw spelling so
+/// integer fields round-trip exactly through strtoull.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return TheKind; }
+  bool isObject() const { return TheKind == Kind::Object; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isNumber() const { return TheKind == Kind::Number; }
+
+  /// Object member named \p Name, or null when absent (or not an object).
+  const JsonValue *field(std::string_view Name) const;
+
+  const std::string &str() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Obj;
+  }
+
+  double asDouble(double Default = 0) const;
+  uint64_t asU64(uint64_t Default = 0) const;
+  int64_t asI64(int64_t Default = 0) const;
+  bool asBool(bool Default = false) const;
+
+  /// Parses \p Text as exactly one JSON value (trailing whitespace allowed,
+  /// anything else is an error).  nullopt on malformed input.
+  static std::optional<JsonValue> parse(std::string_view Text);
+
+private:
+  friend class JsonParser;
+  Kind TheKind = Kind::Null;
+  bool BoolVal = false;
+  double Num = 0;
+  std::string NumText; ///< raw spelling, for exact integer reads
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj; ///< insertion order
+};
+
+/// Escapes \p S for embedding in a JSON string literal (quotes, backslashes,
+/// control characters).
+std::string jsonEscape(const std::string &S);
+
+} // namespace store
+} // namespace evm
+
+#endif // EVM_STORE_JSON_H

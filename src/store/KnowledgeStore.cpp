@@ -1,0 +1,394 @@
+//===- store/KnowledgeStore.cpp -------------------------------------------===//
+
+#include "store/KnowledgeStore.h"
+
+#include "ml/Dataset.h"
+#include "store/Json.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <map>
+
+using namespace evm;
+using namespace evm::store;
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// %.17g round-trips every finite double exactly through strtod and renders
+/// identically on re-save — the keystone of byte-identity.
+std::string renderDouble(double V) { return formatString("%.17g", V); }
+
+std::string renderRunLine(const StoredRun &Run) {
+  std::string Out = "{\"labels\":[";
+  for (size_t I = 0; I != Run.Labels.size(); ++I)
+    Out += formatString(I ? ",%d" : "%d", Run.Labels[I]);
+  Out += "],\"features\":[";
+  for (size_t I = 0; I != Run.Features.size(); ++I) {
+    const xicl::Feature &F = Run.Features[I];
+    if (I)
+      Out += ',';
+    if (F.isNumeric())
+      Out += formatString("{\"n\":\"%s\",\"v\":%s}",
+                          jsonEscape(F.Name).c_str(),
+                          renderDouble(F.Num).c_str());
+    else
+      Out += formatString("{\"n\":\"%s\",\"c\":\"%s\"}",
+                          jsonEscape(F.Name).c_str(),
+                          jsonEscape(F.Cat).c_str());
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string renderModelLine(size_t Method, const StoredMethodModel &M) {
+  std::string Out = formatString(
+      "{\"method\":%zu,\"gen\":%llu,\"constant\":%s,\"label\":%d", Method,
+      static_cast<unsigned long long>(M.Gen), M.Constant ? "true" : "false",
+      M.ConstantLabel);
+  if (!M.Constant)
+    Out += formatString(",\"tree\":\"%s\"", jsonEscape(M.Tree).c_str());
+  Out += '}';
+  return Out;
+}
+
+std::string renderRepLine(const std::vector<uint64_t> &Samples) {
+  std::string Out = "{\"samples\":[";
+  for (size_t I = 0; I != Samples.size(); ++I)
+    Out += formatString(I ? ",%llu" : "%llu",
+                        static_cast<unsigned long long>(Samples[I]));
+  Out += "]}";
+  return Out;
+}
+
+std::vector<std::string> renderSchemaLines(const ml::Dataset &D) {
+  std::vector<std::string> Lines;
+  for (const ml::FeatureDef &Def : D.schema()) {
+    std::string L = formatString("{\"feature\":\"%s\",\"categorical\":%s",
+                                 jsonEscape(Def.Name).c_str(),
+                                 Def.Categorical ? "true" : "false");
+    if (Def.Categorical) {
+      // Dictionary in id order, so the rendering is canonical.
+      std::vector<const std::string *> ById(Def.Dictionary.size());
+      for (const auto &[Value, Id] : Def.Dictionary)
+        if (Id >= 0 && static_cast<size_t>(Id) < ById.size())
+          ById[Id] = &Value;
+      L += ",\"dict\":[";
+      for (size_t I = 0; I != ById.size(); ++I)
+        L += formatString(I ? ",\"%s\"" : "\"%s\"",
+                          ById[I] ? jsonEscape(*ById[I]).c_str() : "");
+      L += ']';
+    }
+    L += '}';
+    Lines.push_back(std::move(L));
+  }
+  return Lines;
+}
+
+} // namespace
+
+void KnowledgeStore::replayRunsInto(ml::Dataset &D) const {
+  for (const StoredRun &Run : Runs)
+    D.addExample(Run.Features, /*Label=*/0);
+}
+
+std::string KnowledgeStore::serialize() const {
+  std::vector<StoreSection> Sections;
+
+  if (HasConfidence) {
+    StoreSection S;
+    S.Name = "confidence";
+    S.Lines.push_back(formatString(
+        "{\"conf\":%s,\"cv\":%s,\"runs\":%llu}", renderDouble(Confidence).c_str(),
+        renderDouble(CvConfidence).c_str(),
+        static_cast<unsigned long long>(RunsSeen)));
+    Sections.push_back(std::move(S));
+  }
+
+  if (!Runs.empty()) {
+    StoreSection S;
+    S.Name = "runs";
+    for (const StoredRun &Run : Runs)
+      S.Lines.push_back(renderRunLine(Run));
+    Sections.push_back(std::move(S));
+
+    // Advisory schema, always recomputed from the runs so a loaded store
+    // re-serializes byte-identically.
+    ml::Dataset D;
+    replayRunsInto(D);
+    StoreSection Schema;
+    Schema.Name = "schema";
+    Schema.Lines = renderSchemaLines(D);
+    if (!Schema.Lines.empty())
+      Sections.push_back(std::move(Schema));
+  }
+
+  if (!Models.empty()) {
+    StoreSection S;
+    S.Name = "models";
+    for (size_t I = 0; I != Models.size(); ++I)
+      S.Lines.push_back(renderModelLine(I, Models[I]));
+    Sections.push_back(std::move(S));
+  }
+
+  if (!RepRuns.empty()) {
+    StoreSection S;
+    S.Name = "repository";
+    for (const std::vector<uint64_t> &Run : RepRuns)
+      S.Lines.push_back(renderRepLine(Run));
+    Sections.push_back(std::move(S));
+  }
+
+  return renderStoreText(Header, Sections);
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool decodeRunLine(const std::string &Line, StoredRun &Run) {
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  if (!V || !V->isObject())
+    return false;
+  const JsonValue *Labels = V->field("labels");
+  const JsonValue *Features = V->field("features");
+  if (!Labels || !Labels->isArray() || !Features || !Features->isArray())
+    return false;
+  for (const JsonValue &L : Labels->array()) {
+    if (!L.isNumber())
+      return false;
+    Run.Labels.push_back(static_cast<int>(L.asI64(0)));
+  }
+  for (const JsonValue &F : Features->array()) {
+    const JsonValue *Name = F.field("n");
+    if (!Name || !Name->isString())
+      return false;
+    if (const JsonValue *Num = F.field("v")) {
+      if (!Num->isNumber())
+        return false;
+      Run.Features.append(xicl::Feature::numeric(Name->str(), Num->asDouble()));
+    } else if (const JsonValue *Cat = F.field("c")) {
+      if (!Cat->isString())
+        return false;
+      Run.Features.append(xicl::Feature::categorical(Name->str(), Cat->str()));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool decodeModelLine(const std::string &Line, size_t &Method,
+                     StoredMethodModel &M) {
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  if (!V || !V->isObject())
+    return false;
+  const JsonValue *MethodVal = V->field("method");
+  const JsonValue *Constant = V->field("constant");
+  const JsonValue *Label = V->field("label");
+  if (!MethodVal || !MethodVal->isNumber() || !Constant || !Label ||
+      !Label->isNumber())
+    return false;
+  Method = static_cast<size_t>(MethodVal->asU64(0));
+  const JsonValue *Gen = V->field("gen");
+  M.Gen = Gen ? Gen->asU64(0) : 0;
+  M.Constant = Constant->asBool(true);
+  M.ConstantLabel = static_cast<int>(Label->asI64(0));
+  if (!M.Constant) {
+    const JsonValue *Tree = V->field("tree");
+    if (!Tree || !Tree->isString())
+      return false;
+    M.Tree = Tree->str();
+  }
+  return true;
+}
+
+bool decodeRepLine(const std::string &Line, std::vector<uint64_t> &Samples) {
+  std::optional<JsonValue> V = JsonValue::parse(Line);
+  if (!V || !V->isObject())
+    return false;
+  const JsonValue *Arr = V->field("samples");
+  if (!Arr || !Arr->isArray())
+    return false;
+  for (const JsonValue &S : Arr->array()) {
+    if (!S.isNumber())
+      return false;
+    Samples.push_back(S.asU64(0));
+  }
+  return true;
+}
+
+void decodeConfidenceSection(const StoreSection &S, KnowledgeStore &KS,
+                             StoreReadStats &Stats) {
+  for (const std::string &Line : S.Lines) {
+    std::optional<JsonValue> V = JsonValue::parse(Line);
+    const JsonValue *Conf = V && V->isObject() ? V->field("conf") : nullptr;
+    if (!Conf || !Conf->isNumber()) {
+      ++Stats.RecordsDropped;
+      continue;
+    }
+    KS.HasConfidence = true;
+    KS.Confidence = Conf->asDouble(0);
+    const JsonValue *Cv = V->field("cv");
+    KS.CvConfidence = Cv ? Cv->asDouble(0) : 0;
+    const JsonValue *Runs = V->field("runs");
+    KS.RunsSeen = Runs ? Runs->asU64(0) : 0;
+  }
+}
+
+void decodeModelsSection(const StoreSection &S, KnowledgeStore &KS,
+                         StoreReadStats &Stats) {
+  // Rows carry explicit method indices; tolerate gaps by sizing to the
+  // largest index seen (missing rows stay default-constructed constants,
+  // which the import path treats as baseline predictions).
+  std::map<size_t, StoredMethodModel> Rows;
+  for (const std::string &Line : S.Lines) {
+    size_t Method = 0;
+    StoredMethodModel M;
+    if (!decodeModelLine(Line, Method, M) || Method > 100000) {
+      ++Stats.RecordsDropped;
+      continue;
+    }
+    Rows[Method] = std::move(M);
+  }
+  if (Rows.empty())
+    return;
+  KS.Models.assign(Rows.rbegin()->first + 1, StoredMethodModel());
+  for (auto &[Method, M] : Rows)
+    KS.Models[Method] = std::move(M);
+}
+
+} // namespace
+
+KnowledgeStore KnowledgeStore::deserialize(const std::string &Text,
+                                           StoreReadStats &Stats) {
+  KnowledgeStore KS;
+  StoreHeader Header;
+  std::vector<StoreSection> Sections;
+  if (!parseStoreText(Text, Header, Sections, Stats))
+    return KS; // cold start; Stats says why
+  KS.Header = Header;
+
+  for (const StoreSection &S : Sections) {
+    if (S.Name == "confidence") {
+      decodeConfidenceSection(S, KS, Stats);
+    } else if (S.Name == "runs") {
+      for (const std::string &Line : S.Lines) {
+        StoredRun Run;
+        if (decodeRunLine(Line, Run))
+          KS.Runs.push_back(std::move(Run));
+        else
+          ++Stats.RecordsDropped;
+      }
+    } else if (S.Name == "models") {
+      decodeModelsSection(S, KS, Stats);
+    } else if (S.Name == "repository") {
+      for (const std::string &Line : S.Lines) {
+        std::vector<uint64_t> Samples;
+        if (decodeRepLine(Line, Samples))
+          KS.RepRuns.push_back(std::move(Samples));
+        else
+          ++Stats.RecordsDropped;
+      }
+    }
+    // "schema" is advisory (recomputed from runs on write); unknown
+    // sections belong to no format version we read and are dropped on
+    // rewrite by construction.
+  }
+  return KS;
+}
+
+//===----------------------------------------------------------------------===//
+// Merge
+//===----------------------------------------------------------------------===//
+
+KnowledgeStore store::mergeStores(const KnowledgeStore &A,
+                                  const KnowledgeStore &B) {
+  // Ties prefer B: callers pass (on-disk, in-memory) and the in-memory
+  // state should win a same-generation race with its own earlier write.
+  const KnowledgeStore &New = B.Header.Generation >= A.Header.Generation ? B : A;
+  const KnowledgeStore &Old = &New == &B ? A : B;
+
+  KnowledgeStore Out = New;
+  Out.Header.Generation =
+      std::max(A.Header.Generation, B.Header.Generation);
+  if (Out.Header.App.empty())
+    Out.Header.App = Old.Header.App;
+
+  // Newest-wins per method when both sides agree on the method count.
+  if (!Old.Models.empty() && Old.Models.size() == Out.Models.size()) {
+    for (size_t I = 0; I != Out.Models.size(); ++I)
+      if (Old.Models[I].Gen > Out.Models[I].Gen)
+        Out.Models[I] = Old.Models[I];
+  } else if (Out.Models.empty()) {
+    Out.Models = Old.Models;
+  }
+
+  // Sections the winner lacks survive from the loser (a store that lost a
+  // section to corruption must not erase the other writer's copy).
+  if (!Out.HasConfidence && Old.HasConfidence) {
+    Out.HasConfidence = true;
+    Out.Confidence = Old.Confidence;
+    Out.CvConfidence = Old.CvConfidence;
+    Out.RunsSeen = Old.RunsSeen;
+  }
+  if (Out.Runs.empty())
+    Out.Runs = Old.Runs;
+  if (Out.RepRuns.empty())
+    Out.RepRuns = Old.RepRuns;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// File I/O (cstdio only; library code never touches iostreams)
+//===----------------------------------------------------------------------===//
+
+LoadStatus store::loadStoreFile(const std::string &Path, KnowledgeStore &KS,
+                                StoreReadStats &Stats) {
+  KS = KnowledgeStore();
+  Stats = StoreReadStats();
+
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return errno == ENOENT ? LoadStatus::NotFound : LoadStatus::IoError;
+
+  std::string Text;
+  char Buf[64 << 10];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  bool ReadError = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadError)
+    return LoadStatus::IoError;
+
+  KS = KnowledgeStore::deserialize(Text, Stats);
+  return LoadStatus::Loaded;
+}
+
+bool store::saveStoreFile(const std::string &Path, const KnowledgeStore &KS) {
+  std::string Text = KS.serialize();
+  std::string TmpPath = Path + ".tmp";
+
+  FILE *F = std::fopen(TmpPath.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  return true;
+}

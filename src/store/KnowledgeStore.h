@@ -1,0 +1,133 @@
+//===- store/KnowledgeStore.h - Typed cross-run knowledge document --------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed document behind the persistent knowledge store: everything an
+/// EvolvableVM (and the ProfileRepository baseline) accumulates across
+/// production runs, in a form that round-trips deterministically through the
+/// JSON-lines framing of StoreFile.h.  Canonical section order and %.17g
+/// double rendering guarantee save -> load -> save byte identity.
+///
+/// Section payloads (one JSON object per line):
+///
+///   confidence  {"conf":C,"cv":CV,"runs":N}            (single line)
+///   runs        {"labels":[..],"features":[..]}         (one per run)
+///   schema      {"feature":"..","categorical":B,...}    (advisory; derived
+///                                                        from runs on write)
+///   models      {"method":I,"gen":G,"constant":B,...}   (one per method)
+///   repository  {"samples":[..]}                         (one per run)
+///
+/// The schema section exists for evm-store inspect/validate; loading ignores
+/// it because replaying the runs section through ml::Dataset::addExample
+/// reconstructs the identical schema (dictionary ids depend only on
+/// insertion order, which the runs preserve).
+///
+/// This layer depends on xicl (feature vectors) and nothing in evolve — the
+/// EvolvableVM adapts its own types to/from this document, keeping the
+/// dependency arrow pointing evolve -> store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_STORE_KNOWLEDGESTORE_H
+#define EVM_STORE_KNOWLEDGESTORE_H
+
+#include "store/StoreFile.h"
+#include "xicl/FeatureVector.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace ml {
+class Dataset;
+}
+namespace store {
+
+/// One recorded production run: the input's feature vector plus the
+/// posterior ideal level per method (vm::levelIndex encoding).
+struct StoredRun {
+  xicl::FeatureVector Features;
+  std::vector<int> Labels;
+};
+
+/// One method's trained predictor.  \c Tree holds the canonical preorder
+/// text of ml::ClassificationTree::serialize() when \c Constant is false.
+/// \c Gen is the store generation that last rewrote this model — the merge
+/// key for newest-wins-per-method.
+struct StoredMethodModel {
+  bool Constant = true;
+  int ConstantLabel = 0;
+  std::string Tree;
+  uint64_t Gen = 0;
+};
+
+/// The whole document.  Default-constructed == empty store (a warm start
+/// from it is exactly a cold start).
+struct KnowledgeStore {
+  StoreHeader Header;
+
+  bool HasConfidence = false;
+  double Confidence = 0;
+  double CvConfidence = 0;
+  uint64_t RunsSeen = 0;
+
+  std::vector<StoredRun> Runs;
+  std::vector<StoredMethodModel> Models;
+  /// ProfileRepository history: per-run, per-method sample counts.
+  std::vector<std::vector<uint64_t>> RepRuns;
+
+  bool empty() const {
+    return !HasConfidence && Runs.empty() && Models.empty() &&
+           RepRuns.empty();
+  }
+
+  /// Renders the complete store file text (header, canonical sections,
+  /// CRCs, end marker).
+  std::string serialize() const;
+
+  /// Decodes whatever survives of \p Text.  Damage never throws or aborts:
+  /// an unusable header yields an empty store, a bad section loses only
+  /// that section, a bad record only that record — all counted in
+  /// \p Stats.
+  static KnowledgeStore deserialize(const std::string &Text,
+                                    StoreReadStats &Stats);
+
+  /// Replays the runs section into \p D (the advisory schema is ignored;
+  /// see file comment).  Labels are not written into \p D — callers keep
+  /// per-method label rows separately, matching ModelBuilder's layout.
+  void replayRunsInto(ml::Dataset &D) const;
+};
+
+/// Merges two stores under the documented policy: the higher-generation
+/// store wins wholesale per section; models additionally merge per method
+/// (newest Gen wins) when both sides describe the same method count; and
+/// sections absent from the winner survive from the loser.  Commutative up
+/// to tie-breaking (ties prefer \p B, the "incoming" store).
+KnowledgeStore mergeStores(const KnowledgeStore &A, const KnowledgeStore &B);
+
+/// Outcome of loadStoreFile.
+enum class LoadStatus {
+  Loaded,   ///< file existed and was read (possibly with recovered damage)
+  NotFound, ///< no file at Path — cold start, not an error
+  IoError,  ///< open/read failed for another reason
+};
+
+/// Reads and decodes \p Path.  On Loaded, \p KS holds the surviving
+/// document and \p Stats the recovery record; on NotFound/IoError, \p KS is
+/// the empty store.
+LoadStatus loadStoreFile(const std::string &Path, KnowledgeStore &KS,
+                         StoreReadStats &Stats);
+
+/// Serializes \p KS and writes it atomically (\p Path + ".tmp", then
+/// rename).  False on any I/O failure; the previous store file, if any, is
+/// left untouched in that case.
+bool saveStoreFile(const std::string &Path, const KnowledgeStore &KS);
+
+} // namespace store
+} // namespace evm
+
+#endif // EVM_STORE_KNOWLEDGESTORE_H

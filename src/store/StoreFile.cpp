@@ -1,0 +1,174 @@
+//===- store/StoreFile.cpp ------------------------------------------------===//
+
+#include "store/StoreFile.h"
+
+#include "store/Crc32.h"
+#include "store/Json.h"
+#include "support/Format.h"
+
+using namespace evm;
+using namespace evm::store;
+
+namespace {
+
+/// Joins payload lines the way both the writer and the CRC check see them:
+/// every line '\n'-terminated.
+std::string joinPayload(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Splits \p Text into lines, tolerating a missing final newline (a
+/// truncated file usually ends mid-line; the partial line is kept so the
+/// reader can count it as damage rather than silently ignore it).
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start < Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string::npos) {
+      Lines.push_back(Text.substr(Start));
+      break;
+    }
+    Lines.push_back(Text.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+bool looksLikeSectionMarker(const std::string &Line) {
+  return Line.rfind("{\"section\":", 0) == 0;
+}
+
+} // namespace
+
+std::string store::renderStoreText(const StoreHeader &Header,
+                                   const std::vector<StoreSection> &Sections) {
+  std::string Out =
+      formatString("{\"magic\":\"evmstore\",\"version\":%u,"
+                   "\"generation\":%llu,\"app\":\"%s\"}\n",
+                   Header.Version,
+                   static_cast<unsigned long long>(Header.Generation),
+                   jsonEscape(Header.App).c_str());
+  for (const StoreSection &S : Sections) {
+    std::string Payload = joinPayload(S.Lines);
+    Out += formatString("{\"section\":\"%s\",\"lines\":%zu,\"crc\":%llu}\n",
+                        jsonEscape(S.Name).c_str(), S.Lines.size(),
+                        static_cast<unsigned long long>(crc32(Payload)));
+    Out += Payload;
+  }
+  Out += formatString("{\"magic\":\"evmstore.end\",\"sections\":%zu}\n",
+                      Sections.size());
+  return Out;
+}
+
+bool store::parseStoreText(const std::string &Text, StoreHeader &Header,
+                           std::vector<StoreSection> &Sections,
+                           StoreReadStats &Stats) {
+  Stats = StoreReadStats();
+  Sections.clear();
+
+  std::vector<std::string> Lines = splitLines(Text);
+  if (Lines.empty())
+    return false;
+
+  // Header: must be line 0, correct magic, supported version.  Anything
+  // else means we cannot trust a single byte of the file.
+  std::optional<JsonValue> HeaderVal = JsonValue::parse(Lines[0]);
+  if (!HeaderVal || !HeaderVal->isObject())
+    return false;
+  const JsonValue *Magic = HeaderVal->field("magic");
+  if (!Magic || !Magic->isString() || Magic->str() != "evmstore")
+    return false;
+  const JsonValue *Version = HeaderVal->field("version");
+  uint64_t V = Version ? Version->asU64(0) : 0;
+  if (V != StoreFormatVersion) {
+    Stats.VersionMismatch = true;
+    return false;
+  }
+  Stats.HeaderValid = true;
+  Header.Version = static_cast<uint32_t>(V);
+  const JsonValue *Gen = HeaderVal->field("generation");
+  Header.Generation = Gen ? Gen->asU64(0) : 0;
+  const JsonValue *App = HeaderVal->field("app");
+  Header.App = App && App->isString() ? App->str() : "";
+
+  bool SawEnd = false;
+  uint64_t DeclaredSections = 0;
+  size_t I = 1;
+  while (I < Lines.size()) {
+    const std::string &Line = Lines[I];
+
+    if (Line.rfind("{\"magic\":\"evmstore.end\"", 0) == 0) {
+      std::optional<JsonValue> EndVal = JsonValue::parse(Line);
+      if (EndVal && EndVal->isObject()) {
+        SawEnd = true;
+        const JsonValue *Count = EndVal->field("sections");
+        DeclaredSections = Count ? Count->asU64(0) : 0;
+      }
+      ++I;
+      continue;
+    }
+
+    if (!looksLikeSectionMarker(Line)) {
+      // Garbage between sections (corruption landed on a marker line, or a
+      // payload line outlived its frame).  Resync on the next marker.
+      ++Stats.SectionsDropped;
+      ++I;
+      while (I < Lines.size() && !looksLikeSectionMarker(Lines[I]) &&
+             Lines[I].rfind("{\"magic\":\"evmstore.end\"", 0) != 0)
+        ++I;
+      continue;
+    }
+
+    std::optional<JsonValue> MarkerVal = JsonValue::parse(Line);
+    const JsonValue *Name =
+        MarkerVal && MarkerVal->isObject() ? MarkerVal->field("section")
+                                           : nullptr;
+    const JsonValue *NumLines =
+        MarkerVal && MarkerVal->isObject() ? MarkerVal->field("lines")
+                                           : nullptr;
+    const JsonValue *Crc =
+        MarkerVal && MarkerVal->isObject() ? MarkerVal->field("crc") : nullptr;
+    if (!Name || !Name->isString() || !NumLines || !Crc) {
+      ++Stats.SectionsDropped;
+      ++I;
+      continue;
+    }
+
+    uint64_t N = NumLines->asU64(0);
+    ++I; // past the marker
+    if (I + N > Lines.size() ||
+        (I + N == Lines.size() && !Text.empty() && Text.back() != '\n')) {
+      // Payload runs off the end of the file (or its last line lost its
+      // newline): the tail is gone.
+      Stats.Truncated = true;
+      ++Stats.SectionsDropped;
+      break;
+    }
+
+    StoreSection S;
+    S.Name = Name->str();
+    S.Lines.assign(Lines.begin() + I, Lines.begin() + I + N);
+    I += N;
+
+    if (crc32(joinPayload(S.Lines)) != Crc->asU64(0)) {
+      ++Stats.SectionsDropped;
+      continue;
+    }
+    ++Stats.SectionsLoaded;
+    Sections.push_back(std::move(S));
+  }
+
+  if (!SawEnd || DeclaredSections != Stats.SectionsLoaded + Stats.SectionsDropped)
+    Stats.Truncated = true;
+  // Canonical files always end in a newline; a missing one means the last
+  // line was cut mid-write even when it still parsed.
+  if (Text.empty() || Text.back() != '\n')
+    Stats.Truncated = true;
+  return true;
+}

@@ -1,0 +1,94 @@
+//===- store/StoreFile.h - JSON-lines framing for the knowledge store -----===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Low-level framing of the on-disk knowledge store, independent of what the
+/// sections mean.  A store file is a sequence of '\n'-terminated JSON lines:
+///
+///   {"magic":"evmstore","version":1,"generation":G,"app":"<name>"}
+///   {"section":"<name>","lines":N,"crc":C}
+///   ... N payload lines ...
+///   {"section":"<name>","lines":N,"crc":C}
+///   ... N payload lines ...
+///   {"magic":"evmstore.end","sections":K}
+///
+/// C is the CRC-32 of the section's payload lines joined with '\n' (plus a
+/// trailing '\n'), so a single flipped bit anywhere in a section is caught.
+/// The reader is designed around the acceptance rule that a damaged store
+/// must never abort a run: every failure drops the smallest possible scope
+/// (one section, or the truncated tail) and records it in StoreReadStats,
+/// resynchronising on the next line that looks like a section marker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_STORE_STOREFILE_H
+#define EVM_STORE_STOREFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace store {
+
+/// The one format version this build reads and writes.  Bump on any change
+/// to section payload layout; readers cold-start on mismatch rather than
+/// guessing.
+inline constexpr uint32_t StoreFormatVersion = 1;
+
+/// Parsed header line of a store file.
+struct StoreHeader {
+  uint32_t Version = StoreFormatVersion;
+  /// Monotonic write counter; the merge policy's "newest wins" key.
+  uint64_t Generation = 0;
+  /// Free-form application tag (scenario name); mismatched tags merge like
+  /// any other store, the tag is advisory for evm-store inspect.
+  std::string App;
+};
+
+/// One framed section: a name plus its raw payload lines (JSON text,
+/// meaning assigned by KnowledgeStore).
+struct StoreSection {
+  std::string Name;
+  std::vector<std::string> Lines;
+};
+
+/// What the reader saw; feeds the store.* metrics and evm-store validate.
+struct StoreReadStats {
+  bool HeaderValid = false;
+  bool VersionMismatch = false;
+  /// End marker missing or section count short — the file lost its tail.
+  bool Truncated = false;
+  unsigned SectionsLoaded = 0;
+  /// Sections skipped for CRC mismatch, bad framing, or truncation.
+  unsigned SectionsDropped = 0;
+  /// Records inside intact sections that failed to decode (filled by the
+  /// KnowledgeStore layer, which knows what the lines mean).
+  unsigned RecordsDropped = 0;
+
+  bool clean() const {
+    return HeaderValid && !VersionMismatch && !Truncated &&
+           SectionsDropped == 0 && RecordsDropped == 0;
+  }
+};
+
+/// Renders a complete store file.  Deterministic: same header + sections in
+/// the same order produce identical bytes.
+std::string renderStoreText(const StoreHeader &Header,
+                            const std::vector<StoreSection> &Sections);
+
+/// Parses \p Text, recovering whatever survives.  Returns false only when
+/// the header line itself is unusable (wrong magic, wrong version, not
+/// JSON) — the caller cold-starts.  On true, \p Sections holds every
+/// section whose CRC checked out, in file order.
+bool parseStoreText(const std::string &Text, StoreHeader &Header,
+                    std::vector<StoreSection> &Sections,
+                    StoreReadStats &Stats);
+
+} // namespace store
+} // namespace evm
+
+#endif // EVM_STORE_STOREFILE_H

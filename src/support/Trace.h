@@ -66,6 +66,8 @@ namespace evm {
 ///   evolve.outcome    end          max ideal  agreed 0/1   #correct   C=#methods, X=accuracy
 ///   model.rebuild     end          -          runs seen    -          X=guard confidence
 ///   repository.update end          -          runs in repo -          -
+///   store.load        0            -          runs loaded  models     C=sections dropped, X=confidence loaded
+///   store.save        0            -          runs saved   models     C=generation
 ///
 ///   (*)  kTraceNoLevel when the cost-benefit model said "stay put".
 ///   (**) synchronous compiles have no queue sequence number; A is 0.
@@ -86,9 +88,11 @@ enum class TraceEventKind : uint8_t {
   EvolveOutcome,
   ModelRebuild,
   RepositoryUpdate,
+  StoreLoad,
+  StoreSave,
 };
 
-constexpr int NumTraceEventKinds = 16;
+constexpr int NumTraceEventKinds = 18;
 
 /// Stable wire name of \p K ("compile.enqueue", ...).
 const char *traceEventKindName(TraceEventKind K);

@@ -1,0 +1,87 @@
+//===- tests/test_store_cli.cpp - evm_cli --store flags end to end --------==//
+//
+// Drives the real evm_cli binary (path injected as EVM_CLI_PATH by CMake)
+// through its knowledge-store options, pinning the documented exit codes:
+// 0 success, 2 usage error, 3 file I/O error.  The built-in demo scenario
+// keeps the test self-contained — no program files needed.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+/// Runs evm_cli with \p Args (built-in demo mode), returning its exit code.
+int runCli(const std::string &Args) {
+  std::string Cmd =
+      std::string(EVM_CLI_PATH) + " " + Args + " >/dev/null 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  return WIFEXITED(Rc) ? WEXITSTATUS(Rc) : -1;
+}
+
+std::string tmpStore(const char *Name) {
+  return ::testing::TempDir() + "evm_cli_test_" + Name;
+}
+
+bool fileExists(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (F)
+    std::fclose(F);
+  return F != nullptr;
+}
+
+} // namespace
+
+TEST(StoreCliTest, ColdThenWarmRunSucceedAndPersist) {
+  std::string Path = tmpStore("roundtrip.store");
+  std::remove(Path.c_str());
+  EXPECT_EQ(runCli("--store=" + Path), 0); // cold start, creates the store
+  EXPECT_TRUE(fileExists(Path));
+  EXPECT_EQ(runCli("--store=" + Path), 0); // warm start, rewrites it
+  EXPECT_TRUE(fileExists(Path));
+  std::remove(Path.c_str());
+}
+
+TEST(StoreCliTest, ReadonlyNeverWrites) {
+  std::string Path = tmpStore("readonly.store");
+  std::remove(Path.c_str());
+  EXPECT_EQ(runCli("--store=" + Path + " --store-readonly"), 0);
+  EXPECT_FALSE(fileExists(Path)); // cold start, nothing saved
+}
+
+TEST(StoreCliTest, ResetStartsCold) {
+  std::string Path = tmpStore("reset.store");
+  std::remove(Path.c_str());
+  ASSERT_EQ(runCli("--store=" + Path), 0);
+  ASSERT_TRUE(fileExists(Path));
+  EXPECT_EQ(runCli("--store=" + Path + " --store-reset"), 0);
+  EXPECT_TRUE(fileExists(Path)); // recreated by the post-run checkpoint
+  std::remove(Path.c_str());
+}
+
+TEST(StoreCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(runCli("--store-readonly"), 2); // needs --store
+  EXPECT_EQ(runCli("--store-reset"), 2);
+  std::string Path = tmpStore("conflict.store");
+  EXPECT_EQ(runCli("--store=" + Path + " --store-readonly --store-reset"), 2);
+  EXPECT_FALSE(fileExists(Path));
+}
+
+TEST(StoreCliTest, UnreadableStoreExitsThree) {
+  // A directory opens but cannot be read as a file -> I/O error, not a
+  // cold start (silently losing a store the user pointed at is worse than
+  // failing loudly).
+  EXPECT_EQ(runCli("--store=" + ::testing::TempDir()), 3);
+}
+
+TEST(StoreCliTest, UnwritableStoreExitsThree) {
+  // Load finds nothing (cold start), but the final checkpoint cannot be
+  // written.
+  EXPECT_EQ(runCli("--store=/nonexistent-dir/evm_cli_test.store"), 3);
+}

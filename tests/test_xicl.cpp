@@ -420,3 +420,46 @@ TEST(FeatureVectorTest, StrRendering) {
   FV.append(Feature::categorical("b", "xyz"));
   EXPECT_EQ(FV.str(), "a=2, b=xyz");
 }
+
+//===----------------------------------------------------------------------===//
+// FileStore
+//===----------------------------------------------------------------------===//
+
+TEST(FileStoreTest, LookupMissReturnsNullopt) {
+  FileStore Files;
+  EXPECT_FALSE(Files.lookup("absent").has_value());
+  EXPECT_EQ(Files.size(), 0u);
+}
+
+TEST(FileStoreTest, RegisterAndLookup) {
+  FileStore Files = routeFiles();
+  auto Info = Files.lookup("graph");
+  ASSERT_TRUE(Info.has_value());
+  EXPECT_DOUBLE_EQ(Info->SizeBytes, 12000);
+  EXPECT_DOUBLE_EQ(Info->Lines, 1000);
+  EXPECT_DOUBLE_EQ(Info->Attributes.at("nodes"), 100);
+  EXPECT_EQ(Files.size(), 1u);
+}
+
+TEST(FileStoreTest, ReRegisterOverwrites) {
+  FileStore Files = routeFiles();
+  FileInfo Smaller;
+  Smaller.SizeBytes = 5;
+  Smaller.Attributes["nodes"] = 2;
+  Files.registerFile("graph", Smaller);
+  EXPECT_EQ(Files.size(), 1u);
+  auto Info = Files.lookup("graph");
+  ASSERT_TRUE(Info.has_value());
+  EXPECT_DOUBLE_EQ(Info->SizeBytes, 5);
+  EXPECT_DOUBLE_EQ(Info->Attributes.at("nodes"), 2);
+  EXPECT_EQ(Info->Attributes.count("edges"), 0u);
+}
+
+TEST(FileStoreTest, ClearEmptiesTheStore) {
+  FileStore Files = routeFiles();
+  Files.registerFile("other", FileInfo());
+  EXPECT_EQ(Files.size(), 2u);
+  Files.clear();
+  EXPECT_EQ(Files.size(), 0u);
+  EXPECT_FALSE(Files.lookup("graph").has_value());
+}

@@ -1,0 +1,286 @@
+//===- tools/evm-store/evm-store.cpp - Knowledge-store toolbox ------------===//
+//
+// Offline inspection and maintenance of the cross-run knowledge store
+// written by evm_cli --store= / ScenarioRunner::run*Launches:
+//
+//   evm-store inspect  STORE            human summary of every section
+//   evm-store validate STORE            framing/CRC/canonical-form check
+//   evm-store diff     STORE_A STORE_B  section-by-section comparison
+//   evm-store merge    OUT IN1 IN2...   fold inputs under the store's
+//                                       newest-wins merge policy
+//
+// Exit codes:
+//
+//   0  success (validate: store clean and canonical; diff: stores equal)
+//   1  finding (validate: damage or non-canonical form; diff: differences)
+//   2  usage error
+//   3  file I/O error
+//
+// Like the loader itself, damaged input is never fatal here: inspect and
+// diff work on whatever survives, and validate's whole job is reporting
+// the damage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/ClassificationTree.h"
+#include "ml/Dataset.h"
+#include "store/KnowledgeStore.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace evm;
+
+namespace {
+
+void printUsage(const char *Argv0, std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: %s inspect  STORE\n"
+      "       %s validate STORE\n"
+      "       %s diff     STORE_A STORE_B\n"
+      "       %s merge    OUT IN1 IN2 [IN3...]\n"
+      "Inspects/maintains a cross-run knowledge store (evm_cli --store=).\n"
+      "exit codes: 0 success/clean/equal; 1 damage, non-canonical form, or\n"
+      "differences found; 2 usage error; 3 file I/O error\n",
+      Argv0, Argv0, Argv0, Argv0);
+}
+
+/// Loads \p Path or exits the process with code 3; damage is fine (the
+/// caller sees it through \p Stats).
+store::KnowledgeStore loadOrDie(const std::string &Path,
+                                store::StoreReadStats &Stats) {
+  store::KnowledgeStore KS;
+  store::LoadStatus St = store::loadStoreFile(Path, KS, Stats);
+  if (St != store::LoadStatus::Loaded) {
+    std::fprintf(stderr, "error: cannot read %s%s\n", Path.c_str(),
+                 St == store::LoadStatus::NotFound ? " (no such file)" : "");
+    std::exit(3);
+  }
+  return KS;
+}
+
+void printReadStats(const store::StoreReadStats &Stats) {
+  if (Stats.clean())
+    return;
+  std::printf("damage: %s%s%u sections dropped, %u records dropped\n",
+              Stats.VersionMismatch ? "version mismatch, " : "",
+              Stats.Truncated ? "truncated, " : "", Stats.SectionsDropped,
+              Stats.RecordsDropped);
+}
+
+int cmdInspect(const std::string &Path) {
+  store::StoreReadStats Stats;
+  store::KnowledgeStore KS = loadOrDie(Path, Stats);
+
+  std::printf("%s: evmstore v%u, generation %llu, app \"%s\"\n", Path.c_str(),
+              KS.Header.Version,
+              static_cast<unsigned long long>(KS.Header.Generation),
+              KS.Header.App.c_str());
+  printReadStats(Stats);
+
+  if (KS.HasConfidence)
+    std::printf("confidence: conf=%.4f cv=%.4f runs_seen=%llu\n",
+                KS.Confidence, KS.CvConfidence,
+                static_cast<unsigned long long>(KS.RunsSeen));
+  else
+    std::printf("confidence: (absent)\n");
+
+  std::printf("runs: %zu recorded\n", KS.Runs.size());
+  if (!KS.Runs.empty()) {
+    ml::Dataset D;
+    KS.replayRunsInto(D);
+    std::printf("schema: %zu features\n", D.numFeatures());
+    for (const ml::FeatureDef &Def : D.schema())
+      std::printf("  %-28s %s%s\n", Def.Name.c_str(),
+                  Def.Categorical ? "categorical" : "numeric",
+                  Def.Categorical
+                      ? (" (" + std::to_string(Def.Dictionary.size()) +
+                         " values)")
+                            .c_str()
+                      : "");
+  }
+
+  size_t Constants = 0, Trees = 0, Nodes = 0;
+  for (const store::StoredMethodModel &M : KS.Models) {
+    if (M.Constant) {
+      ++Constants;
+      continue;
+    }
+    ++Trees;
+    if (auto T = ml::ClassificationTree::deserialize(M.Tree))
+      Nodes += T->numNodes();
+  }
+  std::printf("models: %zu methods (%zu constant, %zu trees, %zu tree "
+              "nodes)\n",
+              KS.Models.size(), Constants, Trees, Nodes);
+  std::printf("repository: %zu profile rows\n", KS.RepRuns.size());
+  return 0;
+}
+
+int cmdValidate(const std::string &Path) {
+  store::StoreReadStats Stats;
+  store::KnowledgeStore KS = loadOrDie(Path, Stats);
+
+  bool Clean = Stats.clean();
+  printReadStats(Stats);
+
+  // Canonical form: a clean store must re-serialize to the exact bytes on
+  // disk (the save->load->save identity every writer maintains).
+  bool Canonical = true;
+  if (Clean) {
+    std::string Disk;
+    FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot re-read %s\n", Path.c_str());
+      return 3;
+    }
+    char Buf[64 << 10];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Disk.append(Buf, N);
+    std::fclose(F);
+    Canonical = KS.serialize() == Disk;
+    if (!Canonical)
+      std::printf("non-canonical: re-serialization differs from the file\n");
+  }
+
+  // Decodable trees (framing CRC cannot see inside the tree text).
+  size_t BadTrees = 0;
+  for (const store::StoredMethodModel &M : KS.Models)
+    if (!M.Constant && !ml::ClassificationTree::deserialize(M.Tree))
+      ++BadTrees;
+  if (BadTrees)
+    std::printf("damage: %zu undecodable tree(s)\n", BadTrees);
+
+  if (Clean && Canonical && !BadTrees) {
+    std::printf("%s: clean (v%u, generation %llu, %zu runs, %zu models)\n",
+                Path.c_str(), KS.Header.Version,
+                static_cast<unsigned long long>(KS.Header.Generation),
+                KS.Runs.size(), KS.Models.size());
+    return 0;
+  }
+  return 1;
+}
+
+int cmdDiff(const std::string &PathA, const std::string &PathB) {
+  store::StoreReadStats StatsA, StatsB;
+  store::KnowledgeStore A = loadOrDie(PathA, StatsA);
+  store::KnowledgeStore B = loadOrDie(PathB, StatsB);
+
+  int Diffs = 0;
+  auto Note = [&](const char *Fmt, auto... Args) {
+    std::printf(Fmt, Args...);
+    ++Diffs;
+  };
+
+  if (A.Header.Generation != B.Header.Generation)
+    Note("header: generation %llu vs %llu\n",
+         static_cast<unsigned long long>(A.Header.Generation),
+         static_cast<unsigned long long>(B.Header.Generation));
+  if (A.Header.App != B.Header.App)
+    Note("header: app \"%s\" vs \"%s\"\n", A.Header.App.c_str(),
+         B.Header.App.c_str());
+
+  if (A.HasConfidence != B.HasConfidence)
+    Note("confidence: %s vs %s\n", A.HasConfidence ? "present" : "absent",
+         B.HasConfidence ? "present" : "absent");
+  else if (A.HasConfidence &&
+           (A.Confidence != B.Confidence || A.CvConfidence != B.CvConfidence ||
+            A.RunsSeen != B.RunsSeen))
+    Note("confidence: conf=%.6f/cv=%.6f/runs=%llu vs "
+         "conf=%.6f/cv=%.6f/runs=%llu\n",
+         A.Confidence, A.CvConfidence,
+         static_cast<unsigned long long>(A.RunsSeen), B.Confidence,
+         B.CvConfidence, static_cast<unsigned long long>(B.RunsSeen));
+
+  if (A.Runs.size() != B.Runs.size()) {
+    Note("runs: %zu vs %zu\n", A.Runs.size(), B.Runs.size());
+  } else {
+    for (size_t I = 0; I != A.Runs.size(); ++I)
+      if (A.Runs[I].Labels != B.Runs[I].Labels ||
+          A.Runs[I].Features.str() != B.Runs[I].Features.str()) {
+        Note("runs: row %zu differs\n", I);
+        break;
+      }
+  }
+
+  if (A.Models.size() != B.Models.size()) {
+    Note("models: %zu vs %zu methods\n", A.Models.size(), B.Models.size());
+  } else {
+    for (size_t M = 0; M != A.Models.size(); ++M) {
+      const store::StoredMethodModel &MA = A.Models[M];
+      const store::StoredMethodModel &MB = B.Models[M];
+      if (MA.Constant != MB.Constant || MA.ConstantLabel != MB.ConstantLabel ||
+          MA.Tree != MB.Tree)
+        Note("models: method %zu differs (%s gen %llu vs %s gen %llu)\n", M,
+             MA.Constant ? "constant" : "tree",
+             static_cast<unsigned long long>(MA.Gen),
+             MB.Constant ? "constant" : "tree",
+             static_cast<unsigned long long>(MB.Gen));
+    }
+  }
+
+  if (A.RepRuns != B.RepRuns)
+    Note("repository: %zu vs %zu rows%s\n", A.RepRuns.size(),
+         B.RepRuns.size(),
+         A.RepRuns.size() == B.RepRuns.size() ? " (contents differ)" : "");
+
+  if (!Diffs) {
+    std::printf("stores are equivalent\n");
+    return 0;
+  }
+  return 1;
+}
+
+int cmdMerge(const std::string &OutPath,
+             const std::vector<std::string> &InPaths) {
+  store::KnowledgeStore Merged;
+  for (const std::string &Path : InPaths) {
+    store::StoreReadStats Stats;
+    store::KnowledgeStore KS = loadOrDie(Path, Stats);
+    if (!Stats.clean())
+      std::fprintf(stderr, "warning: %s damaged; merging what survived\n",
+                   Path.c_str());
+    Merged = store::mergeStores(Merged, KS);
+  }
+  if (!store::saveStoreFile(OutPath, Merged)) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 3;
+  }
+  std::printf("merged %zu store(s) -> %s (generation %llu, %zu runs, %zu "
+              "models)\n",
+              InPaths.size(), OutPath.c_str(),
+              static_cast<unsigned long long>(Merged.Header.Generation),
+              Merged.Runs.size(), Merged.Models.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  if (!Args.empty() && (Args[0] == "-h" || Args[0] == "--help")) {
+    printUsage(argv[0], stdout);
+    return 0;
+  }
+  if (Args.empty()) {
+    printUsage(argv[0], stderr);
+    return 2;
+  }
+
+  const std::string &Cmd = Args[0];
+  if (Cmd == "inspect" && Args.size() == 2)
+    return cmdInspect(Args[1]);
+  if (Cmd == "validate" && Args.size() == 2)
+    return cmdValidate(Args[1]);
+  if (Cmd == "diff" && Args.size() == 3)
+    return cmdDiff(Args[1], Args[2]);
+  if (Cmd == "merge" && Args.size() >= 4)
+    return cmdMerge(Args[1],
+                    std::vector<std::string>(Args.begin() + 2, Args.end()));
+
+  printUsage(argv[0], stderr);
+  return 2;
+}
