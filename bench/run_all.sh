@@ -48,6 +48,7 @@ overhead:bench_overhead:
 sensitivity:bench_sensitivity:
 ablation:bench_ablation:
 crossrun:bench_crossrun:
+fleet:bench_fleet:
 "
 FULL_BENCHES="
 fig10:bench_fig10:

@@ -31,12 +31,14 @@
 
 #include "bytecode/Assembler.h"
 #include "evolve/EvolvableVM.h"
+#include "harness/Fleet.h"
 #include "store/KnowledgeStore.h"
 #include "support/Profiler.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
 #include "workloads/Workload.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <fstream>
@@ -44,6 +46,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/stat.h>
 
 using namespace evm;
 
@@ -85,6 +89,16 @@ struct CliOptions {
   std::string StorePath;       ///< --store= (cross-run knowledge store)
   bool StoreReadonly = false;  ///< --store-readonly (warm start, no save)
   bool StoreReset = false;     ///< --store-reset (delete before loading)
+
+  // Fleet mode (--fleet=N selects it; see runFleet).
+  int64_t FleetTenants = 0;    ///< --fleet= (0 = fleet mode off)
+  int64_t Threads = 1;         ///< --threads=
+  int64_t FleetRuns = 12;      ///< --fleet-runs= (per tenant)
+  int64_t MergeEvery = 0;      ///< --merge-every= (0 = checkpoint at end)
+  uint64_t Seed = 1;           ///< --seed= (fleet seed)
+  std::string ShardDir;        ///< --shard-dir= (per-tenant shard stores)
+  std::string FleetWorkloads;  ///< --fleet-workloads=a,b,c
+  std::string FleetOutPath;    ///< --fleet-out= (aggregate JSON copy)
 
   bool wantsTrace() const {
     return !TraceOutPath.empty() || !TraceJsonlPath.empty();
@@ -321,6 +335,107 @@ int replay(const bc::Module &Program, const std::string &Spec,
   return 0;
 }
 
+/// Fleet mode (--fleet=N): run N independent tenants through
+/// harness::FleetRunner and print the aggregate JSON — and only the JSON —
+/// on stdout, so `evm_cli --fleet 8 --threads T` can be diffed byte-for-
+/// byte across thread counts.  Human-readable summary goes to stderr.
+int runFleet(const CliOptions &Options) {
+  harness::FleetConfig FC;
+  FC.NumTenants = static_cast<size_t>(Options.FleetTenants);
+  FC.NumThreads = static_cast<size_t>(Options.Threads);
+  FC.RunsPerTenant = static_cast<size_t>(Options.FleetRuns);
+  FC.MergeEvery = static_cast<size_t>(Options.MergeEvery);
+  FC.Seed = Options.Seed;
+  FC.ShardDir = Options.ShardDir;
+  if (Options.Workers >= 0)
+    FC.Experiment.Timing.NumCompileWorkers =
+        static_cast<uint64_t>(Options.Workers);
+
+  if (!Options.FleetWorkloads.empty()) {
+    FC.Workloads.clear();
+    const std::vector<std::string> &Known = wl::workloadNames();
+    for (const std::string &Name :
+         splitString(Options.FleetWorkloads, ',')) {
+      std::string W = trimString(Name);
+      if (W.empty())
+        continue;
+      if (W != "route" &&
+          std::find(Known.begin(), Known.end(), W) == Known.end()) {
+        std::fprintf(stderr, "error: unknown fleet workload '%s'\n",
+                     W.c_str());
+        std::fprintf(stderr, "known: route");
+        for (const std::string &K : Known)
+          std::fprintf(stderr, ", %s", K.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
+      FC.Workloads.push_back(W);
+    }
+    if (FC.Workloads.empty()) {
+      std::fprintf(stderr, "error: --fleet-workloads has no names\n");
+      return 2;
+    }
+  }
+
+  if (!FC.ShardDir.empty() && mkdir(FC.ShardDir.c_str(), 0777) != 0 &&
+      errno != EEXIST) {
+    std::fprintf(stderr, "error: cannot create shard dir %s\n",
+                 FC.ShardDir.c_str());
+    return 3;
+  }
+
+  harness::FleetRunner Runner(std::move(FC));
+  TraceRecorder Tracer;
+  if (Options.wantsTrace()) {
+    Tracer.setEnabled(true);
+    if (!Tracer.enabled())
+      std::fprintf(stderr, "warning: binary built with EVM_TRACING=0; "
+                           "trace output will be empty\n");
+    Runner.setTracer(&Tracer);
+  }
+
+  harness::FleetResult R = Runner.run();
+  std::string Json = R.renderJson();
+  Json += '\n';
+  std::fputs(Json.c_str(), stdout);
+
+  std::fprintf(stderr,
+               "fleet: %zu tenants, %zu runs, %llu cycles; %zu shards "
+               "merged into %zu global store%s\n",
+               R.Tenants.size(), R.TotalRuns,
+               static_cast<unsigned long long>(R.TotalCycles), R.ShardsMerged,
+               R.GlobalStores, R.GlobalStores == 1 ? "" : "s");
+
+  if (!Options.FleetOutPath.empty() &&
+      !writeFile(Options.FleetOutPath, Json)) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Options.FleetOutPath.c_str());
+    return 3;
+  }
+  if (!Options.MetricsOutPath.empty() &&
+      !writeFile(Options.MetricsOutPath, R.Metrics.renderJson())) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Options.MetricsOutPath.c_str());
+    return 3;
+  }
+  TraceMeta Meta;
+  if (!Options.TraceOutPath.empty() &&
+      !writeFile(Options.TraceOutPath,
+                 renderChromeTrace(Tracer.exportOrder(), Meta))) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Options.TraceOutPath.c_str());
+    return 3;
+  }
+  if (!Options.TraceJsonlPath.empty() &&
+      !writeFile(Options.TraceJsonlPath,
+                 renderJsonlTrace(Tracer.exportOrder(), Meta))) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Options.TraceJsonlPath.c_str());
+    return 3;
+  }
+  return 0;
+}
+
 /// Built-in demo when invoked without files: the route example.
 int runDemo(const CliOptions &Options) {
   std::printf("(no file arguments: running the built-in route demo; "
@@ -337,6 +452,41 @@ int runDemo(const CliOptions &Options) {
   }
   return replay(Route.Module, Route.XiclSpec, Runs, Registry, Files,
                 Options);
+}
+
+/// Matches `--NAME=VALUE` or the two-token form `--NAME VALUE` (consuming
+/// the next argv element).  Returns true when \p Arg is this option;
+/// \p HasVal tells whether a value was actually present.
+bool matchValueFlag(const std::string &Arg, const std::string &Name,
+                    int Argc, char **Argv, int &I, std::string &Val,
+                    bool &HasVal) {
+  if (Arg.rfind(Name + "=", 0) == 0) {
+    Val = Arg.substr(Name.size() + 1);
+    HasVal = true;
+    return true;
+  }
+  if (Arg == Name) {
+    HasVal = I + 1 < Argc;
+    if (HasVal)
+      Val = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+/// Parses an integer option value with a lower bound; prints the error.
+bool parseIntOption(const char *Name, const std::string &Val, bool HasVal,
+                    int64_t Min, int64_t &Dest) {
+  std::optional<int64_t> N;
+  if (HasVal)
+    N = parseInteger(Val);
+  if (!N || *N < Min) {
+    std::fprintf(stderr, "error: bad %s value '%s'\n", Name,
+                 HasVal ? Val.c_str() : "(missing)");
+    return false;
+  }
+  Dest = *N;
+  return true;
 }
 
 void printUsage(const char *Argv0, std::FILE *To) {
@@ -367,6 +517,23 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "  --store-readonly           warm-start only, never write the store\n"
       "  --store-reset              delete the store file first (fresh\n"
       "                             cold start), then proceed as --store\n"
+      "fleet mode (aggregate JSON on stdout, summary on stderr; all value\n"
+      "options also accept the two-token form `--opt VALUE`):\n"
+      "  --fleet=N                  run N independent tenants in parallel\n"
+      "                             (ignores the positional file arguments)\n"
+      "  --threads=T                worker threads (default 1); any T gives\n"
+      "                             byte-identical aggregate JSON\n"
+      "  --fleet-runs=R             production runs per tenant (default 12)\n"
+      "  --fleet-workloads=A,B,...  workload mix, tenant i runs entry\n"
+      "                             i %% count; names from the paper's\n"
+      "                             benchmarks plus 'route' (default)\n"
+      "  --shard-dir=DIR            per-tenant shard stores + per-app\n"
+      "                             global stores live here (created if\n"
+      "                             missing); omit for a storeless fleet\n"
+      "  --merge-every=R            checkpoint each tenant's shard every R\n"
+      "                             runs (default 0 = once at the end)\n"
+      "  --seed=S                   fleet seed (default 1)\n"
+      "  --fleet-out=FILE           also write the aggregate JSON to FILE\n"
       "exit codes: 0 success; 1 scenario failure (assembly error, unusable\n"
       "runs, trapped run); 2 usage error; 3 file I/O error (unreadable or\n"
       "unwritable input, output, or store file)\n");
@@ -377,13 +544,64 @@ void printUsage(const char *Argv0, std::FILE *To) {
 int main(int argc, char **argv) {
   CliOptions Options;
   std::vector<std::string> Positional;
+  bool FleetFlagSeen = false;
   for (int I = 1; I != argc; ++I) {
     std::string Arg = argv[I];
+    std::string Val;
+    bool HasVal = false;
     if (Arg == "-h" || Arg == "--help") {
       printUsage(argv[0], stdout);
       return 0;
     }
-    if (Arg.rfind("--trace-out=", 0) == 0) {
+    if (matchValueFlag(Arg, "--fleet", argc, argv, I, Val, HasVal)) {
+      if (!parseIntOption("--fleet", Val, HasVal, 1, Options.FleetTenants))
+        return 2;
+    } else if (matchValueFlag(Arg, "--threads", argc, argv, I, Val, HasVal)) {
+      if (!parseIntOption("--threads", Val, HasVal, 1, Options.Threads))
+        return 2;
+      FleetFlagSeen = true;
+    } else if (matchValueFlag(Arg, "--fleet-runs", argc, argv, I, Val,
+                              HasVal)) {
+      if (!parseIntOption("--fleet-runs", Val, HasVal, 1, Options.FleetRuns))
+        return 2;
+      FleetFlagSeen = true;
+    } else if (matchValueFlag(Arg, "--merge-every", argc, argv, I, Val,
+                              HasVal)) {
+      if (!parseIntOption("--merge-every", Val, HasVal, 0,
+                          Options.MergeEvery))
+        return 2;
+      FleetFlagSeen = true;
+    } else if (matchValueFlag(Arg, "--seed", argc, argv, I, Val, HasVal)) {
+      int64_t S = 0;
+      if (!parseIntOption("--seed", Val, HasVal, 0, S))
+        return 2;
+      Options.Seed = static_cast<uint64_t>(S);
+      FleetFlagSeen = true;
+    } else if (matchValueFlag(Arg, "--shard-dir", argc, argv, I, Val,
+                              HasVal)) {
+      if (!HasVal || Val.empty()) {
+        std::fprintf(stderr, "error: --shard-dir needs a directory\n");
+        return 2;
+      }
+      Options.ShardDir = Val;
+      FleetFlagSeen = true;
+    } else if (matchValueFlag(Arg, "--fleet-workloads", argc, argv, I, Val,
+                              HasVal)) {
+      if (!HasVal || Val.empty()) {
+        std::fprintf(stderr, "error: --fleet-workloads needs names\n");
+        return 2;
+      }
+      Options.FleetWorkloads = Val;
+      FleetFlagSeen = true;
+    } else if (matchValueFlag(Arg, "--fleet-out", argc, argv, I, Val,
+                              HasVal)) {
+      if (!HasVal || Val.empty()) {
+        std::fprintf(stderr, "error: --fleet-out needs a file\n");
+        return 2;
+      }
+      Options.FleetOutPath = Val;
+      FleetFlagSeen = true;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
       Options.TraceOutPath = Arg.substr(12);
     } else if (Arg.rfind("--trace-jsonl=", 0) == 0) {
       Options.TraceJsonlPath = Arg.substr(14);
@@ -427,6 +645,31 @@ int main(int argc, char **argv) {
   if (Options.StoreReadonly && Options.StoreReset) {
     std::fprintf(stderr,
                  "error: --store-readonly and --store-reset conflict\n");
+    return 2;
+  }
+
+  if (Options.FleetTenants > 0) {
+    if (!Positional.empty()) {
+      std::fprintf(stderr, "error: --fleet runs built-in workloads; "
+                           "positional file arguments conflict\n");
+      return 2;
+    }
+    if (!Options.StorePath.empty()) {
+      std::fprintf(stderr,
+                   "error: --store conflicts with --fleet (use "
+                   "--shard-dir=DIR for fleet persistence)\n");
+      return 2;
+    }
+    if (Options.wantsProfile()) {
+      std::fprintf(stderr, "error: --profile-* outputs are not supported "
+                           "in fleet mode (per-tenant phase trees are "
+                           "embedded in the aggregate JSON)\n");
+      return 2;
+    }
+    return runFleet(Options);
+  }
+  if (FleetFlagSeen) {
+    std::fprintf(stderr, "error: fleet options need --fleet=N\n");
     return 2;
   }
 

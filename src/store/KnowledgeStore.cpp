@@ -7,9 +7,12 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <map>
+
+#include <unistd.h>
 
 using namespace evm;
 using namespace evm::store;
@@ -373,9 +376,40 @@ LoadStatus store::loadStoreFile(const std::string &Path, KnowledgeStore &KS,
   return LoadStatus::Loaded;
 }
 
+namespace {
+
+/// See setSaveKillHook.  Reads are relaxed: the contract requires hook
+/// (un)installation to happen while no saves are active.
+std::atomic<store::SaveKillHook> KillHook{nullptr};
+
+/// Distinguishes concurrent writers' temporaries within one process; the
+/// pid component distinguishes processes sharing a store path.
+std::atomic<uint64_t> TmpSeq{0};
+
+/// Truncates \p Text to its first \p Lines '\n'-terminated lines.
+std::string firstLines(const std::string &Text, int Lines) {
+  size_t Pos = 0;
+  for (int L = 0; L != Lines && Pos < Text.size(); ++L)
+    Pos = Text.find('\n', Pos) + 1;
+  return Text.substr(0, Pos);
+}
+
+} // namespace
+
+void store::setSaveKillHook(SaveKillHook Hook) {
+  KillHook.store(Hook, std::memory_order_relaxed);
+}
+
 bool store::saveStoreFile(const std::string &Path, const KnowledgeStore &KS) {
   std::string Text = KS.serialize();
-  std::string TmpPath = Path + ".tmp";
+  if (SaveKillHook Hook = KillHook.load(std::memory_order_relaxed)) {
+    int KeepLines = Hook(Path);
+    if (KeepLines >= 0)
+      Text = firstLines(Text, KeepLines);
+  }
+  std::string TmpPath =
+      Path + ".tmp." + std::to_string(getpid()) + "." +
+      std::to_string(TmpSeq.fetch_add(1, std::memory_order_relaxed));
 
   FILE *F = std::fopen(TmpPath.c_str(), "wb");
   if (!F)

@@ -122,10 +122,25 @@ enum class LoadStatus {
 LoadStatus loadStoreFile(const std::string &Path, KnowledgeStore &KS,
                          StoreReadStats &Stats);
 
-/// Serializes \p KS and writes it atomically (\p Path + ".tmp", then
-/// rename).  False on any I/O failure; the previous store file, if any, is
-/// left untouched in that case.
+/// Serializes \p KS and writes it atomically: the text goes to a uniquely
+/// named temporary (\p Path + ".tmp.<pid>.<seq>", so concurrent writers to
+/// one path never scribble over each other's half-written temporary), then
+/// rename()s into place.  Concurrent savers therefore race only on the
+/// final atomic rename — the path always holds some writer's *complete*
+/// document, never an interleaving.  False on any I/O failure; the previous
+/// store file, if any, is left untouched in that case.
 bool saveStoreFile(const std::string &Path, const KnowledgeStore &KS);
+
+/// Test-only fault injection for saveStoreFile: when a hook is installed,
+/// it is consulted before each save with the destination path and must
+/// return -1 (write normally) or a line count N >= 0 — the serialized text
+/// is then truncated to its first N lines before being installed,
+/// simulating a checkpoint interrupted at a record boundary (power cut
+/// after a partial write that still got renamed in).  The hook may be
+/// called from any tenant thread; installation itself must not race active
+/// saves.  Install nullptr to restore normal behaviour.
+using SaveKillHook = int (*)(const std::string &Path);
+void setSaveKillHook(SaveKillHook Hook);
 
 } // namespace store
 } // namespace evm

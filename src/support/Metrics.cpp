@@ -97,18 +97,22 @@ std::string MetricsSnapshot::renderJson() const {
 }
 
 void MetricsRegistry::add(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Counters[Name] += Delta;
 }
 
 void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Gauges[Name] = Value;
 }
 
 void MetricsRegistry::observe(const std::string &Name, double Sample) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Histograms[Name].push_back(Sample);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   MetricsSnapshot Snap;
   for (const auto &[Name, Value] : Counters)
     Snap.setCounter(Name, Value);
@@ -131,6 +135,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Counters.clear();
   Gauges.clear();
   Histograms.clear();

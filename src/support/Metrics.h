@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,11 +87,19 @@ private:
   std::vector<MetricValue> Values; ///< sorted by Name
 };
 
-/// The mutable registry producers write to.  Not thread-safe: all producers
-/// in this codebase run on the execution thread (the virtual-clock scheduler
-/// keeps worker accounting there too).
+/// The mutable registry producers write to.  Thread-safe: every mutator and
+/// snapshot() takes an internal mutex, so one registry may be shared by
+/// concurrent producers (fleet tenant threads, compile workers) without
+/// losing counts.  Engine hot paths still accumulate in plain members and
+/// fold into a registry once per run, so the lock is never on the
+/// per-bytecode path; snapshots taken while producers are active see a
+/// consistent (point-in-time) state.
 class MetricsRegistry {
 public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
   /// Adds \p Delta to counter \p Name (creating it at zero).
   void add(const std::string &Name, uint64_t Delta = 1);
 
@@ -107,6 +116,7 @@ public:
   void reset();
 
 private:
+  mutable std::mutex Mutex;
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, double> Gauges;
   std::map<std::string, std::vector<double>> Histograms;

@@ -16,7 +16,8 @@ static const char *const TraceEventKindNames[NumTraceEventKinds] = {
     "compile.enqueue",  "compile.start",   "compile.ready",
     "compile.install",  "compile.drop",    "compile.coalesce",
     "evolve.predict",   "evolve.outcome",  "model.rebuild",
-    "repository.update", "store.load",     "store.save"};
+    "repository.update", "store.load",     "store.save",
+    "fleet.tenant",     "fleet.merge"};
 
 const char *evm::traceEventKindName(TraceEventKind K) {
   assert(static_cast<unsigned>(K) < NumTraceEventKinds && "bad kind");

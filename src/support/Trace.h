@@ -68,9 +68,15 @@ namespace evm {
 ///   repository.update end          -          runs in repo -          -
 ///   store.load        0            -          runs loaded  models     C=sections dropped, X=confidence loaded
 ///   store.save        0            -          runs saved   models     C=generation
+///   fleet.tenant      total cyc    -          tenant id    runs       C=checkpoints, X=mean accuracy
+///   fleet.merge       0            -          shards       generation C=runs in global, X=0
 ///
 ///   (*)  kTraceNoLevel when the cost-benefit model said "stay put".
 ///   (**) synchronous compiles have no queue sequence number; A is 0.
+///
+///   fleet.* events are recorded by the fleet coordinator *after* all
+///   tenant threads join, in tenant-ID order, so a fleet trace is
+///   byte-identical for every --threads value.
 enum class TraceEventKind : uint8_t {
   RunBegin,
   RunEnd,
@@ -90,9 +96,11 @@ enum class TraceEventKind : uint8_t {
   RepositoryUpdate,
   StoreLoad,
   StoreSave,
+  FleetTenant,
+  FleetMerge,
 };
 
-constexpr int NumTraceEventKinds = 18;
+constexpr int NumTraceEventKinds = 20;
 
 /// Stable wire name of \p K ("compile.enqueue", ...).
 const char *traceEventKindName(TraceEventKind K);

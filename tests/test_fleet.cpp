@@ -1,0 +1,214 @@
+//===- tests/test_fleet.cpp - Fleet determinism invariants ----------------==//
+//
+// The fleet's core contract: thread count is invisible in the results.
+// These tests pin (a) byte-identical aggregate JSON for T in {1,2,4,8},
+// (b) byte-identical persisted global stores across T, (c) tenant
+// equivalence with the serial ScenarioRunner path, and (d) shard-merge
+// permutation invariance (the generation-striping guarantee).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Fleet.h"
+
+#include "store/KnowledgeStore.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+using namespace evm;
+using namespace evm::harness;
+
+namespace {
+
+constexpr uint64_t Seed = 20090301;
+
+/// A fresh per-test shard directory under the gtest temp root.
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "evm_fleet_" + Name;
+  // Clear leftovers from a previous run of the same test.
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (const dirent *E = readdir(D)) {
+      std::string File = E->d_name;
+      if (File != "." && File != "..")
+        std::remove((Dir + "/" + File).c_str());
+    }
+    closedir(D);
+  }
+  mkdir(Dir.c_str(), 0777);
+  return Dir;
+}
+
+std::string slurp(const std::string &Path) {
+  std::string Out;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Out;
+  char Buf[64 << 10];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+FleetConfig smallFleet(size_t Threads, const std::string &ShardDir) {
+  FleetConfig FC;
+  FC.NumTenants = 4;
+  FC.NumThreads = Threads;
+  FC.RunsPerTenant = 5;
+  FC.Seed = Seed;
+  FC.ShardDir = ShardDir;
+  FC.MergeEvery = 2;
+  FC.CapturePhases = false; // not under test here; saves a little time
+  return FC;
+}
+
+store::KnowledgeStore load(const std::string &Path) {
+  store::KnowledgeStore KS;
+  store::StoreReadStats Stats;
+  EXPECT_EQ(store::loadStoreFile(Path, KS, Stats), store::LoadStatus::Loaded);
+  EXPECT_TRUE(Stats.clean());
+  return KS;
+}
+
+} // namespace
+
+TEST(FleetTest, AggregateJsonByteIdenticalAcrossThreadCounts) {
+  // Sharded fleets: each thread count gets its own fresh directory so the
+  // comparison is launch-vs-launch, not launch-vs-warm-start.
+  std::string Baseline;
+  std::string BaselineStore;
+  for (size_t T : {1, 2, 4, 8}) {
+    std::string Dir = freshDir("identity_t" + std::to_string(T));
+    FleetRunner Runner(smallFleet(T, Dir));
+    std::string Json = Runner.run().renderJson();
+    std::string Global =
+        slurp(FleetRunner::globalStorePath(Dir, "Route"));
+    EXPECT_FALSE(Global.empty());
+    if (Baseline.empty()) {
+      Baseline = Json;
+      BaselineStore = Global;
+      continue;
+    }
+    // Byte identity, not structural equality: the JSON is the contract.
+    EXPECT_EQ(Json, Baseline) << "threads=" << T;
+    EXPECT_EQ(Global, BaselineStore) << "threads=" << T;
+  }
+}
+
+TEST(FleetTest, StorelessFleetMatchesSerialScenarioRunner) {
+  // Without a shard dir a tenant is exactly ScenarioRunner::runEvolve over
+  // its own deterministic order — the fleet adds no hidden coupling.
+  FleetConfig FC = smallFleet(2, "");
+  FleetRunner Runner(FC);
+  FleetResult R = Runner.run();
+  ASSERT_EQ(R.Tenants.size(), FC.NumTenants);
+
+  for (size_t I = 0; I != FC.NumTenants; ++I) {
+    wl::Workload W = wl::buildRouteExample(FC.Seed, 24);
+    ExperimentConfig EC = FC.Experiment;
+    EC.Seed = FC.Seed;
+    ScenarioRunner Serial(W, EC);
+    ScenarioResult Expect =
+        Serial.runEvolve(Serial.makeInputOrder(I + 1, FC.RunsPerTenant));
+
+    const TenantResult &T = R.Tenants[I];
+    EXPECT_EQ(T.TenantId, I);
+    EXPECT_EQ(T.Launches, 0u); // storeless: no checkpoints
+    ASSERT_EQ(T.Result.Runs.size(), Expect.Runs.size());
+    for (size_t J = 0; J != Expect.Runs.size(); ++J) {
+      EXPECT_EQ(T.Result.Runs[J].InputIndex, Expect.Runs[J].InputIndex);
+      EXPECT_EQ(T.Result.Runs[J].Cycles, Expect.Runs[J].Cycles);
+      EXPECT_EQ(T.Result.Runs[J].UsedPrediction,
+                Expect.Runs[J].UsedPrediction);
+    }
+    EXPECT_DOUBLE_EQ(T.Result.FinalConfidence, Expect.FinalConfidence);
+    EXPECT_DOUBLE_EQ(T.Result.MeanAccuracy, Expect.MeanAccuracy);
+  }
+}
+
+TEST(FleetTest, TenantInputStreamsAreDistinct) {
+  FleetConfig FC = smallFleet(1, "");
+  FC.RunsPerTenant = 8;
+  FleetResult R = FleetRunner(FC).run();
+  // Different order sub-seeds per tenant: at least one pair of tenants
+  // must see different input sequences (all-equal would mean the fleet is
+  // replaying one user four times).
+  bool AnyDiffer = false;
+  for (size_t I = 1; I != R.Tenants.size() && !AnyDiffer; ++I)
+    for (size_t J = 0; J != FC.RunsPerTenant && !AnyDiffer; ++J)
+      AnyDiffer = R.Tenants[I].Result.Runs[J].InputIndex !=
+                  R.Tenants[0].Result.Runs[J].InputIndex;
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(FleetTest, ShardGenerationsAreStriped) {
+  std::string Dir = freshDir("striping");
+  FleetConfig FC = smallFleet(2, Dir);
+  FleetResult R = FleetRunner(FC).run();
+  EXPECT_EQ(R.ShardsMerged, FC.NumTenants);
+  EXPECT_EQ(R.GlobalStores, 1u);
+
+  // Every shard's generation lives in its own tenant stripe, so no two
+  // shards can tie under the newest-wins merge.
+  std::vector<uint64_t> Stripes;
+  for (size_t I = 0; I != FC.NumTenants; ++I) {
+    store::KnowledgeStore KS = load(FleetRunner::shardPath(Dir, I));
+    uint64_t Stripe = KS.Header.Generation / FleetRunner::GenerationStride;
+    EXPECT_EQ(Stripe, I + 1) << "shard " << I;
+    Stripes.push_back(Stripe);
+  }
+  std::sort(Stripes.begin(), Stripes.end());
+  EXPECT_TRUE(std::adjacent_find(Stripes.begin(), Stripes.end()) ==
+              Stripes.end());
+}
+
+TEST(FleetTest, ShardMergeIsPermutationInvariant) {
+  std::string Dir = freshDir("permute");
+  FleetConfig FC = smallFleet(2, Dir);
+  FleetRunner(FC).run();
+
+  std::vector<store::KnowledgeStore> Shards;
+  for (size_t I = 0; I != FC.NumTenants; ++I)
+    Shards.push_back(load(FleetRunner::shardPath(Dir, I)));
+
+  auto foldOrder = [&](const std::vector<size_t> &Order) {
+    store::KnowledgeStore Acc;
+    for (size_t I : Order)
+      Acc = store::mergeStores(Acc, Shards[I]);
+    return Acc.serialize();
+  };
+
+  std::string Canonical = foldOrder({0, 1, 2, 3});
+  std::vector<size_t> Order = {0, 1, 2, 3};
+  // All 24 permutations of 4 shards fold to the same bytes.
+  while (std::next_permutation(Order.begin(), Order.end()))
+    ASSERT_EQ(foldOrder(Order), Canonical)
+        << Order[0] << Order[1] << Order[2] << Order[3];
+}
+
+TEST(FleetTest, SecondLaunchWarmStartsFromGlobalStore) {
+  std::string Dir = freshDir("warmstart");
+  FleetConfig FC = smallFleet(2, Dir);
+  FleetResult First = FleetRunner(FC).run();
+  store::KnowledgeStore Global1 =
+      load(FleetRunner::globalStorePath(Dir, "Route"));
+  EXPECT_GT(Global1.Runs.size(), 0u);
+
+  // Same fleet again over the same directory: tenants warm-start from the
+  // folded global knowledge, so early confidence can only improve and the
+  // global store keeps growing generations.
+  FleetResult Second = FleetRunner(FC).run();
+  store::KnowledgeStore Global2 =
+      load(FleetRunner::globalStorePath(Dir, "Route"));
+  EXPECT_GT(Global2.Header.Generation, Global1.Header.Generation);
+  double First0 = First.Tenants[0].Result.Runs[0].Confidence;
+  double Second0 = Second.Tenants[0].Result.Runs[0].Confidence;
+  EXPECT_GE(Second0, First0);
+}

@@ -1,0 +1,128 @@
+//===- tests/test_fleet_soak.cpp - Fleet soak with checkpoint kills -------==//
+//
+// The FULL-label stress lane: a 64-tenant fleet checkpointing after every
+// run (--merge-every 1) while a fault hook keeps cutting checkpoints short
+// at pseudo-random record boundaries — the power-cut-during-save scenario
+// at fleet scale.  The contract under test: no interrupted checkpoint ever
+// turns a later warm start into a failure; once the faults stop, one clean
+// launch leaves every shard and global store loading damage-free.
+//
+// Run selectively with `ctest -L FULL` (or exclude with -LE FULL in quick
+// lanes); it is sized to stay tolerable inside the default suite too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Fleet.h"
+
+#include "store/KnowledgeStore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+using namespace evm;
+using namespace evm::harness;
+
+namespace {
+
+constexpr size_t NumTenants = 64;
+
+std::string soakDir() {
+  std::string Dir = ::testing::TempDir() + "evm_fleet_soak";
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (const dirent *E = readdir(D)) {
+      std::string File = E->d_name;
+      if (File != "." && File != "..")
+        std::remove((Dir + "/" + File).c_str());
+    }
+    closedir(D);
+  }
+  mkdir(Dir.c_str(), 0777);
+  return Dir;
+}
+
+FleetConfig soakFleet(const std::string &Dir) {
+  FleetConfig FC;
+  FC.NumTenants = NumTenants;
+  FC.NumThreads = 4;
+  FC.RunsPerTenant = 2;
+  FC.MergeEvery = 1; // checkpoint after every run — maximum save traffic
+  FC.Seed = 20090301;
+  FC.ShardDir = Dir;
+  FC.CapturePhases = false;
+  return FC;
+}
+
+// The fault schedule.  A function pointer cannot capture state, so the
+// kill decision lives in file-static atomics: every save increments the
+// counter, and an LCG on it decides whether (and where) to cut.  The
+// cross-thread counter order is nondeterministic — deliberately so; the
+// invariant under test (recovery) must hold for *any* kill schedule.
+std::atomic<uint64_t> SaveCounter{0};
+
+int chaoticKillHook(const std::string &) {
+  uint64_t N = SaveCounter.fetch_add(1) + 1;
+  uint64_t H = N * 6364136223846793005ULL + 1442695040888963407ULL;
+  if ((H >> 33) % 3 != 0)
+    return -1; // two thirds of checkpoints land intact
+  return static_cast<int>((H >> 40) % 24); // cut within the first records
+}
+
+} // namespace
+
+TEST(FleetSoakTest, InterruptedCheckpointsAlwaysWarmStartCleanly) {
+  std::string Dir = soakDir();
+  FleetConfig FC = soakFleet(Dir);
+
+  // Two fleet launches under fire.  Every tenant loads whatever survived
+  // of its shard and the global store before each launch; a hard failure
+  // anywhere (trap, I/O abort, gtest assertion inside the runner) fails
+  // the test.
+  store::setSaveKillHook(chaoticKillHook);
+  for (int Launch = 0; Launch != 2; ++Launch) {
+    FleetResult R = FleetRunner(FC).run();
+    ASSERT_EQ(R.Tenants.size(), NumTenants) << "launch " << Launch;
+    ASSERT_EQ(R.TotalRuns, NumTenants * FC.RunsPerTenant)
+        << "launch " << Launch;
+    for (const TenantResult &T : R.Tenants)
+      EXPECT_EQ(T.Result.Runs.size(), FC.RunsPerTenant)
+          << "launch " << Launch << " tenant " << T.TenantId;
+  }
+  EXPECT_GT(SaveCounter.load(), NumTenants * 2u) << "hook never fired?";
+
+  // Whatever the kill schedule left behind must load without a hard error
+  // right now (damage is fine — that is what recovery means).
+  for (size_t I = 0; I != NumTenants; ++I) {
+    store::KnowledgeStore KS;
+    store::StoreReadStats Stats;
+    EXPECT_NE(store::loadStoreFile(FleetRunner::shardPath(Dir, I), KS, Stats),
+              store::LoadStatus::IoError)
+        << "shard " << I;
+  }
+
+  // Faults off: one clean launch re-seeds every shard and rewrites the
+  // global store; after it, every file in the directory is pristine.
+  store::setSaveKillHook(nullptr);
+  FleetResult Clean = FleetRunner(FC).run();
+  EXPECT_EQ(Clean.ShardsMerged, NumTenants);
+  for (size_t I = 0; I != NumTenants; ++I) {
+    store::KnowledgeStore KS;
+    store::StoreReadStats Stats;
+    ASSERT_EQ(store::loadStoreFile(FleetRunner::shardPath(Dir, I), KS, Stats),
+              store::LoadStatus::Loaded)
+        << "shard " << I;
+    EXPECT_TRUE(Stats.clean()) << "shard " << I;
+  }
+  store::KnowledgeStore Global;
+  store::StoreReadStats GStats;
+  ASSERT_EQ(store::loadStoreFile(FleetRunner::globalStorePath(Dir, "Route"),
+                                 Global, GStats),
+            store::LoadStatus::Loaded);
+  EXPECT_TRUE(GStats.clean());
+  EXPECT_GT(Global.Runs.size(), 0u);
+}

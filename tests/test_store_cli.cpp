@@ -11,6 +11,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include <sys/wait.h>
@@ -84,4 +86,42 @@ TEST(StoreCliTest, UnwritableStoreExitsThree) {
   // Load finds nothing (cold start), but the final checkpoint cannot be
   // written.
   EXPECT_EQ(runCli("--store=/nonexistent-dir/evm_cli_test.store"), 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet-mode flags (the fleet itself is covered in test_fleet.cpp; here we
+// pin the CLI contract: exit codes, flag forms, and JSON-only stdout).
+//===----------------------------------------------------------------------===//
+
+TEST(FleetCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(runCli("--fleet=0"), 2);             // needs >= 1 tenant
+  EXPECT_EQ(runCli("--fleet"), 2);               // missing value
+  EXPECT_EQ(runCli("--fleet=2 --threads=0"), 2); // needs >= 1 thread
+  EXPECT_EQ(runCli("--threads=2"), 2);           // fleet options need --fleet
+  EXPECT_EQ(runCli("--fleet=2 --fleet-workloads=nosuch"), 2);
+  EXPECT_EQ(runCli("--fleet=2 --store=" + tmpStore("fleet.store")), 2);
+}
+
+TEST(FleetCliTest, BothFlagFormsWorkAndAgree) {
+  // `--opt=V` and `--opt V` are the same flag; identical fleets must emit
+  // identical aggregate JSON on stdout.
+  std::string OutA = tmpStore("fleet_eq.json");
+  std::string OutB = tmpStore("fleet_sp.json");
+  ASSERT_EQ(runCli("--fleet=2 --fleet-runs=2 --fleet-out=" + OutA), 0);
+  ASSERT_EQ(runCli("--fleet 2 --fleet-runs 2 --fleet-out " + OutB), 0);
+  std::ifstream A(OutA), B(OutB);
+  std::string TextA((std::istreambuf_iterator<char>(A)),
+                    std::istreambuf_iterator<char>());
+  std::string TextB((std::istreambuf_iterator<char>(B)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_FALSE(TextA.empty());
+  EXPECT_EQ(TextA, TextB);
+  std::remove(OutA.c_str());
+  std::remove(OutB.c_str());
+}
+
+TEST(FleetCliTest, UnwritableShardDirExitsThree) {
+  EXPECT_EQ(runCli("--fleet=1 --fleet-runs=1 "
+                   "--shard-dir=/nonexistent-dir/shards"),
+            3);
 }

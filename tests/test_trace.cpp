@@ -25,6 +25,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace evm;
 
 namespace {
@@ -295,4 +297,48 @@ TEST(TraceAnalysis, TruncatedJsonlFailsWithLineNumber) {
   EXPECT_NE(Bad.getError().message().find("malformed trace event at line 3"),
             std::string::npos)
       << Bad.getError().message();
+}
+
+TEST(Trace, ConcurrentRecordersLoseNoEvents) {
+  // Fleet tenants may share a recorder in future layers; the append mutex
+  // must make that merely nondeterministic in order, never lossy.  Runs
+  // under the TSan lane too.
+  TraceRecorder Rec;
+  Rec.setEnabled(true);
+  if (!Rec.enabled())
+    GTEST_SKIP() << "built with EVM_TRACING=0";
+  constexpr int Threads = 4, PerThread = 5000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Threads; ++T)
+    Pool.emplace_back([&Rec, T] {
+      for (int I = 0; I != PerThread; ++I) {
+        TraceEvent E;
+        E.Kind = TraceEventKind::FleetTenant;
+        E.A = static_cast<uint64_t>(T);
+        E.B = static_cast<uint64_t>(I);
+        Rec.record(E);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  EXPECT_EQ(Rec.size(), size_t(Threads) * PerThread);
+  EXPECT_EQ(Rec.droppedEvents(), 0u);
+  // Every (thread, seq) pair landed exactly once.
+  std::vector<int> Seen(Threads, 0);
+  for (const TraceEvent &E : Rec.exportOrder())
+    if (E.Kind == TraceEventKind::FleetTenant)
+      ++Seen[E.A];
+  for (int T = 0; T != Threads; ++T)
+    EXPECT_EQ(Seen[T], PerThread) << "thread " << T;
+}
+
+TEST(Trace, FleetEventKindsHaveWireNames) {
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::FleetTenant),
+               "fleet.tenant");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::FleetMerge), "fleet.merge");
+  EXPECT_EQ(traceEventKindFromName("fleet.tenant"),
+            TraceEventKind::FleetTenant);
+  EXPECT_EQ(traceEventKindFromName("fleet.merge"),
+            TraceEventKind::FleetMerge);
 }

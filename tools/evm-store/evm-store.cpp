@@ -6,8 +6,11 @@
 //   evm-store inspect  STORE            human summary of every section
 //   evm-store validate STORE            framing/CRC/canonical-form check
 //   evm-store diff     STORE_A STORE_B  section-by-section comparison
-//   evm-store merge    OUT IN1 IN2...   fold inputs under the store's
-//                                       newest-wins merge policy
+//   evm-store merge    OUT IN1 [IN2...] fold inputs under the store's
+//                                       newest-wins merge policy; a
+//                                       directory input means "every
+//                                       *.store inside it, sorted" (so a
+//                                       fleet shard dir folds in one call)
 //
 // Exit codes:
 //
@@ -26,9 +29,13 @@
 #include "ml/Dataset.h"
 #include "store/KnowledgeStore.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
 
 using namespace evm;
 
@@ -40,8 +47,12 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "usage: %s inspect  STORE\n"
       "       %s validate STORE\n"
       "       %s diff     STORE_A STORE_B\n"
-      "       %s merge    OUT IN1 IN2 [IN3...]\n"
+      "       %s merge    OUT IN1 [IN2...]\n"
       "Inspects/maintains a cross-run knowledge store (evm_cli --store=).\n"
+      "merge inputs may be directories: every *.store inside (sorted by\n"
+      "name) is folded, so `merge OUT SHARD_DIR` folds a whole fleet shard\n"
+      "directory.  Newest-wins makes the fold order-insensitive whenever\n"
+      "generations are distinct (fleet shards stripe them).\n"
       "exit codes: 0 success/clean/equal; 1 damage, non-canonical form, or\n"
       "differences found; 2 usage error; 3 file I/O error\n",
       Argv0, Argv0, Argv0, Argv0);
@@ -234,8 +245,43 @@ int cmdDiff(const std::string &PathA, const std::string &PathB) {
   return 1;
 }
 
+/// Expands merge inputs: a directory becomes every `*.store` inside it,
+/// sorted by name; anything else passes through untouched.
+std::vector<std::string> expandMergeInputs(
+    const std::vector<std::string> &InPaths) {
+  std::vector<std::string> Out;
+  for (const std::string &Path : InPaths) {
+    struct stat St;
+    if (stat(Path.c_str(), &St) != 0 || !S_ISDIR(St.st_mode)) {
+      Out.push_back(Path);
+      continue;
+    }
+    std::vector<std::string> Found;
+    if (DIR *D = opendir(Path.c_str())) {
+      while (const dirent *E = readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name.size() > 6 &&
+            Name.compare(Name.size() - 6, 6, ".store") == 0)
+          Found.push_back(Path + "/" + Name);
+      }
+      closedir(D);
+    }
+    std::sort(Found.begin(), Found.end());
+    if (Found.empty())
+      std::fprintf(stderr, "warning: directory %s has no *.store files\n",
+                   Path.c_str());
+    Out.insert(Out.end(), Found.begin(), Found.end());
+  }
+  return Out;
+}
+
 int cmdMerge(const std::string &OutPath,
-             const std::vector<std::string> &InPaths) {
+             const std::vector<std::string> &RawPaths) {
+  std::vector<std::string> InPaths = expandMergeInputs(RawPaths);
+  if (InPaths.empty()) {
+    std::fprintf(stderr, "error: nothing to merge\n");
+    return 2;
+  }
   store::KnowledgeStore Merged;
   for (const std::string &Path : InPaths) {
     store::StoreReadStats Stats;
@@ -277,7 +323,7 @@ int main(int argc, char **argv) {
     return cmdValidate(Args[1]);
   if (Cmd == "diff" && Args.size() == 3)
     return cmdDiff(Args[1], Args[2]);
-  if (Cmd == "merge" && Args.size() >= 4)
+  if (Cmd == "merge" && Args.size() >= 3)
     return cmdMerge(Args[1],
                     std::vector<std::string>(Args.begin() + 2, Args.end()));
 

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Threads-matrix smoke for fleet mode: runs the same fleet at several
+# --threads values and fails unless every aggregate JSON is byte-identical
+# to the T=1 document.  Meant for the sanitizer lanes —
+#
+#   cmake -B build-tsan -S . -DEVM_SANITIZE=thread
+#   cmake --build build-tsan -j
+#   tools/fleet-smoke.sh build-tsan
+#
+# — where it drives the real evm_cli binary (tenant threads, shard
+# checkpoints, global-store folds) through TSan, but it is just as useful
+# as a quick local determinism check on a plain build.
+#
+#   tools/fleet-smoke.sh [BUILD_DIR] [THREADS...]
+#
+#   BUILD_DIR  CMake build tree holding examples/evm_cli (default: build)
+#   THREADS    thread counts to sweep (default: 1 2 4 8)
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+THREADS="${*:-1 2 4 8}"
+
+CLI="$BUILD_DIR/examples/evm_cli"
+if [ ! -x "$CLI" ]; then
+  echo "error: $CLI not found (build first: cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d /tmp/fleet-smoke.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+BASELINE=""
+for T in $THREADS; do
+  OUT="$WORK/t$T.json"
+  # Fresh shard dir per thread count: launch-vs-launch, not warm-start.
+  "$CLI" --fleet 6 --threads "$T" --fleet-runs 5 --merge-every 2 \
+    --shard-dir "$WORK/shards-t$T" --seed 20090301 \
+    > "$OUT" 2> "$WORK/t$T.err"
+  if [ -z "$BASELINE" ]; then
+    BASELINE="$OUT"
+    echo "T=$T: baseline ($(wc -c < "$OUT") bytes)"
+    continue
+  fi
+  if cmp -s "$BASELINE" "$OUT"; then
+    echo "T=$T: byte-identical"
+  else
+    echo "FAIL: aggregate JSON at T=$T differs from T=1" >&2
+    cmp "$BASELINE" "$OUT" >&2 || true
+    exit 1
+  fi
+done
+echo "fleet threads-matrix smoke: OK ($THREADS)"
