@@ -49,6 +49,7 @@ sensitivity:bench_sensitivity:
 ablation:bench_ablation:
 crossrun:bench_crossrun:
 fleet:bench_fleet:
+openworld:bench_openworld:
 "
 FULL_BENCHES="
 fig10:bench_fig10:

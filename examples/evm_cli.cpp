@@ -36,6 +36,7 @@
 #include "support/Profiler.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
+#include "workloads/Generator.h"
 #include "workloads/Workload.h"
 
 #include <algorithm>
@@ -89,6 +90,10 @@ struct CliOptions {
   std::string StorePath;       ///< --store= (cross-run knowledge store)
   bool StoreReadonly = false;  ///< --store-readonly (warm start, no save)
   bool StoreReset = false;     ///< --store-reset (delete before loading)
+
+  // Generated-workload mode (--gen-workload=SPEC selects it).
+  std::string GenWorkloadSpec; ///< --gen-workload= (key=value,... GenSpec)
+  int64_t GenRuns = 0;         ///< --gen-runs= (0 = the spec's runs value)
 
   // Fleet mode (--fleet=N selects it; see runFleet).
   int64_t FleetTenants = 0;    ///< --fleet= (0 = fleet mode off)
@@ -454,6 +459,39 @@ int runDemo(const CliOptions &Options) {
                 Options);
 }
 
+/// Generated-workload mode: synthesize an application + input stream from
+/// a GenSpec and replay its drift-aware run order through the evolvable VM.
+int runGenerated(const CliOptions &Options) {
+  auto Spec = wl::parseGenSpec(Options.GenWorkloadSpec);
+  if (!Spec) {
+    std::fprintf(stderr, "error: %s\n", Spec.getError().message().c_str());
+    return 2;
+  }
+  auto Generated = wl::generateWorkload(*Spec);
+  if (!Generated) {
+    std::fprintf(stderr, "generator error: %s\n",
+                 Generated.getError().message().c_str());
+    return 1;
+  }
+  const wl::GeneratedWorkload &G = *Generated;
+  std::printf("generated workload %s: %s\n", G.W.Name.c_str(),
+              wl::renderGenSpec(G.Spec).c_str());
+
+  std::vector<size_t> Order = wl::makeGenRunOrder(
+      G.Spec, static_cast<size_t>(Options.GenRuns));
+  std::vector<RunLine> Runs;
+  for (size_t Input : Order) {
+    const wl::InputCase &In = G.W.Inputs[Input];
+    Runs.push_back(RunLine{In.CommandLine, In.VmArgs});
+  }
+
+  xicl::XFMethodRegistry Registry;
+  G.W.registerMethods(Registry);
+  xicl::FileStore Files;
+  G.W.populateFileStore(Files);
+  return replay(G.W.Module, G.W.XiclSpec, Runs, Registry, Files, Options);
+}
+
 /// Matches `--NAME=VALUE` or the two-token form `--NAME VALUE` (consuming
 /// the next argv element).  Returns true when \p Arg is this option;
 /// \p HasVal tells whether a value was actually present.
@@ -517,6 +555,15 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "  --store-readonly           warm-start only, never write the store\n"
       "  --store-reset              delete the store file first (fresh\n"
       "                             cold start), then proceed as --store\n"
+      "generated-workload mode (value options also accept `--opt VALUE`):\n"
+      "  --gen-workload=SPEC        synthesize an open-world application +\n"
+      "                             input stream from a comma-separated\n"
+      "                             key=value GenSpec (keys: seed hot cold\n"
+      "                             depth fanout loops inputs runs minwork\n"
+      "                             maxwork coupling drift driftat scalea\n"
+      "                             scaleb; drift: none|flip|walk) and\n"
+      "                             replay its drift-aware run order\n"
+      "  --gen-runs=N               override the spec's run-stream length\n"
       "fleet mode (aggregate JSON on stdout, summary on stderr; all value\n"
       "options also accept the two-token form `--opt VALUE`):\n"
       "  --fleet=N                  run N independent tenants in parallel\n"
@@ -553,7 +600,18 @@ int main(int argc, char **argv) {
       printUsage(argv[0], stdout);
       return 0;
     }
-    if (matchValueFlag(Arg, "--fleet", argc, argv, I, Val, HasVal)) {
+    if (matchValueFlag(Arg, "--gen-workload", argc, argv, I, Val, HasVal)) {
+      if (!HasVal || Val.empty()) {
+        std::fprintf(stderr,
+                     "error: --gen-workload needs a key=value,... spec\n");
+        return 2;
+      }
+      Options.GenWorkloadSpec = Val;
+    } else if (matchValueFlag(Arg, "--gen-runs", argc, argv, I, Val,
+                              HasVal)) {
+      if (!parseIntOption("--gen-runs", Val, HasVal, 1, Options.GenRuns))
+        return 2;
+    } else if (matchValueFlag(Arg, "--fleet", argc, argv, I, Val, HasVal)) {
       if (!parseIntOption("--fleet", Val, HasVal, 1, Options.FleetTenants))
         return 2;
     } else if (matchValueFlag(Arg, "--threads", argc, argv, I, Val, HasVal)) {
@@ -646,6 +704,24 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "error: --store-readonly and --store-reset conflict\n");
     return 2;
+  }
+
+  if (Options.GenRuns > 0 && Options.GenWorkloadSpec.empty()) {
+    std::fprintf(stderr, "error: --gen-runs needs --gen-workload=SPEC\n");
+    return 2;
+  }
+  if (!Options.GenWorkloadSpec.empty()) {
+    if (Options.FleetTenants > 0 || FleetFlagSeen) {
+      std::fprintf(stderr,
+                   "error: --gen-workload conflicts with fleet mode\n");
+      return 2;
+    }
+    if (!Positional.empty()) {
+      std::fprintf(stderr, "error: --gen-workload synthesizes its program "
+                           "and runs; positional file arguments conflict\n");
+      return 2;
+    }
+    return runGenerated(Options);
   }
 
   if (Options.FleetTenants > 0) {

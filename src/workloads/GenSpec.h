@@ -1,0 +1,104 @@
+//===- workloads/GenSpec.h - Open-world workload generator parameters -----==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parameter block of the open-world workload generator
+/// (workloads/Generator.h): a seeded, fully deterministic description of a
+/// synthetic application *and* its input distribution.  Specs have a
+/// canonical textual form — comma-separated key=value pairs — accepted by
+/// `evm_cli --gen-workload` and by bench_openworld:
+///
+/// \code
+///   seed=7,hot=4,cold=3,depth=3,fanout=3,loops=2,inputs=16,runs=24,
+///   minwork=64,maxwork=4096,coupling=1.0,drift=flip,driftat=0.5,
+///   scalea=1,scaleb=16
+/// \endcode
+///
+/// Every key is optional; omitted keys keep their defaults.  renderGenSpec
+/// emits the canonical order above, so parse(render(S)) == S and rendered
+/// specs are usable as map keys.
+///
+/// Knob semantics (see Generator.h for how each is realized):
+///
+///   hot / cold      hot-set size and cold-method count
+///   depth / fanout  call-graph shape: longest call chain from main and
+///                   maximum distinct callees per method
+///   loops           loop-nest depth inside hot kernels
+///   minwork/maxwork per-input work factor range (log-uniform)
+///   coupling        input-feature fidelity in [0,1]: 1.0 means the
+///                   command-line-visible features fully determine run
+///                   behavior; lower values mix in a hidden per-input
+///                   component the predictor cannot see
+///   drift           input-distribution drift across the run stream:
+///                   none | flip (phase change at driftat flipping the
+///                   feature->best-level mapping via the scale multiplier)
+///                   | walk (gradual covariate shift over the work range)
+///   scalea/scaleb   work multipliers of the pre-/post-drift phases
+///
+//======---------------------------------------------------------------------==//
+
+#ifndef EVM_WORKLOADS_GENSPEC_H
+#define EVM_WORKLOADS_GENSPEC_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace evm {
+namespace wl {
+
+/// Input-distribution drift across the generated run stream.
+enum class DriftKind {
+  None, ///< stationary: every run draws uniformly from the full input set
+  Flip, ///< phase change: runs before driftat draw phase-A inputs
+        ///< (work scale scalea), later runs draw phase-B inputs (scaleb)
+  Walk, ///< gradual covariate shift: the drawn work sizes slide from the
+        ///< bottom of the range to the top across the stream
+};
+
+const char *driftKindName(DriftKind K);
+
+/// Deterministic description of one generated application + input stream.
+struct GenSpec {
+  uint64_t Seed = 1;
+  int HotMethods = 4;    ///< hot kernels whose run time scales with work
+  int ColdMethods = 3;   ///< constant-cost methods (call-graph filler)
+  int CallDepth = 3;     ///< longest call chain from main, in edges (>= 2)
+  int FanOut = 3;        ///< maximum distinct callees of any method (>= 2)
+  int LoopDepth = 2;     ///< loop-nest depth inside hot kernels (>= 1)
+  size_t NumInputs = 16; ///< distinct inputs in the workload's input set
+  size_t NumRuns = 24;   ///< recommended production-run stream length
+  int64_t MinWork = 64;  ///< smallest per-input work factor
+  int64_t MaxWork = 4096;
+  double Coupling = 1.0; ///< feature->work fidelity in [0,1]
+  DriftKind Drift = DriftKind::None;
+  double DriftAt = 0.5;  ///< phase boundary as a fraction of the stream
+  int64_t ScaleA = 1;    ///< phase-A work multiplier
+  int64_t ScaleB = 16;   ///< phase-B work multiplier (flip drift only)
+
+  bool operator==(const GenSpec &O) const;
+};
+
+/// Parses the comma-separated key=value form.  Unknown keys, malformed
+/// values, and constraint violations (see validateGenSpec) are errors.
+ErrorOr<GenSpec> parseGenSpec(const std::string &Text);
+
+/// Canonical textual form; parse(render(S)) == S.
+std::string renderGenSpec(const GenSpec &Spec);
+
+/// Checks the structural constraints the generator needs:
+///   hot >= 1, cold >= 0, depth >= 2, 2 <= fanout <= hot+cold, loops >= 1,
+///   inputs >= 2, runs >= 1, 0 < minwork <= maxwork, coupling in [0,1],
+///   driftat in (0,1), scales >= 1, and enough leaf call sites to reach
+///   every hot/cold method: (depth-1)*(fanout-1) + fanout >= hot+cold.
+/// Returns an empty-message Error on success.
+Error validateGenSpec(const GenSpec &Spec);
+
+} // namespace wl
+} // namespace evm
+
+#endif // EVM_WORKLOADS_GENSPEC_H

@@ -1,0 +1,636 @@
+//===- workloads/Generator.cpp - Open-world synthetic workload generator --==//
+
+#include "workloads/Generator.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/WorkloadDetail.h"
+
+#include "bytecode/Assembler.h"
+#include "bytecode/Verifier.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace evm;
+using namespace evm::wl;
+using bc::FunctionBuilder;
+using bc::MethodId;
+using bc::ModuleBuilder;
+using bc::Opcode;
+using bc::Value;
+
+//===----------------------------------------------------------------------===//
+// GenSpec: parse / render / validate
+//===----------------------------------------------------------------------===//
+
+const char *wl::driftKindName(DriftKind K) {
+  switch (K) {
+  case DriftKind::None:
+    return "none";
+  case DriftKind::Flip:
+    return "flip";
+  case DriftKind::Walk:
+    return "walk";
+  }
+  return "none";
+}
+
+bool GenSpec::operator==(const GenSpec &O) const {
+  return Seed == O.Seed && HotMethods == O.HotMethods &&
+         ColdMethods == O.ColdMethods && CallDepth == O.CallDepth &&
+         FanOut == O.FanOut && LoopDepth == O.LoopDepth &&
+         NumInputs == O.NumInputs && NumRuns == O.NumRuns &&
+         MinWork == O.MinWork && MaxWork == O.MaxWork &&
+         Coupling == O.Coupling && Drift == O.Drift && DriftAt == O.DriftAt &&
+         ScaleA == O.ScaleA && ScaleB == O.ScaleB;
+}
+
+Error wl::validateGenSpec(const GenSpec &S) {
+  auto Fail = [](const std::string &Msg) { return Error(Msg); };
+  if (S.HotMethods < 1)
+    return Fail("gen spec: hot must be >= 1");
+  if (S.ColdMethods < 0)
+    return Fail("gen spec: cold must be >= 0");
+  if (S.CallDepth < 2)
+    return Fail("gen spec: depth must be >= 2");
+  if (S.FanOut < 2)
+    return Fail("gen spec: fanout must be >= 2");
+  if (S.FanOut > S.HotMethods + S.ColdMethods)
+    return Fail("gen spec: fanout must be <= hot+cold (a caller's leaf "
+                "callees must be distinct)");
+  if (S.LoopDepth < 1 || S.LoopDepth > 6)
+    return Fail("gen spec: loops must be in [1, 6]");
+  if (S.NumInputs < 2)
+    return Fail("gen spec: inputs must be >= 2");
+  if (S.NumRuns < 1)
+    return Fail("gen spec: runs must be >= 1");
+  if (S.MinWork < 1 || S.MinWork > S.MaxWork)
+    return Fail("gen spec: need 0 < minwork <= maxwork");
+  if (S.MaxWork > (int64_t{1} << 24))
+    return Fail("gen spec: maxwork too large (> 2^24)");
+  if (!(S.Coupling >= 0.0 && S.Coupling <= 1.0))
+    return Fail("gen spec: coupling must be in [0, 1]");
+  if (!(S.DriftAt > 0.0 && S.DriftAt < 1.0))
+    return Fail("gen spec: driftat must be in (0, 1)");
+  if (S.ScaleA < 1 || S.ScaleB < 1)
+    return Fail("gen spec: scalea/scaleb must be >= 1");
+  // Leaf call-site capacity: main and each inner spine node provide
+  // fanout-1 slots, the last spine node fanout, and slots are filled
+  // round-robin — every hot/cold method needs at least one.
+  int Slots = (S.CallDepth - 1) * (S.FanOut - 1) + S.FanOut;
+  if (Slots < S.HotMethods + S.ColdMethods)
+    return Fail(formatString(
+        "gen spec: %d leaf call sites cannot reach hot+cold=%d methods "
+        "(raise depth or fanout, or shrink the method pool)",
+        Slots, S.HotMethods + S.ColdMethods));
+  return Error();
+}
+
+ErrorOr<GenSpec> wl::parseGenSpec(const std::string &Text) {
+  GenSpec S;
+  for (const std::string &RawPair : splitString(Text, ',')) {
+    std::string Pair = trimString(RawPair);
+    if (Pair.empty())
+      continue;
+    size_t Eq = Pair.find('=');
+    if (Eq == std::string::npos)
+      return Error(formatString("gen spec: '%s' is not key=value",
+                                Pair.c_str()));
+    std::string Key = trimString(Pair.substr(0, Eq));
+    std::string Val = trimString(Pair.substr(Eq + 1));
+
+    auto Int = [&](int64_t Min, int64_t Max, int64_t &Dest) -> bool {
+      std::optional<int64_t> N = parseInteger(Val);
+      if (!N || *N < Min || *N > Max)
+        return false;
+      Dest = *N;
+      return true;
+    };
+    auto SmallInt = [&](int64_t Min, int64_t Max, int &Dest) -> bool {
+      int64_t V = 0;
+      if (!Int(Min, Max, V))
+        return false;
+      Dest = static_cast<int>(V);
+      return true;
+    };
+    auto Size = [&](size_t &Dest) -> bool {
+      int64_t V = 0;
+      if (!Int(1, 1 << 20, V))
+        return false;
+      Dest = static_cast<size_t>(V);
+      return true;
+    };
+    auto Frac = [&](double &Dest) -> bool {
+      std::optional<double> D = parseDouble(Val);
+      if (!D || !(*D >= 0.0 && *D <= 1.0))
+        return false;
+      Dest = *D;
+      return true;
+    };
+
+    bool Ok = true;
+    if (Key == "seed") {
+      int64_t V = 0;
+      Ok = Int(0, INT64_MAX, V);
+      S.Seed = static_cast<uint64_t>(V);
+    } else if (Key == "hot") {
+      Ok = SmallInt(1, 64, S.HotMethods);
+    } else if (Key == "cold") {
+      Ok = SmallInt(0, 64, S.ColdMethods);
+    } else if (Key == "depth") {
+      Ok = SmallInt(2, 16, S.CallDepth);
+    } else if (Key == "fanout") {
+      Ok = SmallInt(2, 16, S.FanOut);
+    } else if (Key == "loops") {
+      Ok = SmallInt(1, 6, S.LoopDepth);
+    } else if (Key == "inputs") {
+      Ok = Size(S.NumInputs);
+    } else if (Key == "runs") {
+      Ok = Size(S.NumRuns);
+    } else if (Key == "minwork") {
+      Ok = Int(1, int64_t{1} << 24, S.MinWork);
+    } else if (Key == "maxwork") {
+      Ok = Int(1, int64_t{1} << 24, S.MaxWork);
+    } else if (Key == "coupling") {
+      Ok = Frac(S.Coupling);
+    } else if (Key == "driftat") {
+      Ok = Frac(S.DriftAt);
+    } else if (Key == "scalea") {
+      Ok = Int(1, 1 << 16, S.ScaleA);
+    } else if (Key == "scaleb") {
+      Ok = Int(1, 1 << 16, S.ScaleB);
+    } else if (Key == "drift") {
+      if (Val == "none")
+        S.Drift = DriftKind::None;
+      else if (Val == "flip")
+        S.Drift = DriftKind::Flip;
+      else if (Val == "walk")
+        S.Drift = DriftKind::Walk;
+      else
+        Ok = false;
+    } else {
+      return Error(formatString("gen spec: unknown key '%s'", Key.c_str()));
+    }
+    if (!Ok)
+      return Error(formatString("gen spec: bad value '%s' for key '%s'",
+                                Val.c_str(), Key.c_str()));
+  }
+  Error E = validateGenSpec(S);
+  if (!E.message().empty())
+    return E;
+  return S;
+}
+
+std::string wl::renderGenSpec(const GenSpec &S) {
+  return formatString(
+      "seed=%llu,hot=%d,cold=%d,depth=%d,fanout=%d,loops=%d,inputs=%zu,"
+      "runs=%zu,minwork=%lld,maxwork=%lld,coupling=%.6g,drift=%s,"
+      "driftat=%.6g,scalea=%lld,scaleb=%lld",
+      static_cast<unsigned long long>(S.Seed), S.HotMethods, S.ColdMethods,
+      S.CallDepth, S.FanOut, S.LoopDepth, S.NumInputs, S.NumRuns,
+      static_cast<long long>(S.MinWork), static_cast<long long>(S.MaxWork),
+      S.Coupling, driftKindName(S.Drift), S.DriftAt,
+      static_cast<long long>(S.ScaleA), static_cast<long long>(S.ScaleB));
+}
+
+//===----------------------------------------------------------------------===//
+// Module construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int64_t HotHeapSize = 16; ///< per-kernel scratch array
+
+/// First input index of phase B under flip drift (NumInputs otherwise).
+size_t phaseSplitOf(const GenSpec &S) {
+  if (S.Drift != DriftKind::Flip)
+    return S.NumInputs;
+  size_t Split = static_cast<size_t>(
+      static_cast<double>(S.NumInputs) * S.DriftAt + 0.5);
+  return std::min(std::max<size_t>(Split, 1), S.NumInputs - 1);
+}
+
+/// Safe (never-trapping) binary ops over integer operands.
+const Opcode SafeMixOps[] = {Opcode::Add, Opcode::Sub, Opcode::Xor,
+                             Opcode::Add, Opcode::Mul, Opcode::Or,
+                             Opcode::Min, Opcode::Max, Opcode::And};
+
+/// Emits one hot kernel: a LoopDepth-deep loop nest whose total iteration
+/// count is ~ work/4 .. work, with a per-seed arithmetic + heap-traffic mix.
+/// Signature: hot(work) -> checksum.
+void emitHotKernel(FunctionBuilder &F, Rng &R, const GenSpec &S) {
+  const uint32_t Work = 0;
+  uint32_t Acc = F.allocLocal();
+  uint32_t Arr = F.allocLocal();
+  uint32_t Outer = F.allocLocal();
+
+  // Inner loops run a small constant bound each; the outer bound divides
+  // the work factor so total iterations stay proportional to work.
+  const int64_t InnerBound = 3;
+  int64_t InnerTotal = 1;
+  for (int L = 1; L < S.LoopDepth; ++L)
+    InnerTotal *= InnerBound;
+  int64_t Divisor = InnerTotal * R.nextInt(1, 4);
+
+  F.constInt(HotHeapSize);
+  F.emit(Opcode::NewArr);
+  F.storeLocal(Arr);
+  F.constInt(R.nextInt(1, 1 << 20));
+  F.storeLocal(Acc);
+
+  // outer = work / Divisor + 1
+  F.loadLocal(Work);
+  F.constInt(Divisor);
+  F.emit(Opcode::Div);
+  F.constInt(1);
+  F.emit(Opcode::Add);
+  F.storeLocal(Outer);
+
+  // The nest: counters[0] runs to `outer`, the rest to InnerBound.
+  std::vector<uint32_t> Counters;
+  std::vector<FunctionBuilder::Label> Heads, Exits;
+  for (int L = 0; L != S.LoopDepth; ++L) {
+    uint32_t C = F.allocLocal();
+    Counters.push_back(C);
+    F.constInt(0);
+    F.storeLocal(C);
+    FunctionBuilder::Label Head = F.makeLabel();
+    FunctionBuilder::Label Exit = F.makeLabel();
+    Heads.push_back(Head);
+    Exits.push_back(Exit);
+    F.bind(Head);
+    F.loadLocal(C);
+    if (L == 0)
+      F.loadLocal(Outer);
+    else
+      F.constInt(InnerBound);
+    F.emit(Opcode::Lt);
+    F.brFalse(Exit);
+  }
+
+  // Innermost body: a per-seed mix of safe integer arithmetic plus one heap
+  // store and one heap load (addresses masked into the scratch array), all
+  // feeding the accumulator so nothing is dead.
+  int NumMixOps = static_cast<int>(R.nextInt(2, 4));
+  for (int OpI = 0; OpI != NumMixOps; ++OpI) {
+    F.loadLocal(Acc);
+    if (R.nextBool(0.5))
+      F.loadLocal(Counters[static_cast<size_t>(R.next() % Counters.size())]);
+    else
+      F.constInt(R.nextInt(1, 255));
+    F.emit(SafeMixOps[R.next() %
+                      (sizeof(SafeMixOps) / sizeof(SafeMixOps[0]))]);
+    F.storeLocal(Acc);
+  }
+  // arr[acc & 15] = acc + innermost counter
+  F.loadLocal(Acc);
+  F.constInt(HotHeapSize - 1);
+  F.emit(Opcode::And);
+  F.loadLocal(Arr);
+  F.emit(Opcode::Add);
+  F.loadLocal(Acc);
+  F.loadLocal(Counters.back());
+  F.emit(Opcode::Add);
+  F.emit(Opcode::HStore);
+  // acc = acc ^ arr[(counter0 + k) & 15]
+  F.loadLocal(Acc);
+  F.loadLocal(Counters.front());
+  F.constInt(R.nextInt(0, HotHeapSize - 1));
+  F.emit(Opcode::Add);
+  F.constInt(HotHeapSize - 1);
+  F.emit(Opcode::And);
+  F.loadLocal(Arr);
+  F.emit(Opcode::Add);
+  F.emit(Opcode::HLoad);
+  F.emit(Opcode::Xor);
+  F.storeLocal(Acc);
+
+  for (int L = S.LoopDepth - 1; L >= 0; --L) {
+    F.incrementLocal(Counters[static_cast<size_t>(L)], 1);
+    F.br(Heads[static_cast<size_t>(L)]);
+    F.bind(Exits[static_cast<size_t>(L)]);
+  }
+
+  F.loadLocal(Acc);
+  F.loadLocal(Work);
+  F.emit(Opcode::Add);
+  F.ret();
+}
+
+/// Emits one cold method: a few random trap-free statements (the hoisted
+/// RandomProgram machinery) plus a tiny fixed loop.  Signature:
+/// cold(x) -> value; cost is constant and small regardless of input.
+void emitColdMethod(FunctionBuilder &F, Rng &R) {
+  rpdetail::StmtContext Ctx;
+  Ctx.Readable.push_back(0); // the parameter
+  for (int L = 0; L != 2; ++L) {
+    uint32_t Slot = F.allocLocal();
+    Ctx.Scratch.push_back(Slot);
+    Ctx.Readable.push_back(Slot);
+  }
+  RandomProgramOptions O;
+  O.AllowTraps = false;
+  O.MaxStmtsPerBlock = 3;
+  O.MaxBlockDepth = 1; // one level of ifs/small loops
+  O.MaxExprDepth = 2;
+  O.MaxLoopBound = 8;
+  rpdetail::emitStmts(F, R, Ctx, O, /*Depth=*/0);
+  rpdetail::emitExpr(F, R, Ctx.Readable, 2, O);
+  F.ret();
+}
+
+} // namespace
+
+ErrorOr<GeneratedWorkload> wl::generateWorkload(const GenSpec &Spec) {
+  Error Invalid = validateGenSpec(Spec);
+  if (!Invalid.message().empty())
+    return Invalid;
+
+  GeneratedWorkload G;
+  G.Spec = Spec;
+  G.PhaseSplit = phaseSplitOf(Spec);
+
+  Rng Root(Spec.Seed ^ 0x6f70656e776c6400ULL); // "openwld"
+  Rng RModule = Root.fork();
+  Rng RInputs = Root.fork();
+
+  const int NumTrunks = Spec.CallDepth - 1;
+  const int NumLeaves = Spec.HotMethods + Spec.ColdMethods;
+
+  ModuleBuilder MB;
+  MethodId Main = MB.declareFunction("main", 3);
+  std::vector<MethodId> Trunks;
+  for (int T = 0; T != NumTrunks; ++T)
+    Trunks.push_back(MB.declareFunction(formatString("trunk%d", T + 1), 1));
+  for (int H = 0; H != Spec.HotMethods; ++H)
+    G.HotMethods.push_back(MB.declareFunction(formatString("hot%d", H), 1));
+  for (int C = 0; C != Spec.ColdMethods; ++C)
+    G.ColdMethods.push_back(MB.declareFunction(formatString("cold%d", C), 1));
+
+  // Leaf call sites: main and inner trunks get fanout-1 each, the last
+  // trunk fanout; a global round-robin cursor reaches every leaf (the
+  // validator guarantees capacity) while keeping per-caller callees
+  // distinct (fanout <= hot+cold).
+  size_t LeafCursor = 0;
+  auto TakeLeaves = [&](int Count) {
+    std::vector<MethodId> Out;
+    for (int I = 0; I != Count; ++I) {
+      size_t Leaf = LeafCursor++ % static_cast<size_t>(NumLeaves);
+      Out.push_back(Leaf < static_cast<size_t>(Spec.HotMethods)
+                        ? G.HotMethods[Leaf]
+                        : G.ColdMethods[Leaf -
+                                        static_cast<size_t>(
+                                            Spec.HotMethods)]);
+    }
+    return Out;
+  };
+
+  /// Calls every leaf in \p Leaves from \p F, accumulating return values
+  /// into \p Acc.  Hot leaves receive the work local; cold leaves a small
+  /// constant.
+  auto EmitLeafCalls = [&](FunctionBuilder &F, uint32_t WorkLocal,
+                           uint32_t Acc, const std::vector<MethodId> &Leaves,
+                           Rng &R) {
+    for (MethodId Leaf : Leaves) {
+      bool IsHot = std::find(G.HotMethods.begin(), G.HotMethods.end(),
+                             Leaf) != G.HotMethods.end();
+      F.loadLocal(Acc);
+      if (IsHot)
+        F.loadLocal(WorkLocal);
+      else
+        F.constInt(R.nextInt(1, 16));
+      F.call(Leaf);
+      F.emit(Opcode::Add);
+      F.storeLocal(Acc);
+    }
+  };
+
+  // main(size, scale, jitter): work = max(1, size*scale + jitter), then the
+  // spine call plus main's own leaf slots.
+  {
+    FunctionBuilder &F = MB.functionBuilder(Main);
+    uint32_t Size = 0, Scale = 1, Jitter = 2;
+    uint32_t WorkL = F.allocLocal();
+    uint32_t Acc = F.allocLocal();
+    F.loadLocal(Size);
+    F.loadLocal(Scale);
+    F.emit(Opcode::Mul);
+    F.loadLocal(Jitter);
+    F.emit(Opcode::Add);
+    F.constInt(1);
+    F.emit(Opcode::Max);
+    F.storeLocal(WorkL);
+    F.constInt(0);
+    F.storeLocal(Acc);
+    F.loadLocal(Acc);
+    F.loadLocal(WorkL);
+    F.call(Trunks.front());
+    F.emit(Opcode::Add);
+    F.storeLocal(Acc);
+    EmitLeafCalls(F, WorkL, Acc, TakeLeaves(Spec.FanOut - 1), RModule);
+    F.loadLocal(Acc);
+    F.ret();
+  }
+
+  // trunk_i(work): spine child (except the last) plus leaf slots.
+  for (int T = 0; T != NumTrunks; ++T) {
+    FunctionBuilder &F = MB.functionBuilder(Trunks[static_cast<size_t>(T)]);
+    uint32_t WorkL = 0;
+    uint32_t Acc = F.allocLocal();
+    bool Last = T + 1 == NumTrunks;
+    F.constInt(RModule.nextInt(0, 63));
+    F.storeLocal(Acc);
+    if (!Last) {
+      F.loadLocal(Acc);
+      F.loadLocal(WorkL);
+      F.call(Trunks[static_cast<size_t>(T) + 1]);
+      F.emit(Opcode::Add);
+      F.storeLocal(Acc);
+    }
+    EmitLeafCalls(F, WorkL, Acc,
+                  TakeLeaves(Last ? Spec.FanOut : Spec.FanOut - 1), RModule);
+    F.loadLocal(Acc);
+    F.ret();
+  }
+
+  for (MethodId Hot : G.HotMethods)
+    emitHotKernel(MB.functionBuilder(Hot), RModule, Spec);
+  for (MethodId Cold : G.ColdMethods)
+    emitColdMethod(MB.functionBuilder(Cold), RModule);
+
+  auto M = MB.build(); // runs bytecode/Verifier over every function
+  if (!M)
+    return M.getError();
+  G.W.Module = M.takeValue();
+
+  G.W.Name = formatString("gen-%016llx",
+                          static_cast<unsigned long long>(Spec.Seed));
+  G.W.Suite = "generated";
+  G.W.XiclSpec =
+      "option {name=-n; type=num; attr=val; default=1; has_arg=y}\n"
+      "option {name=-s; type=num; attr=val; default=1; has_arg=y}\n";
+
+  // Input set.  -n (size) and -s (scale) are command-line-visible features;
+  // jitter is the hidden component scaled by 1-coupling.
+  struct PendingInput {
+    int64_t SizeV, ScaleV, JitterV;
+  };
+  std::vector<PendingInput> Pending;
+  for (size_t I = 0; I != Spec.NumInputs; ++I) {
+    PendingInput P;
+    P.SizeV = detail::logUniform(RInputs, Spec.MinWork, Spec.MaxWork);
+    P.ScaleV = I < G.PhaseSplit ? Spec.ScaleA : Spec.ScaleB;
+    int64_t HiddenSpan = static_cast<int64_t>(
+        (1.0 - Spec.Coupling) *
+        static_cast<double>(P.SizeV * P.ScaleV) / 2.0);
+    P.JitterV = HiddenSpan > 0 ? RInputs.nextInt(-HiddenSpan, HiddenSpan) : 0;
+    Pending.push_back(P);
+  }
+  if (Spec.Drift == DriftKind::Walk)
+    std::sort(Pending.begin(), Pending.end(),
+              [](const PendingInput &A, const PendingInput &B) {
+                return A.SizeV < B.SizeV;
+              });
+  for (const PendingInput &P : Pending) {
+    InputCase C;
+    C.CommandLine = formatString("gen -n %lld -s %lld",
+                                 static_cast<long long>(P.SizeV),
+                                 static_cast<long long>(P.ScaleV));
+    C.VmArgs = {Value::makeInt(P.SizeV), Value::makeInt(P.ScaleV),
+                Value::makeInt(P.JitterV)};
+    G.W.Inputs.push_back(std::move(C));
+  }
+  return G;
+}
+
+std::vector<size_t> wl::makeGenRunOrder(const GenSpec &Spec, size_t NumRuns) {
+  if (NumRuns == 0)
+    NumRuns = Spec.NumRuns;
+  const size_t N = Spec.NumInputs;
+  const size_t Split = phaseSplitOf(Spec);
+  Rng R(Spec.Seed * 0x9e3779b97f4a7c15ULL ^ 0x4f524452ULL); // "ORDR"
+
+  std::vector<size_t> Order;
+  Order.reserve(NumRuns);
+  switch (Spec.Drift) {
+  case DriftKind::None:
+    for (size_t I = 0; I != NumRuns; ++I)
+      Order.push_back(static_cast<size_t>(R.next() % N));
+    break;
+  case DriftKind::Flip: {
+    size_t SplitRun = static_cast<size_t>(
+        static_cast<double>(NumRuns) * Spec.DriftAt + 0.5);
+    SplitRun = std::min(std::max<size_t>(SplitRun, 1), NumRuns - 1);
+    for (size_t I = 0; I != NumRuns; ++I) {
+      if (I < SplitRun)
+        Order.push_back(static_cast<size_t>(R.next() % Split));
+      else
+        Order.push_back(Split + static_cast<size_t>(R.next() % (N - Split)));
+    }
+    break;
+  }
+  case DriftKind::Walk: {
+    // Inputs are size-sorted under walk drift, so a sliding index window is
+    // a sliding work-size window.
+    size_t Width = std::max<size_t>(2, N / 4);
+    for (size_t I = 0; I != NumRuns; ++I) {
+      double Frac = NumRuns > 1
+                        ? static_cast<double>(I) /
+                              static_cast<double>(NumRuns - 1)
+                        : 0.0;
+      size_t Lo = static_cast<size_t>(
+          Frac * static_cast<double>(N - Width) + 0.5);
+      Order.push_back(Lo + static_cast<size_t>(R.next() % Width));
+    }
+    break;
+  }
+  }
+  return Order;
+}
+
+std::string wl::workloadFingerprint(const GeneratedWorkload &G,
+                                    const std::vector<size_t> &Order) {
+  std::string Out = "spec: " + renderGenSpec(G.Spec) + "\n";
+  Out += "name: " + G.W.Name + "\n";
+  Out += "xicl:\n" + G.W.XiclSpec;
+  Out += bc::disassembleModule(G.W.Module);
+  for (const InputCase &C : G.W.Inputs) {
+    Out += "input: " + C.CommandLine + " |";
+    for (const Value &V : C.VmArgs)
+      Out += " " + V.str();
+    Out += "\n";
+  }
+  Out += "order:";
+  for (size_t I : Order)
+    Out += formatString(" %zu", I);
+  Out += "\n";
+  return Out;
+}
+
+CallGraphStats wl::analyzeCallGraph(const bc::Module &M) {
+  CallGraphStats Stats;
+  std::optional<MethodId> Main = M.findFunction("main");
+  if (!Main)
+    return Stats;
+
+  const uint32_t N = M.numFunctions();
+  std::vector<std::vector<MethodId>> Callees(N);
+  for (uint32_t F = 0; F != N; ++F) {
+    for (const bc::Instr &I : M.function(F).Code) {
+      if (I.Op != Opcode::Call)
+        continue;
+      MethodId Callee = static_cast<MethodId>(I.Operand);
+      if (Callee >= N)
+        continue; // verifier rejects these; be defensive anyway
+      auto &List = Callees[F];
+      if (std::find(List.begin(), List.end(), Callee) == List.end())
+        List.push_back(Callee);
+    }
+  }
+
+  // Longest acyclic chain from main via iterative DFS with memoization;
+  // back edges (recursion) do not extend the depth.
+  std::vector<int> Depth(N, -1);   // -1 = unvisited
+  std::vector<char> OnStack(N, 0);
+  struct Frame {
+    MethodId F;
+    size_t NextCallee = 0;
+  };
+  std::vector<Frame> Stack{{*Main}};
+  OnStack[*Main] = 1;
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.NextCallee == 0 && Depth[Top.F] < 0)
+      Depth[Top.F] = 0;
+    if (Top.NextCallee < Callees[Top.F].size()) {
+      MethodId Next = Callees[Top.F][Top.NextCallee++];
+      if (OnStack[Next])
+        continue; // cycle: skip
+      if (Depth[Next] >= 0) {
+        Depth[Top.F] = std::max(Depth[Top.F], Depth[Next] + 1);
+        continue;
+      }
+      OnStack[Next] = 1;
+      Stack.push_back({Next});
+      continue;
+    }
+    OnStack[Top.F] = 0;
+    MethodId Done = Top.F;
+    Stack.pop_back();
+    if (!Stack.empty())
+      Depth[Stack.back().F] =
+          std::max(Depth[Stack.back().F], Depth[Done] + 1);
+  }
+
+  for (uint32_t F = 0; F != N; ++F) {
+    if (Depth[F] < 0)
+      continue; // unreachable from main
+    ++Stats.ReachableMethods;
+    Stats.MaxFanOut =
+        std::max(Stats.MaxFanOut, static_cast<int>(Callees[F].size()));
+  }
+  Stats.Depth = Depth[*Main];
+  return Stats;
+}

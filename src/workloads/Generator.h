@@ -1,0 +1,96 @@
+//===- workloads/Generator.h - Open-world synthetic workload generator ----==//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The open-world workload generator: turns a GenSpec into a complete,
+/// verifier-clean Workload — a synthetic application plus its input set,
+/// XICL specification, and a drift-aware run order — so the learning
+/// pipeline can be stressed on hundreds of applications the 11 hand-built
+/// paper analogues never cover.
+///
+/// Structure of a generated application (all deterministic in the seed):
+///
+///   * main(size, scale, jitter) computes work = max(1, size*scale+jitter)
+///     and roots a call *spine* main -> t1 -> ... -> t(depth-1), realizing
+///     the spec's call-graph depth exactly.
+///   * Each spine node calls fanout-1 (the last: fanout) leaf methods drawn
+///     round-robin from the leaf pool, realizing the spec's maximum
+///     fan-out exactly and reaching every leaf.
+///   * The leaf pool is `hot` kernels — loop nests of the spec'd depth
+///     whose iteration counts scale with work, with a per-seed arithmetic
+///     and heap-traffic mix — plus `cold` methods of small constant cost
+///     built from the RandomProgram statement machinery (trap-free mode).
+///
+/// Input-feature coupling: the command line exposes -n (size) and
+/// -s (scale) as XICL features; `jitter` is a hidden per-input component
+/// whose magnitude grows as coupling drops below 1, so the feature->ideal-
+/// level mapping degrades controllably.  Drift (GenSpec::Drift) changes the
+/// *input distribution* mid-stream: `flip` switches from scalea-scaled
+/// phase-A inputs to scaleb-scaled phase-B inputs at the driftat boundary
+/// (same -n values, different behavior — the pre-drift model mispredicts
+/// until it relearns from -s), `walk` slides the drawn work sizes across
+/// the range.
+///
+/// Every module is routed through bytecode/Verifier (ModuleBuilder::build),
+/// and generation is byte-deterministic: same spec => byte-identical module
+/// text, inputs, and run order, from any thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_WORKLOADS_GENERATOR_H
+#define EVM_WORKLOADS_GENERATOR_H
+
+#include "workloads/GenSpec.h"
+#include "workloads/Workload.h"
+
+#include <vector>
+
+namespace evm {
+namespace wl {
+
+/// A generated workload plus the generator's structural intent, for
+/// property tests and drift-aware harnesses.
+struct GeneratedWorkload {
+  Workload W;
+  GenSpec Spec;
+  std::vector<bc::MethodId> HotMethods;  ///< the declared hot set
+  std::vector<bc::MethodId> ColdMethods;
+  /// First input index of phase B (== W.Inputs.size() when drift != flip).
+  size_t PhaseSplit = 0;
+};
+
+/// Generates the workload described by \p Spec.  Fails (never asserts) on
+/// an invalid spec or — defensively — if the emitted module does not
+/// verify; generated modules are always routed through bytecode/Verifier.
+ErrorOr<GeneratedWorkload> generateWorkload(const GenSpec &Spec);
+
+/// The drift-aware production-run stream: indices into W.Inputs, length
+/// \p NumRuns (0 = Spec.NumRuns).  Deterministic in the spec.
+std::vector<size_t> makeGenRunOrder(const GenSpec &Spec, size_t NumRuns = 0);
+
+/// Canonical byte fingerprint of a generated workload: the disassembled
+/// module, the rendered spec, every input case, and the run order.  Two
+/// generations of the same spec must produce equal fingerprints (the
+/// open-world identity gate).
+std::string workloadFingerprint(const GeneratedWorkload &G,
+                                const std::vector<size_t> &Order);
+
+/// Static call-graph shape of a module, measured from `main`.
+struct CallGraphStats {
+  size_t ReachableMethods = 0; ///< methods reachable from main (incl. main)
+  int Depth = 0;               ///< longest acyclic call chain, in edges
+  int MaxFanOut = 0;           ///< max distinct callees of any reachable
+                               ///< method
+};
+
+/// Computes CallGraphStats by scanning Call instructions (cycles, were any
+/// to exist, do not extend the depth).
+CallGraphStats analyzeCallGraph(const bc::Module &M);
+
+} // namespace wl
+} // namespace evm
+
+#endif // EVM_WORKLOADS_GENERATOR_H

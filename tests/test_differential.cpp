@@ -14,6 +14,7 @@
 #include "vm/AOS.h"
 #include "vm/Engine.h"
 #include "vm/Policy.h"
+#include "workloads/Generator.h"
 
 #include "RandomModule.h"
 
@@ -117,6 +118,52 @@ TEST(Differential, RandomModulesAgreeAcrossTiers) {
   // genuine traps, or the trap-parity half of the property is vacuous.
   EXPECT_GT(Succeeded, NumSeeds);
   EXPECT_GT(Trapped, 0u);
+}
+
+TEST(Differential, GeneratedWorkloadsAgreeAcrossTiers) {
+  // The open-world generator draws from a different program family than
+  // the statement fuzzer: deep call spines, loop nests whose trip counts
+  // scale with the input, and heavy call traffic.  The same four-tier
+  // agreement must hold there — and the programs are trap-free by
+  // construction, so every tier must *succeed* with the same value.
+  for (uint64_t Seed = SeedBase; Seed != SeedBase + 20; ++Seed) {
+    SCOPED_TRACE("genseed=" + std::to_string(Seed));
+    wl::GenSpec Spec;
+    Spec.Seed = Seed;
+    Spec.HotMethods = 2 + static_cast<int>(Seed % 3);
+    Spec.CallDepth = 2 + static_cast<int>(Seed % 3);
+    Spec.LoopDepth = 1 + static_cast<int>(Seed % 3);
+    Spec.MinWork = 16;
+    Spec.MaxWork = 256;
+    auto G = wl::generateWorkload(Spec);
+    ASSERT_TRUE(static_cast<bool>(G)) << G.getError().message();
+    const bc::Module &M = G->W.Module;
+
+    for (size_t InputIdx : {size_t{0}, G->W.Inputs.size() - 1}) {
+      const std::vector<bc::Value> &Args = G->W.Inputs[InputIdx].VmArgs;
+      auto runArgsAtLevel = [&](OptLevel L) {
+        TimingModel TM;
+        ForceLevelPolicy Policy(L);
+        ExecutionEngine Engine(M, TM, &Policy);
+        return Engine.run(Args, MaxCycles);
+      };
+      auto Interp = runArgsAtLevel(OptLevel::Baseline);
+      ASSERT_TRUE(static_cast<bool>(Interp))
+          << "genseed=" << Seed << " input=" << InputIdx
+          << " trapped in the interpreter: " << Interp.getError().message();
+      for (int L = 1; L <= 3; ++L) {
+        auto Compiled = runArgsAtLevel(levelFromIndex(L));
+        ASSERT_TRUE(static_cast<bool>(Compiled))
+            << "genseed=" << Seed << " input=" << InputIdx << " O" << L - 1
+            << " trapped: " << Compiled.getError().message();
+        ASSERT_TRUE(
+            valuesEquivalent(Interp->ReturnValue, Compiled->ReturnValue))
+            << "genseed=" << Seed << " input=" << InputIdx << " O" << L - 1
+            << ": interp=" << Interp->ReturnValue.str()
+            << " compiled=" << Compiled->ReturnValue.str();
+      }
+    }
+  }
 }
 
 TEST(Differential, BackgroundPipelineMatchesSynchronous) {
