@@ -12,10 +12,14 @@
 ///
 /// where the metrics array is a support/Metrics.h snapshot and the optional
 /// phases array is a support/Profiler.h phase tree (tools/evm-prof reads
-/// either a bench document or evm_cli --profile-out output).  The
-/// google-benchmark binaries instead map the flag onto the library's own
-/// --benchmark_out JSON.  bench/run_all.sh aggregates all of these into
-/// BENCH_results.json.
+/// either a bench document or evm_cli --profile-out output).  Benches that
+/// loop additionally record per-iteration series (BenchSeries) which land
+/// as a "series" array: raw samples plus the support/Stats.h steady-state
+/// analysis (changepoints, classification, steady mean with bootstrap CI)
+/// that tools/bench-compare gates interval-aware and tools/evm-warmup
+/// reports on.  The google-benchmark binaries instead map the flag onto
+/// the library's own --benchmark_out JSON.  bench/run_all.sh aggregates
+/// all of these into BENCH_results.json.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +28,7 @@
 
 #include "support/Metrics.h"
 #include "support/Profiler.h"
+#include "support/Stats.h"
 
 #include <cstdio>
 #include <fstream>
@@ -32,6 +37,34 @@
 
 namespace evm {
 namespace benchjson {
+
+/// One per-iteration sample series a bench wants analyzed and embedded in
+/// its JSON document.  Samples are in iteration order; Unit names what one
+/// sample measures ("cycles", "speedup", ...).
+struct BenchSeries {
+  std::string Name;
+  std::string Unit = "cycles";
+  bool LowerIsBetter = true;
+  std::vector<double> Samples;
+};
+
+/// Renders the "series" array: each entry is the raw series plus its
+/// steady-state analysis (support/Stats.h), so documents are self-describing
+/// for bench-compare and evm-warmup.
+inline std::string renderSeriesArray(const std::vector<BenchSeries> &Series) {
+  std::string Out = "\"series\":[";
+  for (size_t I = 0; I != Series.size(); ++I) {
+    const BenchSeries &S = Series[I];
+    SeriesOptions Opts;
+    Opts.LowerIsBetter = S.LowerIsBetter;
+    if (I)
+      Out += ',';
+    Out += renderSeriesJson(S.Name, S.Unit, S.LowerIsBetter, S.Samples,
+                            analyzeSeries(S.Samples, Opts));
+  }
+  Out += ']';
+  return Out;
+}
 
 /// Removes `--json=PATH` from argv (compacting it) and returns the path,
 /// or "" when the flag is absent.
@@ -52,16 +85,24 @@ inline std::string extractJsonFlag(int &argc, char **argv) {
 /// Writes the bench JSON document.  Returns false (with a message on
 /// stderr) if the file cannot be written.  \p Phases, when given and
 /// nonempty, is appended as a "phases" array (the document then doubles as
-/// an evm-prof input).
+/// an evm-prof input); \p Series, when given and nonempty, is appended as
+/// a "series" array of analyzed per-iteration run series.
 inline bool writeBenchJson(const std::string &Path, const std::string &Name,
                            uint64_t Seed, const MetricsSnapshot &Snap,
-                           const PhaseTreeSnapshot *Phases = nullptr) {
+                           const PhaseTreeSnapshot *Phases = nullptr,
+                           const std::vector<BenchSeries> *Series = nullptr) {
   if (Path.empty())
     return true;
   std::string Body = Snap.renderJson(); // {"metrics":[...]}
   std::string Doc = "{\"bench\":\"" + Name +
                     "\",\"seed\":" + std::to_string(Seed) + "," +
                     Body.substr(1);
+  if (Series && !Series->empty()) {
+    Doc.pop_back(); // '}' -> ,"series":[...]}
+    Doc += ',';
+    Doc += renderSeriesArray(*Series);
+    Doc += '}';
+  }
   if (Phases && !Phases->empty()) {
     Doc.pop_back(); // '}' -> ,"phases":[...]}
     Doc += ',';
@@ -74,6 +115,20 @@ inline bool writeBenchJson(const std::string &Path, const std::string &Name,
     return false;
   }
   return true;
+}
+
+/// Sibling path for a google-benchmark wall-clock document written next to
+/// our own --json document: "dir/name.json" -> "dir/name_wall.json"
+/// (bench/run_all.sh aggregates it under the "<name>_wall" key).
+inline std::string wallJsonPath(const std::string &JsonPath) {
+  if (JsonPath.empty())
+    return "";
+  const std::string Suffix = ".json";
+  if (JsonPath.size() > Suffix.size() &&
+      JsonPath.compare(JsonPath.size() - Suffix.size(), Suffix.size(),
+                       Suffix) == 0)
+    return JsonPath.substr(0, JsonPath.size() - Suffix.size()) + "_wall.json";
+  return JsonPath + "_wall.json";
 }
 
 /// For google-benchmark binaries: rewrites `--json=PATH` into the

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchJson.h"
+#include "harness/Scenario.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 #include "vm/AOS.h"
@@ -132,6 +133,25 @@ void printWorkerAblationTable(MetricsRegistry &Metrics) {
   std::printf("%s\n", Table.render().c_str());
 }
 
+/// Per-run virtual cycles of the Evolve VM re-running Mtrt's middle
+/// input: sampling and compile stalls front-load the series until the
+/// learned prediction takes over — the steady-state analysis should
+/// segment it into a warmup followed by a steady tail.
+benchjson::BenchSeries evolveWarmupSeries(size_t Runs) {
+  benchjson::BenchSeries S;
+  S.Name = "jit.mtrt.evolve.run_cycles";
+  wl::Workload W = wl::buildWorkload("Mtrt", 20090301);
+  harness::ExperimentConfig C;
+  C.Seed = 20090301;
+  C.NumRuns = Runs;
+  harness::ScenarioRunner Runner(W, C);
+  std::vector<size_t> Order(Runs, W.Inputs.size() / 2);
+  harness::ScenarioResult R = Runner.runEvolve(Order);
+  for (const harness::RunMetrics &M : R.Runs)
+    S.Samples.push_back(static_cast<double>(M.Cycles));
+  return S;
+}
+
 /// Host-time cost of running the optimizing pipelines.
 void BM_CompileAtLevel(benchmark::State &State) {
   static wl::Workload W = wl::buildWorkload("Mtrt", 20090301);
@@ -158,8 +178,9 @@ int main(int argc, char **argv) {
   MetricsRegistry Metrics;
   printCalibrationTable(Metrics);
   printWorkerAblationTable(Metrics);
+  std::vector<benchjson::BenchSeries> Series = {evolveWarmupSeries(40)};
   if (!benchjson::writeBenchJson(JsonPath, "jit_levels", 20090301,
-                                 Metrics.snapshot()))
+                                 Metrics.snapshot(), nullptr, &Series))
     return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -31,6 +31,7 @@
 #include "support/Table.h"
 #include "workloads/Generator.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -126,6 +127,8 @@ int main(int argc, char **argv) {
 
   // --- Stationary population -------------------------------------------
   std::vector<double> EvolveSteady, RepSteady, EvolveAcc;
+  std::vector<double> StationarySum, DriftSum; // per-run-index speedup sums
+  size_t StationaryApps = 0, DriftApps = 0;
   size_t BelowAos = 0;
   for (size_t App = 0; App != NumStationary; ++App) {
     wl::GenSpec Spec = stationarySpec(App);
@@ -151,6 +154,10 @@ int main(int argc, char **argv) {
     EvolveAcc.push_back(Evolve.MeanAccuracy);
     if (EvoSteady < 1.0 - 1e-9)
       ++BelowAos;
+    StationarySum.resize(std::max(StationarySum.size(), Evolve.Runs.size()));
+    for (size_t I = 0; I != Evolve.Runs.size(); ++I)
+      StationarySum[I] += Evolve.Runs[I].SpeedupVsDefault;
+    ++StationaryApps;
   }
 
   double MeanEvolveSteady = mean(EvolveSteady);
@@ -199,6 +206,11 @@ int main(int argc, char **argv) {
     harness::ScenarioRunner Runner(G->W, C);
     std::vector<size_t> Order = wl::makeGenRunOrder(Spec);
     harness::ScenarioResult Evolve = Runner.runEvolve(Order);
+
+    DriftSum.resize(std::max(DriftSum.size(), Evolve.Runs.size()));
+    for (size_t I = 0; I != Evolve.Runs.size(); ++I)
+      DriftSum[I] += Evolve.Runs[I].SpeedupVsDefault;
+    ++DriftApps;
 
     size_t DriftRun = static_cast<size_t>(
         static_cast<double>(Spec.NumRuns) * Spec.DriftAt + 0.5);
@@ -305,9 +317,30 @@ int main(int argc, char **argv) {
               "bounded drift exposure\nwith the guard closing and "
               "post-drift recovery back above AOS, identity == 1.\n");
 
+  // Run-indexed mean-speedup series across the populations: stationary
+  // should classify warmup/flat; the drift population carries a planted
+  // changepoint at the flip (40% of the stream) before recovering.
+  std::vector<benchjson::BenchSeries> Series;
+  auto pushSpeedupSeries = [&](const char *Name,
+                               const std::vector<double> &Sums, size_t Apps) {
+    if (!Apps)
+      return;
+    benchjson::BenchSeries S;
+    S.Name = Name;
+    S.Unit = "speedup";
+    S.LowerIsBetter = false;
+    for (double Sum : Sums)
+      S.Samples.push_back(Sum / static_cast<double>(Apps));
+    Series.push_back(std::move(S));
+  };
+  pushSpeedupSeries("openworld.stationary.mean_speedup_by_run",
+                    StationarySum, StationaryApps);
+  pushSpeedupSeries("openworld.drift.mean_speedup_by_run", DriftSum,
+                    DriftApps);
+
   PhaseTreeSnapshot Phases = Profiler.snapshot();
   if (!benchjson::writeBenchJson(JsonPath, "openworld", 20090301,
-                                 Metrics.snapshot(), &Phases))
+                                 Metrics.snapshot(), &Phases, &Series))
     return 2;
   return Failures ? 1 : 0;
 }

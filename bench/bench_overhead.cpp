@@ -10,22 +10,53 @@
 
 #include "BenchJson.h"
 #include "harness/Experiments.h"
+#include "harness/Scenario.h"
+#include "workloads/Workload.h"
 
 #include <cstdio>
 
+using namespace evm;
+
+namespace {
+
+/// Per-run virtual cycles of the Evolve VM re-running one input: early
+/// runs are reactive (sampling + compile stalls), later runs ride the
+/// learned prediction — the canonical warmup series the steady-state
+/// gates watch.  (The execution engine itself resets per run, faithful to
+/// the paper: cross-run improvement comes only from the learning layer.)
+benchjson::BenchSeries evolveWarmupSeries(const std::string &WorkloadName,
+                                          const std::string &SeriesName,
+                                          size_t Runs) {
+  benchjson::BenchSeries S;
+  S.Name = SeriesName;
+  wl::Workload W = wl::buildWorkload(WorkloadName, 20090301);
+  harness::ExperimentConfig C;
+  C.Seed = 20090301;
+  C.NumRuns = Runs;
+  harness::ScenarioRunner Runner(W, C);
+  std::vector<size_t> Order(Runs, W.Inputs.size() / 2);
+  harness::ScenarioResult R = Runner.runEvolve(Order);
+  for (const harness::RunMetrics &M : R.Runs)
+    S.Samples.push_back(static_cast<double>(M.Cycles));
+  return S;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
-  std::string JsonPath = evm::benchjson::extractJsonFlag(argc, argv);
-  evm::MetricsRegistry Metrics;
-  evm::PhaseProfiler Profiler;
-  evm::ProfilerInstallGuard ProfilerGuard(&Profiler);
+  std::string JsonPath = benchjson::extractJsonFlag(argc, argv);
+  MetricsRegistry Metrics;
+  PhaseProfiler Profiler;
+  ProfilerInstallGuard ProfilerGuard(&Profiler);
   std::printf("%s\n",
-              evm::harness::runOverheadAnalysis(20090301, &Metrics).c_str());
-  std::printf(
-      "%s\n",
-      evm::harness::runAsyncCompileAnalysis(20090301, &Metrics).c_str());
-  evm::PhaseTreeSnapshot Phases = Profiler.snapshot();
-  if (!evm::benchjson::writeBenchJson(JsonPath, "overhead", 20090301,
-                                      Metrics.snapshot(), &Phases))
+              harness::runOverheadAnalysis(20090301, &Metrics).c_str());
+  std::printf("%s\n",
+              harness::runAsyncCompileAnalysis(20090301, &Metrics).c_str());
+  std::vector<benchjson::BenchSeries> Series = {evolveWarmupSeries(
+      "Compress", "overhead.compress.evolve_run_cycles", 40)};
+  PhaseTreeSnapshot Phases = Profiler.snapshot();
+  if (!benchjson::writeBenchJson(JsonPath, "overhead", 20090301,
+                                 Metrics.snapshot(), &Phases, &Series))
     return 2;
   return 0;
 }

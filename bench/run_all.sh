@@ -7,9 +7,14 @@
 #   BUILD_DIR  CMake build tree holding bench/ binaries (default: build)
 #   OUT_DIR    where per-bench JSON and BENCH_results.json land
 #              (default: BUILD_DIR/bench-results)
-#   --check    after aggregating, diff against the committed baseline
+#   --check    after aggregating, print the steady-state series report
+#              (tools/evm-warmup) and diff against the committed baseline
 #              (BENCH_results.json at the repo root) with
 #              tools/bench-compare; exits nonzero on regression
+#
+# The aggregate embeds a "provenance" object (git SHA, compiler, build
+# type, host, cores, timestamp) which bench-compare prints in its header;
+# provenance never gates, it only records what was measured where.
 #
 # FULL=1 additionally runs the long benches (fig10 over all workloads and
 # the google-benchmark microbenchmark suites — their wall-clock timings are
@@ -38,8 +43,9 @@ mkdir -p "$OUT_DIR"
 
 # name:binary:extra-args; the microbenchmarks get tiny repetition counts —
 # the JSON is for regression diffing, not timing precision.  The default
-# set holds only deterministic virtual-clock benches so that the aggregate
-# can be diffed byte-for-byte against the committed baseline.
+# set holds only deterministic virtual-clock benches, so everything under
+# "benches" is byte-stable run to run; only the "provenance" header (and,
+# under FULL=1, the wall-clock documents) varies.
 DEFAULT_BENCHES="
 table1:bench_table1:
 fig8:bench_fig8:
@@ -77,12 +83,52 @@ for Spec in $BENCHES; do
   "$BENCH_DIR/$Bin" --json="$OUT_DIR/$Name.json" $Args \
     > "$OUT_DIR/$Name.txt"
   NAMES="$NAMES $Name"
+  # google-benchmark binaries also drop a wall-clock sibling document
+  # ("<name>_wall.json"); aggregate it under "<name>_wall" so
+  # bench-compare can gate wall time interval-aware.
+  if [ -f "$OUT_DIR/${Name}_wall.json" ]; then
+    NAMES="$NAMES ${Name}_wall"
+  fi
 done
 
-# Aggregate: {"benches":{"<name>":<per-bench doc>,...}}
+# Provenance: recorded in the aggregate and echoed by bench-compare's
+# header; never gated (timestamps and hostnames differ by design).
+GIT_SHA="$(git -C "$REPO_DIR" rev-parse HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=""
+if [ -n "$(git -C "$REPO_DIR" status --porcelain 2>/dev/null)" ]; then
+  GIT_DIRTY="-dirty"
+fi
+CACHE="$BUILD_DIR/CMakeCache.txt"
+cache_var() {
+  [ -f "$CACHE" ] || { echo unknown; return; }
+  V="$(sed -n "s/^$1:[A-Z]*=//p" "$CACHE" | head -n1)"
+  echo "${V:-unknown}"
+}
+# Compiler id/version live in CMakeFiles/<ver>/CMakeCXXCompiler.cmake,
+# not the cache; fall back to the cached compiler path's basename.
+COMPILER_CMAKE="$(ls "$BUILD_DIR"/CMakeFiles/*/CMakeCXXCompiler.cmake 2>/dev/null | head -n1)"
+compiler_var() {
+  [ -n "$COMPILER_CMAKE" ] || { echo unknown; return; }
+  V="$(sed -n "s/^set($1 \"\(.*\)\")\$/\1/p" "$COMPILER_CMAKE" | head -n1)"
+  echo "${V:-unknown}"
+}
+COMPILER_ID="$(compiler_var CMAKE_CXX_COMPILER_ID)"
+if [ "$COMPILER_ID" = unknown ] && [ -f "$CACHE" ]; then
+  COMPILER_ID="$(basename "$(cache_var CMAKE_CXX_COMPILER)")"
+fi
+COMPILER_VERSION="$(compiler_var CMAKE_CXX_COMPILER_VERSION)"
+BUILD_TYPE="$(cache_var CMAKE_BUILD_TYPE)"
+HOST="$(hostname 2>/dev/null || echo unknown)"
+CORES="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+PROVENANCE=$(printf '{"git_sha":"%s","compiler":"%s","compiler_version":"%s","build_type":"%s","host":"%s","cores":%s,"timestamp":"%s"}' \
+  "$GIT_SHA$GIT_DIRTY" "$COMPILER_ID" "$COMPILER_VERSION" "$BUILD_TYPE" \
+  "$HOST" "$CORES" "$STAMP")
+
+# Aggregate: {"provenance":{...},"benches":{"<name>":<per-bench doc>,...}}
 RESULTS="$OUT_DIR/BENCH_results.json"
 {
-  printf '{"benches":{'
+  printf '{"provenance":%s,"benches":{' "$PROVENANCE"
   First=1
   for Name in $NAMES; do
     [ "$First" = 1 ] || printf ','
@@ -101,6 +147,13 @@ if [ "$CHECK" = 1 ]; then
   if [ ! -f "$BASELINE" ]; then
     echo "error: no committed baseline at $BASELINE" >&2
     exit 2
+  fi
+  WARMUP="$BUILD_DIR/tools/evm-warmup"
+  if [ -x "$WARMUP" ]; then
+    echo "== steady-state series report =="
+    "$WARMUP" "$RESULTS"
+  else
+    echo "note: $WARMUP not built, skipping series report"
   fi
   echo "== bench-compare vs $BASELINE =="
   "$REPO_DIR/tools/bench-compare" "$BASELINE" "$RESULTS"

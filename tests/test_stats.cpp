@@ -1,0 +1,241 @@
+//===- tests/test_stats.cpp - steady-state series analytics tests ---------==//
+//
+// Pins the contract of support/Stats.h: the changepoint detector recovers
+// planted segment boundaries within +/- 1 iteration, all five series
+// shapes classify exactly, and the bootstrap CI stays well-defined on
+// degenerate inputs.  The synthetic series mirror the ones the bench
+// binaries emit (virtual-clock magnitudes, mild deterministic noise).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+using namespace evm;
+
+namespace {
+
+/// Deterministic noise in [-Amp, Amp] (xorshift-free so the test cannot
+/// drift with library changes).
+double noiseAt(size_t I, double Amp) {
+  double X = std::sin(static_cast<double>(I) * 12.9898 + 78.233) * 43758.5453;
+  return (X - std::floor(X) - 0.5) * 2.0 * Amp;
+}
+
+/// Piecewise-constant series: Levels[K] repeated Lengths[K] times, plus
+/// noise.  Planted changepoints are the cumulative lengths.
+std::vector<double> makeSteps(const std::vector<double> &Levels,
+                              const std::vector<size_t> &Lengths,
+                              double NoiseAmp) {
+  std::vector<double> S;
+  for (size_t K = 0; K != Levels.size(); ++K)
+    for (size_t I = 0; I != Lengths[K]; ++I)
+      S.push_back(Levels[K] + noiseAt(S.size(), NoiseAmp));
+  return S;
+}
+
+/// Every planted boundary must be matched by a detected one within +/- 1
+/// iteration, and no extras.
+void expectBoundariesNear(const std::vector<size_t> &Got,
+                          const std::vector<size_t> &Planted) {
+  ASSERT_EQ(Got.size(), Planted.size());
+  for (size_t I = 0; I != Planted.size(); ++I) {
+    size_t Lo = Planted[I] > 0 ? Planted[I] - 1 : 0;
+    EXPECT_GE(Got[I], Lo) << "changepoint " << I;
+    EXPECT_LE(Got[I], Planted[I] + 1) << "changepoint " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The five shapes (acceptance criterion: boundaries within +/- 1)
+//===----------------------------------------------------------------------===//
+
+TEST(SeriesShape, FlatHasNoChangepoints) {
+  std::vector<double> S = makeSteps({1000.0}, {60}, 2.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  EXPECT_TRUE(A.Changepoints.empty());
+  EXPECT_EQ(A.Class, SeriesClass::Flat);
+  ASSERT_TRUE(A.HasSteadyState);
+  EXPECT_EQ(A.Steady.Begin, 0u);
+  EXPECT_EQ(A.Steady.Count, 60u);
+  EXPECT_NEAR(A.Steady.Mean, 1000.0, 2.0);
+}
+
+TEST(SeriesShape, WarmupBoundaryWithinOne) {
+  // Cycles drop 1500 -> 1000 at iteration 20: classic warmup.
+  std::vector<double> S = makeSteps({1500.0, 1000.0}, {20, 40}, 5.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  expectBoundariesNear(A.Changepoints, {20});
+  EXPECT_EQ(A.Class, SeriesClass::Warmup);
+  ASSERT_TRUE(A.HasSteadyState);
+  EXPECT_NEAR(static_cast<double>(A.Steady.Begin), 20.0, 1.0);
+  EXPECT_NEAR(A.Steady.Mean, 1000.0, 5.0);
+}
+
+TEST(SeriesShape, MultiStepWarmupBoundariesWithinOne) {
+  // Two-stage warmup (sampling, then compile stalls retire).
+  std::vector<double> S =
+      makeSteps({2000.0, 1400.0, 1000.0}, {12, 12, 36}, 5.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  expectBoundariesNear(A.Changepoints, {12, 24});
+  EXPECT_EQ(A.Class, SeriesClass::Warmup);
+  ASSERT_TRUE(A.HasSteadyState);
+  EXPECT_NEAR(static_cast<double>(A.Steady.Begin), 24.0, 1.0);
+}
+
+TEST(SeriesShape, SlowdownBoundaryWithinOne) {
+  // Cycles rise at iteration 25: the VM got *slower* (cache pollution,
+  // deopt storm) — per-run means would hide this.
+  std::vector<double> S = makeSteps({1000.0, 1300.0}, {25, 35}, 5.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  expectBoundariesNear(A.Changepoints, {25});
+  EXPECT_EQ(A.Class, SeriesClass::Slowdown);
+  ASSERT_TRUE(A.HasSteadyState);
+  EXPECT_NEAR(static_cast<double>(A.Steady.Begin), 25.0, 1.0);
+}
+
+TEST(SeriesShape, CyclicBoundariesWithinOne) {
+  std::vector<double> S = makeSteps({1000.0, 1400.0, 1000.0, 1400.0, 1000.0,
+                                     1400.0},
+                                    {10, 10, 10, 10, 10, 10}, 4.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  expectBoundariesNear(A.Changepoints, {10, 20, 30, 40, 50});
+  EXPECT_EQ(A.Class, SeriesClass::Cyclic);
+  EXPECT_FALSE(A.HasSteadyState);
+}
+
+TEST(SeriesShape, NoSteadyStateWhenTailTooShort) {
+  // Still shifting at the end: the last level holds for only 5 of 45
+  // iterations, under the required max(MinSegment, 25% of n) tail.
+  std::vector<double> S =
+      makeSteps({1000.0, 1300.0, 1600.0}, {20, 20, 5}, 4.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  EXPECT_EQ(A.Class, SeriesClass::NoSteadyState);
+  EXPECT_FALSE(A.HasSteadyState);
+}
+
+//===----------------------------------------------------------------------===//
+// Orientation, tolerance, degenerate input
+//===----------------------------------------------------------------------===//
+
+TEST(SeriesAnalyze, HigherIsBetterFlipsWarmup) {
+  // A rising *speedup* series is warmup, not slowdown.
+  std::vector<double> S = makeSteps({1.0, 1.8}, {15, 30}, 0.01);
+  SeriesOptions Opts;
+  Opts.LowerIsBetter = false;
+  SeriesAnalysis A = analyzeSeries(S, Opts);
+  EXPECT_EQ(A.Class, SeriesClass::Warmup);
+  SeriesOptions AsCycles; // same shape read as cycles = a slowdown
+  SeriesAnalysis B = analyzeSeries(S, AsCycles);
+  EXPECT_EQ(B.Class, SeriesClass::Slowdown);
+}
+
+TEST(SeriesAnalyze, NoiselessStepIsExact) {
+  // Virtual-clock series can be literally noise-free; the automatic
+  // penalty must not collapse to "everything is a changepoint".
+  std::vector<double> S = makeSteps({500.0, 400.0}, {10, 20}, 0.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  ASSERT_EQ(A.Changepoints.size(), 1u);
+  EXPECT_EQ(A.Changepoints[0], 10u);
+  EXPECT_EQ(A.Class, SeriesClass::Warmup);
+  EXPECT_EQ(A.Steady.Mean, 400.0);
+}
+
+TEST(SeriesAnalyze, NearbyMeansCountAsSteady) {
+  // A 1% shift is inside RelTolerance: still flat, steady from 0.
+  std::vector<double> S = makeSteps({1000.0, 1010.0}, {20, 20}, 0.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  EXPECT_EQ(A.Class, SeriesClass::Flat);
+  ASSERT_TRUE(A.HasSteadyState);
+  EXPECT_EQ(A.Steady.Begin, 0u);
+  EXPECT_EQ(A.Steady.Count, 40u);
+}
+
+TEST(SeriesAnalyze, EmptyAndShortInput) {
+  SeriesAnalysis Empty = analyzeSeries({});
+  EXPECT_FALSE(Empty.HasSteadyState);
+  EXPECT_EQ(Empty.Class, SeriesClass::NoSteadyState);
+  SeriesAnalysis Short = analyzeSeries({5.0, 5.0, 5.0});
+  EXPECT_EQ(Short.Class, SeriesClass::Flat);
+  ASSERT_TRUE(Short.HasSteadyState);
+  EXPECT_EQ(Short.Steady.Count, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bootstrap CI
+//===----------------------------------------------------------------------===//
+
+TEST(BootstrapCI, DegenerateInputsNeverDivideByZero) {
+  double Lo = -1, Hi = -1;
+  bootstrapMeanCI({}, 0.95, 200, 1, Lo, Hi);
+  EXPECT_EQ(Lo, 0.0);
+  EXPECT_EQ(Hi, 0.0);
+  bootstrapMeanCI({42.0}, 0.95, 200, 1, Lo, Hi);
+  EXPECT_EQ(Lo, 42.0);
+  EXPECT_EQ(Hi, 42.0);
+  bootstrapMeanCI({7.0, 7.0, 7.0, 7.0}, 0.95, 200, 1, Lo, Hi);
+  EXPECT_EQ(Lo, 7.0);
+  EXPECT_EQ(Hi, 7.0);
+}
+
+TEST(BootstrapCI, CoversTrueMeanAndIsDeterministic) {
+  std::vector<double> S = makeSteps({100.0}, {50}, 3.0);
+  double Lo1, Hi1, Lo2, Hi2;
+  bootstrapMeanCI(S, 0.95, 200, 20090301, Lo1, Hi1);
+  bootstrapMeanCI(S, 0.95, 200, 20090301, Lo2, Hi2);
+  EXPECT_LT(Lo1, Hi1);
+  EXPECT_LE(Lo1, 100.0);
+  EXPECT_GE(Hi1, 100.0);
+  EXPECT_EQ(Lo1, Lo2); // fixed seed: byte-stable JSON downstream
+  EXPECT_EQ(Hi1, Hi2);
+}
+
+//===----------------------------------------------------------------------===//
+// Names and JSON rendering
+//===----------------------------------------------------------------------===//
+
+TEST(SeriesNames, RoundTrip) {
+  for (SeriesClass C :
+       {SeriesClass::Flat, SeriesClass::Warmup, SeriesClass::Slowdown,
+        SeriesClass::Cyclic, SeriesClass::NoSteadyState}) {
+    SeriesClass Back;
+    ASSERT_TRUE(seriesClassFromName(seriesClassName(C), Back));
+    EXPECT_EQ(Back, C);
+  }
+  SeriesClass Ignored;
+  EXPECT_FALSE(seriesClassFromName("bogus", Ignored));
+}
+
+TEST(SeriesJson, SteadySeriesCarriesInterval) {
+  std::vector<double> S = makeSteps({1500.0, 1000.0}, {20, 40}, 5.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  std::string J = renderSeriesJson("t.series", "cycles", true, S, A);
+  EXPECT_NE(J.find("\"name\":\"t.series\""), std::string::npos);
+  EXPECT_NE(J.find("\"class\":\"warmup\""), std::string::npos);
+  EXPECT_NE(J.find("\"steady\":{"), std::string::npos);
+  EXPECT_NE(J.find("\"ci_low\":"), std::string::npos);
+  EXPECT_NE(J.find("\"lower_is_better\":true"), std::string::npos);
+}
+
+TEST(SeriesJson, UnsteadySeriesOmitsSteady) {
+  std::vector<double> S = makeSteps({1000.0, 1400.0, 1000.0, 1400.0, 1000.0,
+                                     1400.0},
+                                    {10, 10, 10, 10, 10, 10}, 4.0);
+  SeriesAnalysis A = analyzeSeries(S);
+  std::string J = renderSeriesJson("t.cyclic", "cycles", true, S, A);
+  EXPECT_NE(J.find("\"class\":\"cyclic\""), std::string::npos);
+  EXPECT_EQ(J.find("\"steady\":"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The module's own self-test (also wired as a ctest via evm-warmup)
+//===----------------------------------------------------------------------===//
+
+TEST(StatsSelfTest, Passes) { EXPECT_EQ(statsSelfTest(false), 0); }
+
+} // namespace

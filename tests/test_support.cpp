@@ -299,6 +299,58 @@ TEST(MetricsTest, ConcurrentProducersLoseNoCounts) {
   EXPECT_LT(G, Threads);
 }
 
+TEST(MetricsTest, HistogramWithNoSamplesIsAbsent) {
+  // observe() is the only way to create a histogram, so a registry that
+  // never observed anything must not synthesize an empty one (whose
+  // percentiles would be undefined).
+  MetricsRegistry Reg;
+  Reg.add("unrelated.counter");
+  MetricsSnapshot S = Reg.snapshot();
+  EXPECT_EQ(S.find("lat"), nullptr);
+  EXPECT_NE(S.renderJson().find("\"metrics\":["), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramSingleSamplePercentiles) {
+  MetricsRegistry Reg;
+  Reg.observe("lat", 42.0);
+  const MetricValue *H = Reg.snapshot().find("lat");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Box.Count, 1u);
+  EXPECT_EQ(H->Box.Min, 42.0);
+  EXPECT_EQ(H->Box.Max, 42.0);
+  EXPECT_EQ(H->P50, 42.0);
+  EXPECT_EQ(H->P90, 42.0);
+  EXPECT_EQ(H->P99, 42.0);
+}
+
+TEST(MetricsTest, HistogramAllIdenticalSamples) {
+  MetricsRegistry Reg;
+  for (int I = 0; I != 10; ++I)
+    Reg.observe("lat", 7.0);
+  const MetricValue *H = Reg.snapshot().find("lat");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Box.Q25, 7.0);
+  EXPECT_EQ(H->Box.Median, 7.0);
+  EXPECT_EQ(H->Box.Q75, 7.0);
+  EXPECT_EQ(H->P99, 7.0);
+  EXPECT_EQ(H->Sum, 70.0);
+}
+
+TEST(MetricsTest, HistogramP99OnTwoSamplesInterpolates) {
+  // Linear interpolation at position 0.99 * (n - 1): between the two
+  // samples, almost all the way to the larger one — never out of range,
+  // never a divide-by-zero.
+  MetricsRegistry Reg;
+  Reg.observe("lat", 10.0);
+  Reg.observe("lat", 20.0);
+  const MetricValue *H = Reg.snapshot().find("lat");
+  ASSERT_NE(H, nullptr);
+  EXPECT_NEAR(H->P99, 19.9, 1e-9);
+  EXPECT_NEAR(H->P90, 19.0, 1e-9);
+  EXPECT_EQ(H->P50, 15.0);
+  EXPECT_LE(H->P99, H->Box.Max);
+}
+
 TEST(MetricsTest, SnapshotDuringProductionIsConsistent) {
   // Snapshots taken mid-flight see a point-in-time state: the histogram
   // count and the counter can differ (they are separate metrics) but each

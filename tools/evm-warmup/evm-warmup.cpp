@@ -1,0 +1,221 @@
+//===- tools/evm-warmup/evm-warmup.cpp - Steady-state series report -------==//
+//
+// Renders the steady-state analytics embedded in bench --json documents
+// (see bench/BenchJson.h and support/Stats.h):
+//
+//   evm-warmup [options] RESULTS.json...
+//
+// accepts either one aggregated BENCH_results.json or any number of
+// per-bench documents, re-analyzes every "series" entry's raw samples with
+// support/Stats, and prints one row per series: classification, detected
+// changepoints, and the steady-state window with its bootstrap CI.  Series
+// that never reach a steady state (class cyclic or no-steady-state) are
+// flagged — after Barrett et al., those are exactly the runs whose means
+// must not be trusted in a perf comparison.
+//
+// options:
+//   --strict     exit 1 when any series fails to reach a steady state
+//   --self-test  run the stats module's built-in regression check and exit
+//                with its failure count (wired as a fast ctest so the gate
+//                logic itself is covered in every sanitizer lane)
+//
+// exit codes: 0 ok; 1 flagged series under --strict (or self-test failure);
+//             2 usage error; 3 cannot read an input
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace evm;
+
+namespace {
+
+bool readFileInto(const std::string &Path, std::string &Out) {
+  std::ifstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return false;
+  std::stringstream Buffer;
+  Buffer << Stream.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+/// One parsed series entry plus which bench document it came from.
+struct ParsedSeries {
+  std::string Bench;
+  std::string Name;
+  std::string Unit;
+  bool LowerIsBetter = true;
+  std::vector<double> Samples;
+};
+
+/// Scans \p Text for series entries.  Lenient by design (same spirit as
+/// evm-prof's parseHistograms): anything not shaped like a series entry is
+/// skipped, not an error.  Anchors on the "lower_is_better" key, which
+/// only series entries carry.
+std::vector<ParsedSeries> parseSeries(const std::string &Text) {
+  std::vector<ParsedSeries> Out;
+  size_t At = 0;
+  while ((At = Text.find("\"lower_is_better\":", At)) != std::string::npos) {
+    ParsedSeries S;
+    // The owning bench document: nearest preceding "bench" key.
+    size_t BenchKey = Text.rfind("\"bench\":\"", At);
+    if (BenchKey != std::string::npos) {
+      size_t From = BenchKey + 9;
+      S.Bench = Text.substr(From, Text.find('"', From) - From);
+    }
+    // The series' own name/unit immediately precede the anchor.
+    size_t NameKey = Text.rfind("\"name\":\"", At);
+    if (NameKey != std::string::npos) {
+      size_t From = NameKey + 8;
+      S.Name = Text.substr(From, Text.find('"', From) - From);
+    }
+    size_t UnitKey = Text.rfind("\"unit\":\"", At);
+    if (UnitKey != std::string::npos && UnitKey > NameKey) {
+      size_t From = UnitKey + 8;
+      S.Unit = Text.substr(From, Text.find('"', From) - From);
+    }
+    S.LowerIsBetter = Text.compare(At + 18, 4, "true") == 0;
+    size_t SamplesKey = Text.find("\"samples\":[", At);
+    size_t End = SamplesKey == std::string::npos
+                     ? std::string::npos
+                     : Text.find(']', SamplesKey);
+    At += 18;
+    if (SamplesKey == std::string::npos || End == std::string::npos)
+      continue;
+    const char *P = Text.c_str() + SamplesKey + 11;
+    const char *Stop = Text.c_str() + End;
+    while (P < Stop) {
+      char *Next = nullptr;
+      double V = std::strtod(P, &Next);
+      if (Next == P)
+        break;
+      S.Samples.push_back(V);
+      P = Next;
+      while (P < Stop && (*P == ',' || *P == ' '))
+        ++P;
+    }
+    if (!S.Name.empty() && !S.Samples.empty())
+      Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+std::string formatChangepoints(const std::vector<size_t> &Cps) {
+  if (Cps.empty())
+    return "-";
+  std::string Out;
+  for (size_t I = 0; I != Cps.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += std::to_string(Cps[I]);
+  }
+  return Out;
+}
+
+void printUsage(const char *Argv0, std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: %s [--strict] [--self-test] RESULTS.json...\n"
+      "Reports steady-state classifications of the per-iteration series\n"
+      "embedded in bench --json documents (or an aggregated\n"
+      "BENCH_results.json).  --strict exits 1 when any series has no\n"
+      "steady state; --self-test runs the stats module regression check.\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Strict = false;
+  std::vector<std::string> Paths;
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-h" || Arg == "--help") {
+      printUsage(argv[0], stdout);
+      return 0;
+    }
+    if (Arg == "--self-test")
+      return statsSelfTest(/*Verbose=*/true) ? 1 : 0;
+    if (Arg == "--strict") {
+      Strict = true;
+    } else if (startsWith(Arg, "--")) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      printUsage(argv[0], stderr);
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty()) {
+    printUsage(argv[0], stderr);
+    return 2;
+  }
+
+  std::vector<ParsedSeries> All;
+  for (const std::string &Path : Paths) {
+    std::string Text;
+    if (!readFileInto(Path, Text)) {
+      std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+      return 3;
+    }
+    std::vector<ParsedSeries> Parsed = parseSeries(Text);
+    All.insert(All.end(), Parsed.begin(), Parsed.end());
+  }
+  if (All.empty()) {
+    std::printf("no per-iteration series embedded in the document(s)\n");
+    return 0;
+  }
+
+  size_t Flagged = 0;
+  TextTable Table({"bench", "series", "n", "class", "changepoints",
+                   "steady window", "steady mean", "95% CI"});
+  for (const ParsedSeries &S : All) {
+    SeriesOptions Opts;
+    Opts.LowerIsBetter = S.LowerIsBetter;
+    SeriesAnalysis A = analyzeSeries(S.Samples, Opts);
+    bool Steady = A.HasSteadyState;
+    if (!Steady)
+      ++Flagged;
+    Table.beginRow();
+    Table.addCell(S.Bench.empty() ? "-" : S.Bench);
+    Table.addCell(S.Name);
+    Table.addCell(static_cast<int64_t>(S.Samples.size()));
+    Table.addCell(std::string(seriesClassName(A.Class)) +
+                  (Steady ? "" : "  <-- FLAGGED"));
+    Table.addCell(formatChangepoints(A.Changepoints));
+    if (Steady) {
+      Table.addCell("[" + std::to_string(A.Steady.Begin) + ", " +
+                    std::to_string(A.Steady.Begin + A.Steady.Count) + ")");
+      Table.addCell(A.Steady.Mean, 4);
+      Table.addCell("[" + formatString("%.4g", A.Steady.CILow) + ", " +
+                    formatString("%.4g", A.Steady.CIHigh) + "]");
+    } else {
+      Table.addCell("-");
+      Table.addCell("-");
+      Table.addCell("-");
+    }
+  }
+  std::printf("%s\n", Table.render().c_str());
+  if (Flagged) {
+    std::printf("%zu series never reach a steady state — their means are "
+                "not comparable\n(see EXPERIMENTS.md, \"Reading "
+                "steady-state reports\").\n",
+                Flagged);
+    if (Strict)
+      return 1;
+  } else {
+    std::printf("all %zu series reach a steady state\n", All.size());
+  }
+  return 0;
+}
