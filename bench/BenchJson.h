@@ -131,6 +131,22 @@ inline std::string wallJsonPath(const std::string &JsonPath) {
   return JsonPath + "_wall.json";
 }
 
+/// Sibling path for a decision-ledger JSONL document written next to a
+/// bench's --json document: "dir/name.json" -> "dir/name_decisions.jsonl"
+/// (input of tools/evm-explain; bench/run_all.sh --check replays its
+/// analytics against the bench's own gates).
+inline std::string decisionsJsonlPath(const std::string &JsonPath) {
+  if (JsonPath.empty())
+    return "";
+  const std::string Suffix = ".json";
+  if (JsonPath.size() > Suffix.size() &&
+      JsonPath.compare(JsonPath.size() - Suffix.size(), Suffix.size(),
+                       Suffix) == 0)
+    return JsonPath.substr(0, JsonPath.size() - Suffix.size()) +
+           "_decisions.jsonl";
+  return JsonPath + "_decisions.jsonl";
+}
+
 /// For google-benchmark binaries: rewrites `--json=PATH` into the
 /// library's `--benchmark_out=PATH --benchmark_out_format=json` pair.
 /// \p Storage owns the rewritten strings; \p NewArgv is what to hand to

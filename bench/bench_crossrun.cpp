@@ -26,10 +26,13 @@
 
 #include "BenchJson.h"
 #include "harness/Scenario.h"
+#include "support/BuildInfo.h"
+#include "support/DecisionLedger.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -80,12 +83,19 @@ int main(int argc, char **argv) {
   TextTable Table({"Program", "coldSteadyAcc", "warmFirstAcc", "coldRunsTo",
                    "warmRunsTo", "warmFirstConf"});
 
+  // Decision ledger across both programs and both paths (cold sequence,
+  // warm train + probe launches) — observation only, exported as a
+  // _decisions.jsonl sibling of the --json document.
+  DecisionLedger Ledger;
+  Ledger.setEnabled(true);
+
   int Failures = 0;
   for (const char *Name : {"Mtrt", "Compress"}) {
     wl::Workload W = wl::buildWorkload(Name, 20090301);
     harness::ExperimentConfig C;
     C.Seed = 20090301;
     harness::ScenarioRunner Runner(W, C);
+    Runner.setLedger(&Ledger);
     std::vector<size_t> Order = Runner.makeInputOrder(1, NumRuns);
 
     harness::ScenarioResult Cold = Runner.runEvolve(Order);
@@ -150,5 +160,20 @@ int main(int argc, char **argv) {
   if (!benchjson::writeBenchJson(JsonPath, "crossrun", 20090301,
                                  Metrics.snapshot(), &Phases))
     return 2;
+
+  std::string DecPath = benchjson::decisionsJsonlPath(JsonPath);
+  if (!DecPath.empty() && Ledger.enabled()) {
+    const BuildInfo &B = buildInfo();
+    LedgerProvenance Prov;
+    Prov.GitSha = B.GitSha;
+    Prov.Compiler = B.Compiler;
+    Prov.CompilerVersion = B.CompilerVersion;
+    Prov.BuildType = B.BuildType;
+    std::ofstream Stream(DecPath, std::ios::binary);
+    if (!(Stream << renderJsonlDecisions(Ledger.exportOrder(), &Prov))) {
+      std::fprintf(stderr, "error: cannot write %s\n", DecPath.c_str());
+      return 2;
+    }
+  }
   return Failures ? 1 : 0;
 }

@@ -27,12 +27,16 @@
 
 #include "BenchJson.h"
 #include "harness/Scenario.h"
+#include "support/BuildInfo.h"
+#include "support/DecisionLedger.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 #include "workloads/Generator.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -189,6 +193,10 @@ int main(int argc, char **argv) {
   }
 
   // --- Drift population -------------------------------------------------
+  // One decision ledger spans the whole population: generated app names are
+  // distinct, so per-app grouping falls out of the records themselves.
+  DecisionLedger DriftLedger(NumDrift * 64);
+  DriftLedger.setEnabled(true);
   std::vector<double> Recovery, Exposure;
   size_t GuardClosedApps = 0, RecoveredApps = 0;
   for (size_t App = 0; App != NumDrift; ++App) {
@@ -204,6 +212,7 @@ int main(int argc, char **argv) {
     C.Seed = Spec.Seed;
     C.NumRuns = Spec.NumRuns;
     harness::ScenarioRunner Runner(G->W, C);
+    Runner.setLedger(&DriftLedger);
     std::vector<size_t> Order = wl::makeGenRunOrder(Spec);
     harness::ScenarioResult Evolve = Runner.runEvolve(Order);
 
@@ -257,6 +266,71 @@ int main(int argc, char **argv) {
                  "AOS (1.0)\n",
                  MeanRecovery);
     ++Failures;
+  }
+
+  // --- Ledger reproduction gate -----------------------------------------
+  // Re-derive the drift gates' inputs from the decision records alone —
+  // speedup as baseline/cycles, post-drift as run ordinal > DriftRun, apps
+  // grouped by record app name in first-seen (= suite) order.  The same
+  // double arithmetic over the same values must reproduce the suite's
+  // numbers bit-for-bit, pinning the ledger as a faithful audit stream.
+  // (Skipped when EVM_DECISIONS is compiled out: the ledger stays empty.)
+  std::vector<DecisionRecord> DriftRecords = DriftLedger.exportOrder();
+  if (DriftLedger.enabled() && !DriftRecords.empty()) {
+    size_t LedgerDriftRun = static_cast<size_t>(
+        static_cast<double>(driftSpec(0).NumRuns) * driftSpec(0).DriftAt +
+        0.5);
+    struct AppAgg {
+      size_t Post = 0;
+      size_t Harmful = 0;
+      bool Closed = false;
+    };
+    std::vector<std::string> AppOrder;
+    std::map<std::string, AppAgg> Agg;
+    for (const DecisionRecord &R : DriftRecords) {
+      if (!Agg.count(R.App))
+        AppOrder.push_back(R.App);
+      AppAgg &A = Agg[R.App];
+      if (R.Run <= LedgerDriftRun) // Run is 1-based; post-drift is beyond it
+        continue;
+      ++A.Post;
+      if (R.Used && R.BaselineCycles &&
+          static_cast<double>(R.BaselineCycles) /
+                  static_cast<double>(R.Cycles) <
+              1.0 - 1e-9)
+        ++A.Harmful;
+      if (R.Had && !R.Used)
+        A.Closed = true;
+    }
+    std::vector<double> LedgerExposure;
+    size_t LedgerClosedApps = 0;
+    for (const std::string &App : AppOrder) {
+      const AppAgg &A = Agg[App];
+      LedgerExposure.push_back(A.Post ? static_cast<double>(A.Harmful) /
+                                            static_cast<double>(A.Post)
+                                      : 0.0);
+      if (A.Closed)
+        ++LedgerClosedApps;
+    }
+    double LedgerMeanExposure = mean(LedgerExposure);
+    double LedgerClosedFrac = static_cast<double>(LedgerClosedApps) /
+                              static_cast<double>(NumDrift);
+    Metrics.setGauge("openworld.drift.ledger.records",
+                     static_cast<double>(DriftRecords.size()));
+    Metrics.setGauge("openworld.drift.ledger.mispredict_exposure",
+                     LedgerMeanExposure);
+    Metrics.setGauge("openworld.drift.ledger.guard_closed_fraction",
+                     LedgerClosedFrac);
+    if (LedgerMeanExposure != MeanExposure ||
+        LedgerClosedFrac != GuardClosedFrac) {
+      std::fprintf(stderr,
+                   "GATE: ledger replay disagrees with the suite "
+                   "(exposure %.17g vs %.17g, guard-closed %.17g vs "
+                   "%.17g)\n",
+                   LedgerMeanExposure, MeanExposure, LedgerClosedFrac,
+                   GuardClosedFrac);
+      ++Failures;
+    }
   }
 
   // --- Identity gate ----------------------------------------------------
@@ -342,5 +416,23 @@ int main(int argc, char **argv) {
   if (!benchjson::writeBenchJson(JsonPath, "openworld", 20090301,
                                  Metrics.snapshot(), &Phases, &Series))
     return 2;
+
+  // Decision-ledger sibling: the drift population's audit stream, for
+  // tools/evm-explain (bench/run_all.sh --check replays its analytics
+  // against the gates above).
+  std::string DecPath = benchjson::decisionsJsonlPath(JsonPath);
+  if (!DecPath.empty() && DriftLedger.enabled()) {
+    const BuildInfo &B = buildInfo();
+    LedgerProvenance Prov;
+    Prov.GitSha = B.GitSha;
+    Prov.Compiler = B.Compiler;
+    Prov.CompilerVersion = B.CompilerVersion;
+    Prov.BuildType = B.BuildType;
+    std::ofstream Stream(DecPath, std::ios::binary);
+    if (!(Stream << renderJsonlDecisions(DriftRecords, &Prov))) {
+      std::fprintf(stderr, "error: cannot write %s\n", DecPath.c_str());
+      return 2;
+    }
+  }
   return Failures ? 1 : 0;
 }

@@ -155,6 +155,21 @@ if [ "$CHECK" = 1 ]; then
   else
     echo "note: $WARMUP not built, skipping series report"
   fi
+  # Decision-ledger analytics: bench_openworld drops a _decisions.jsonl
+  # sibling; evm-explain must independently reproduce the suite's drift
+  # gates (mispredict exposure <= 0.10, guard fallback >= 0.5) from the
+  # records alone.  bench_crossrun's ledger gets the informational report.
+  EXPLAIN="$BUILD_DIR/tools/evm-explain"
+  if [ -x "$EXPLAIN" ] && [ -f "$OUT_DIR/openworld_decisions.jsonl" ]; then
+    echo "== decision-ledger report (evm-explain) =="
+    "$EXPLAIN" --strict --drift-run=16 --max-exposure=0.10 \
+      --min-fallback=0.5 "$OUT_DIR/openworld_decisions.jsonl"
+    if [ -f "$OUT_DIR/crossrun_decisions.jsonl" ]; then
+      "$EXPLAIN" "$OUT_DIR/crossrun_decisions.jsonl"
+    fi
+  else
+    echo "note: evm-explain or openworld ledger missing, skipping report"
+  fi
   echo "== bench-compare vs $BASELINE =="
   "$REPO_DIR/tools/bench-compare" "$BASELINE" "$RESULTS"
 fi

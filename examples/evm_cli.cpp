@@ -33,6 +33,8 @@
 #include "evolve/EvolvableVM.h"
 #include "harness/Fleet.h"
 #include "store/KnowledgeStore.h"
+#include "support/BuildInfo.h"
+#include "support/DecisionLedger.h"
 #include "support/Profiler.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
@@ -86,6 +88,7 @@ struct CliOptions {
   std::string ProfileOutPath;  ///< --profile-out= (phases+metrics JSON)
   std::string ProfileFoldPath; ///< --profile-collapsed= (flamegraph.pl)
   std::string ProfileSpeedPath; ///< --profile-speedscope=
+  std::string DecisionsOutPath; ///< --decisions-out= (decision-ledger JSONL)
   int64_t Workers = -1;        ///< --workers= (-1: timing-model default)
   std::string StorePath;       ///< --store= (cross-run knowledge store)
   bool StoreReadonly = false;  ///< --store-readonly (warm start, no save)
@@ -113,6 +116,18 @@ struct CliOptions {
            !ProfileSpeedPath.empty();
   }
 };
+
+/// The ledger provenance line mirrors the bench provenance stamp
+/// (bench/run_all.sh), sourced from the configure-time BuildInfo.
+LedgerProvenance ledgerProvenance() {
+  const BuildInfo &B = buildInfo();
+  LedgerProvenance P;
+  P.GitSha = B.GitSha;
+  P.Compiler = B.Compiler;
+  P.CompilerVersion = B.CompilerVersion;
+  P.BuildType = B.BuildType;
+  return P;
+}
 
 /// Parses "cmdline | arg arg arg" lines.
 std::vector<RunLine> parseRuns(const std::string &Text, bool &Ok) {
@@ -161,7 +176,8 @@ std::vector<RunLine> parseRuns(const std::string &Text, bool &Ok) {
 int replay(const bc::Module &Program, const std::string &Spec,
            const std::vector<RunLine> &Runs,
            const xicl::XFMethodRegistry &Registry,
-           const xicl::FileStore &Files, const CliOptions &Options) {
+           const xicl::FileStore &Files, const CliOptions &Options,
+           const std::string &AppName = "evm_cli") {
   evolve::EvolveConfig Config;
   if (Options.Workers >= 0)
     Config.Timing.NumCompileWorkers = static_cast<uint64_t>(Options.Workers);
@@ -220,6 +236,16 @@ int replay(const bc::Module &Program, const std::string &Spec,
       std::fprintf(stderr, "warning: binary built with EVM_TRACING=0; "
                            "trace output will be empty\n");
     VM.setTracer(&Tracer);
+  }
+
+  // Decision ledger: one record per run, exported as JSONL at the end.
+  DecisionLedger Ledger;
+  if (!Options.DecisionsOutPath.empty()) {
+    Ledger.setEnabled(true);
+    if (!Ledger.enabled())
+      std::fprintf(stderr, "warning: binary built with EVM_DECISIONS=0; "
+                           "decision output will be empty\n");
+    VM.setLedger(&Ledger, AppName);
   }
 
   // Phase profiling: installed for the whole replay so the tree spans
@@ -303,6 +329,19 @@ int replay(const bc::Module &Program, const std::string &Spec,
                  Options.MetricsOutPath.c_str());
     return 3;
   }
+  if (!Options.DecisionsOutPath.empty()) {
+    LedgerProvenance Prov = ledgerProvenance();
+    if (!writeFile(Options.DecisionsOutPath,
+                   renderJsonlDecisions(Ledger.exportOrder(), &Prov))) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Options.DecisionsOutPath.c_str());
+      return 3;
+    }
+    if (Ledger.droppedRecords())
+      std::fprintf(stderr,
+                   "warning: %llu decision records dropped (ring cap)\n",
+                   static_cast<unsigned long long>(Ledger.droppedRecords()));
+  }
   if (Options.wantsProfile()) {
     PhaseTreeSnapshot Phases = Profiler.snapshot();
     if (!Options.ProfileOutPath.empty()) {
@@ -352,6 +391,7 @@ int runFleet(const CliOptions &Options) {
   FC.MergeEvery = static_cast<size_t>(Options.MergeEvery);
   FC.Seed = Options.Seed;
   FC.ShardDir = Options.ShardDir;
+  FC.CaptureDecisions = !Options.DecisionsOutPath.empty();
   if (Options.Workers >= 0)
     FC.Experiment.Timing.NumCompileWorkers =
         static_cast<uint64_t>(Options.Workers);
@@ -389,6 +429,14 @@ int runFleet(const CliOptions &Options) {
     return 3;
   }
 
+  if (!Options.DecisionsOutPath.empty()) {
+    DecisionLedger Probe;
+    Probe.setEnabled(true);
+    if (!Probe.enabled())
+      std::fprintf(stderr, "warning: binary built with EVM_DECISIONS=0; "
+                           "decision output will be empty\n");
+  }
+
   harness::FleetRunner Runner(std::move(FC));
   TraceRecorder Tracer;
   if (Options.wantsTrace()) {
@@ -423,6 +471,15 @@ int runFleet(const CliOptions &Options) {
                  Options.MetricsOutPath.c_str());
     return 3;
   }
+  if (!Options.DecisionsOutPath.empty()) {
+    LedgerProvenance Prov = ledgerProvenance();
+    if (!writeFile(Options.DecisionsOutPath,
+                   renderJsonlDecisions(R.Decisions, &Prov))) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Options.DecisionsOutPath.c_str());
+      return 3;
+    }
+  }
   TraceMeta Meta;
   if (!Options.TraceOutPath.empty() &&
       !writeFile(Options.TraceOutPath,
@@ -456,7 +513,7 @@ int runDemo(const CliOptions &Options) {
     Runs.push_back(RunLine{In.CommandLine, In.VmArgs});
   }
   return replay(Route.Module, Route.XiclSpec, Runs, Registry, Files,
-                Options);
+                Options, Route.Name);
 }
 
 /// Generated-workload mode: synthesize an application + input stream from
@@ -489,7 +546,8 @@ int runGenerated(const CliOptions &Options) {
   G.W.registerMethods(Registry);
   xicl::FileStore Files;
   G.W.populateFileStore(Files);
-  return replay(G.W.Module, G.W.XiclSpec, Runs, Registry, Files, Options);
+  return replay(G.W.Module, G.W.XiclSpec, Runs, Registry, Files, Options,
+                G.W.Name);
 }
 
 /// Matches `--NAME=VALUE` or the two-token form `--NAME VALUE` (consuming
@@ -543,6 +601,13 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "                             input of tools/evm-prof)\n"
       "  --profile-collapsed=FILE   collapsed stacks (flamegraph.pl)\n"
       "  --profile-speedscope=FILE  speedscope JSON (speedscope.app)\n"
+      "  --decisions-out=FILE       prediction decision ledger, one JSON\n"
+      "                             object per run (input of\n"
+      "                             tools/evm-explain); works in replay and\n"
+      "                             fleet mode (per-tenant ledgers folded\n"
+      "                             in tenant-ID order)\n"
+      "  --version                  print build provenance JSON (git SHA,\n"
+      "                             compiler, build type) and exit\n"
       "engine options:\n"
       "  --workers=N                background compile workers (0 =\n"
       "                             synchronous compilation)\n"
@@ -598,6 +663,10 @@ int main(int argc, char **argv) {
     bool HasVal = false;
     if (Arg == "-h" || Arg == "--help") {
       printUsage(argv[0], stdout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      std::printf("%s\n", buildInfo().renderJson().c_str());
       return 0;
     }
     if (matchValueFlag(Arg, "--gen-workload", argc, argv, I, Val, HasVal)) {
@@ -671,6 +740,13 @@ int main(int argc, char **argv) {
       Options.ProfileFoldPath = Arg.substr(20);
     } else if (Arg.rfind("--profile-speedscope=", 0) == 0) {
       Options.ProfileSpeedPath = Arg.substr(21);
+    } else if (matchValueFlag(Arg, "--decisions-out", argc, argv, I, Val,
+                              HasVal)) {
+      if (!HasVal || Val.empty()) {
+        std::fprintf(stderr, "error: --decisions-out needs a file\n");
+        return 2;
+      }
+      Options.DecisionsOutPath = Val;
     } else if (Arg.rfind("--store=", 0) == 0) {
       Options.StorePath = Arg.substr(8);
     } else if (Arg == "--store-readonly") {

@@ -35,17 +35,6 @@ void EvolvableVM::setTracer(TraceRecorder *T) {
 
 namespace {
 
-/// Stable 64-bit FNV-1a over the feature vector's rendering, so the
-/// evolve.predict event carries a deterministic feature-vector id.
-uint64_t fvHash(const xicl::FeatureVector &FV) {
-  uint64_t H = 0xcbf29ce484222325ULL;
-  for (char C : FV.str()) {
-    H ^= static_cast<unsigned char>(C);
-    H *= 0x100000001b3ULL;
-  }
-  return H;
-}
-
 /// Highest level a strategy assigns to any method (the trace event's
 /// one-slot summary of a per-method strategy).
 vm::OptLevel maxLevel(const MethodLevelStrategy &S) {
@@ -84,11 +73,18 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
 
   // 2. Discriminative prediction: only drive the run from the model when
   //    the guard's self-evaluation clears the threshold (paper Fig. 7).
+  // Ledger capture rides along for free: per-method details are only
+  // requested when a ledger is attached and enabled, and capturing them
+  // never changes the strategy or the charged prediction cycles.
+  std::vector<MethodPredictionDetail> Details;
+  std::vector<MethodPredictionDetail> *DetailsPtr =
+      Ledger && Ledger->enabled() ? &Details : nullptr;
   std::optional<MethodLevelStrategy> Predicted;
-  bool Predict = HaveFeatures && guardOpen();
+  const bool GuardWasOpen = guardOpen();
+  bool Predict = HaveFeatures && GuardWasOpen;
   if (Predict) {
     PredictionStats PStats;
-    Predicted = Model.predict(Record.Features, &PStats);
+    Predicted = Model.predict(Record.Features, &PStats, DetailsPtr);
     if (Predicted)
       Record.PredictionCycles = PStats.toCycles();
     else
@@ -102,7 +98,7 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
     E.Kind = TraceEventKind::EvolvePredict;
     E.Cycle = 0;
     E.A = RunsSeen + 1; // matches the engine's run ordinal
-    E.B = HaveFeatures ? fvHash(Record.Features) : 0;
+    E.B = HaveFeatures ? Record.Features.hash() : 0;
     E.C = Predict && Predicted ? 1 : 0;
     E.X = Record.ConfidenceBefore;
     E.Level = Predicted ? static_cast<int8_t>(maxLevel(*Predicted))
@@ -146,7 +142,7 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
     // The paper's else-branch: predict after the fact (not charged — the
     // run is over) purely to measure accuracy and update confidence.
     if (HaveFeatures)
-      Predicted = Model.predict(Record.Features);
+      Predicted = Model.predict(Record.Features, nullptr, DetailsPtr);
   }
 
   // 4. Posterior evaluation and model update.
@@ -244,6 +240,58 @@ ErrorOr<EvolveRunRecord> EvolvableVM::runOnce(
       P->attributeChild({"run", "overhead"}, "ml/predict",
                         Record.PredictionCycles);
     Result.Phases = P->snapshot();
+  }
+
+  // Decision-ledger emission: one record per run, observation only — built
+  // after every clock charge and model update above, so attaching a ledger
+  // is cycle- and state-identical to running without one.
+  if (Ledger && Ledger->enabled()) {
+    DecisionRecord D;
+    D.App = LedgerApp;
+    D.Run = RunsSeen + 1; // matches the trace events' run ordinal
+    if (Record.Features.size()) {
+      D.Features = Record.Features.str();
+      D.FvHash = Record.Features.hash();
+    }
+    D.Guard = guardModeName(Config.Guard);
+    D.GuardOpen = GuardWasOpen;
+    D.Used = Record.UsedPrediction;
+    D.Had = Record.HadPrediction;
+    D.ConfBefore = Record.ConfidenceBefore;
+    D.ConfAfter = Record.ConfidenceAfter;
+    D.CvConf = Record.CvConfidence;
+    D.Threshold = Config.ConfidenceThreshold;
+    D.Accuracy = Record.Accuracy;
+    D.Cycles = Result.Cycles;
+    if (Record.HadPrediction) {
+      D.Methods.reserve(Details.size());
+      for (size_t I = 0; I != Details.size(); ++I) {
+        MethodDecision MD;
+        MD.Method = static_cast<uint32_t>(I);
+        // The clamped level that actually drove (or would have driven) the
+        // run — mirrors the evolve.outcome agreement accounting.
+        MD.Pred = vm::levelIndex(
+            Record.Predicted.levelFor(static_cast<bc::MethodId>(I)));
+        MD.Ideal = I < Record.Ideal.Levels.size()
+                       ? vm::levelIndex(Record.Ideal.Levels[I])
+                       : vm::levelIndex(vm::OptLevel::Baseline);
+        MD.Agree = MD.Pred == MD.Ideal;
+        MD.Constant = Details[I].Constant;
+        if (!Details[I].Constant)
+          MD.Path = Details[I].Path.str();
+        D.Methods.push_back(std::move(MD));
+      }
+      // Reactive rescues: compiles the safety net issued above the level
+      // the prediction installed for that method.
+      if (Record.UsedPrediction)
+        for (const vm::CompileEvent &Ev : Result.Compiles) {
+          size_t M = static_cast<size_t>(Ev.Method);
+          if (M < D.Methods.size() &&
+              vm::levelIndex(Ev.Level) > D.Methods[M].Pred)
+            ++D.Methods[M].Rescues;
+        }
+    }
+    Ledger->record(std::move(D));
   }
 
   Record.Result = std::move(Result);

@@ -24,6 +24,7 @@
 #include "evolve/Strategy.h"
 #include "ml/Confidence.h"
 #include "store/KnowledgeStore.h"
+#include "support/DecisionLedger.h"
 #include "support/Error.h"
 #include "vm/Engine.h"
 #include "xicl/Translator.h"
@@ -45,6 +46,19 @@ enum class GuardMode {
   /// No guard: predict from the very first model (ablation only).
   Always,
 };
+
+/// Stable text name of a guard mode — the decision ledger's "guard" field.
+inline const char *guardModeName(GuardMode G) {
+  switch (G) {
+  case GuardMode::DecayedAccuracy:
+    return "decayed";
+  case GuardMode::CrossValidation:
+    return "crossval";
+  case GuardMode::Always:
+    return "always";
+  }
+  return "decayed";
+}
 
 /// Tunables of the evolvable VM (paper defaults: gamma = THc = 0.7).
 struct EvolveConfig {
@@ -125,6 +139,16 @@ public:
   /// RunResult metrics snapshot is augmented with evolve.* entries.
   void setTracer(TraceRecorder *T);
 
+  /// Attaches a decision ledger: every subsequent runOnce appends one
+  /// DecisionRecord (tagged \p AppName) describing the prediction decision
+  /// and its posterior outcome.  Pure observation off the virtual clock —
+  /// like the tracer, attaching a ledger never changes run cycles, metrics,
+  /// or the learned state.  Null detaches.
+  void setLedger(DecisionLedger *L, std::string AppName) {
+    Ledger = L;
+    LedgerApp = std::move(AppName);
+  }
+
   double confidence() const { return Confidence.value(); }
   /// The cross-validated model accuracy after the latest rebuild (0 until
   /// the CrossValidation guard has something to evaluate).
@@ -188,6 +212,8 @@ private:
   size_t RunsSeen = 0;
   StoreIoStats StoreStats;
   TraceRecorder *Tracer = nullptr;
+  DecisionLedger *Ledger = nullptr;
+  std::string LedgerApp;
 };
 
 } // namespace evolve

@@ -71,24 +71,34 @@ void ModelBuilder::rebuild() {
 
 std::optional<MethodLevelStrategy>
 ModelBuilder::predict(const xicl::FeatureVector &Features,
-                      PredictionStats *Stats) const {
+                      PredictionStats *Stats,
+                      std::vector<MethodPredictionDetail> *Details) const {
   if (!Built)
     return std::nullopt;
+  if (Details)
+    Details->clear();
   ml::Example E = Encoded.encode(Features);
   MethodLevelStrategy Out;
   Out.Levels.resize(NumMethods, OptLevel::Baseline);
   for (size_t M = 0; M != NumMethods; ++M) {
     int Label;
+    MethodPredictionDetail Detail;
     if (Models[M].Constant) {
       Label = Models[M].ConstantLabel;
+      Detail.Constant = true;
     } else {
-      Label = Models[M].Tree.predict(E);
+      Label = Models[M].Tree.predict(E, Details ? &Detail.Path : nullptr);
+      Detail.Constant = false;
       if (Stats) {
         ++Stats->Trees;
         // depth() bounds the root-to-leaf walk length.
         Stats->TreeNodesVisited +=
             static_cast<uint64_t>(Models[M].Tree.depth());
       }
+    }
+    if (Details) {
+      Detail.Label = Label;
+      Details->push_back(std::move(Detail));
     }
     Label = std::max(0, std::min(vm::NumOptLevels - 1, Label));
     Out.Levels[M] = vm::levelFromIndex(Label);

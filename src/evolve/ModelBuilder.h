@@ -53,6 +53,16 @@ struct RebuildStats {
   }
 };
 
+/// How one method's prediction was made — the decision ledger's per-method
+/// explanation.  \c Path is empty for constant predictors; for tree models
+/// it is the root-to-leaf walk actually taken.  \c Label is the raw model
+/// output before clamping into [0, NumOptLevels).
+struct MethodPredictionDetail {
+  bool Constant = true;
+  int Label = vm::levelIndex(vm::OptLevel::Baseline);
+  ml::TreePath Path;
+};
+
 /// One method model in serialized form — the currency between ModelBuilder
 /// and the persistent knowledge store.  \c Tree holds
 /// ml::ClassificationTree::serialize() text when \c Constant is false.
@@ -80,9 +90,13 @@ public:
   void rebuild();
 
   /// Predicts a strategy for \p Features; nullopt before the first rebuild.
+  /// \p Details, when given, is filled with one entry per method describing
+  /// how the prediction was made (for the decision ledger); capturing it
+  /// never changes the strategy or the metered work in \p Stats.
   std::optional<MethodLevelStrategy>
   predict(const xicl::FeatureVector &Features,
-          PredictionStats *Stats = nullptr) const;
+          PredictionStats *Stats = nullptr,
+          std::vector<MethodPredictionDetail> *Details = nullptr) const;
 
   size_t numRuns() const { return Labels.size(); }
 

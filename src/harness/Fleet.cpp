@@ -70,6 +70,14 @@ TenantResult FleetRunner::runTenant(size_t TenantId) {
   if (Config.CapturePhases)
     ProfGuard.emplace(&Prof);
 
+  // Per-tenant decision ledger: local to this tenant's thread, exported
+  // into the tenant's own slot and folded after the pool joins.
+  DecisionLedger Ledger;
+  if (Config.CaptureDecisions) {
+    Ledger.setEnabled(true);
+    Runner.setLedger(&Ledger);
+  }
+
   if (Config.ShardDir.empty()) {
     T.Result = Runner.runEvolve(Order);
   } else {
@@ -106,6 +114,11 @@ TenantResult FleetRunner::runTenant(size_t TenantId) {
   if (ProfGuard)
     ProfGuard.reset();
   T.Phases = Prof.snapshot();
+  if (Config.CaptureDecisions && Ledger.enabled()) {
+    T.Decisions = Ledger.exportOrder();
+    for (DecisionRecord &D : T.Decisions)
+      D.Tenant = static_cast<int64_t>(TenantId);
+  }
   return T;
 }
 
@@ -160,6 +173,13 @@ FleetResult FleetRunner::run() {
       Tracer->record(E);
     }
   }
+  // Fold per-tenant ledgers in tenant-ID order: the JSONL the CLI writes
+  // from this vector is byte-identical for any thread count.
+  if (Config.CaptureDecisions)
+    for (const TenantResult &T : R.Tenants)
+      R.Decisions.insert(R.Decisions.end(), T.Decisions.begin(),
+                         T.Decisions.end());
+
   Reg.add("fleet.tenants", N);
   Reg.setGauge("fleet.accuracy.mean", mean(Accuracies));
   Reg.setGauge("fleet.confidence.final.mean", mean(Confidences));

@@ -83,6 +83,12 @@ struct FleetConfig {
   /// Per-tenant phase profiling (virtual-cycle deterministic; off saves a
   /// little host time).
   bool CapturePhases = true;
+  /// Per-tenant decision ledgers: every Evolve run appends one
+  /// DecisionRecord (tagged with its tenant id), folded in tenant-ID order
+  /// into FleetResult::Decisions after the pool joins.  Observation only —
+  /// on/off is cycle-identical, and the aggregate JSON never changes.
+  /// No-op when EVM_DECISIONS is compiled out.
+  bool CaptureDecisions = false;
   /// Scenario knobs shared by all tenants (Seed inside it is overridden by
   /// the fleet seed).
   ExperimentConfig Experiment;
@@ -98,6 +104,9 @@ struct TenantResult {
   uint64_t TotalCycles = 0;
   uint64_t OverheadCycles = 0;
   uint64_t Compiles = 0;
+  /// This tenant's decision records (Tenant field stamped); empty unless
+  /// FleetConfig::CaptureDecisions.
+  std::vector<DecisionRecord> Decisions;
 };
 
 /// Everything a fleet run produces.  renderJson() is the aggregate
@@ -111,6 +120,10 @@ struct FleetResult {
   size_t GlobalStores = 0;  ///< distinct per-app global stores written
   uint64_t TotalCycles = 0; ///< across all tenants
   size_t TotalRuns = 0;
+  /// All tenants' decision records folded in tenant-ID order (hence
+  /// byte-identical JSONL for any NumThreads); empty unless
+  /// FleetConfig::CaptureDecisions.  Not part of renderJson().
+  std::vector<DecisionRecord> Decisions;
 
   /// Canonical aggregate JSON: fleet echo, per-tenant documents (with
   /// per-run series and phase trees), and the fleet metrics snapshot.

@@ -170,6 +170,11 @@ void ScenarioRunner::runEvolveSpan(evolve::EvolvableVM &VM,
     M.Compiles = Record->Result.Compiles.size();
     Result.Runs.push_back(M);
 
+    // The harness knows the input's default-optimizer time; backfill it so
+    // explain tooling can recompute speedups from the records alone.
+    if (Ledger && Ledger->enabled())
+      Ledger->annotateBaseline(defaultCycles(InputIndex));
+
     Confidences.push_back(Record->ConfidenceAfter);
     if (Record->HadPrediction)
       Accuracies.push_back(Record->Accuracy);
@@ -196,6 +201,7 @@ ScenarioResult ScenarioRunner::runEvolve(const std::vector<size_t> &Order) {
   evolve::EvolvableVM VM(W.Module, W.XiclSpec, &Registry, &Files,
                          makeEvolveConfig(Config));
   VM.setTracer(Tracer);
+  VM.setLedger(Ledger, W.Name);
   assert(VM.specError().empty() && "workload XICL spec failed to parse");
 
   std::vector<double> Confidences, Accuracies;
@@ -228,6 +234,7 @@ ScenarioRunner::runEvolveLaunches(const std::vector<size_t> &Order,
     evolve::EvolvableVM VM(W.Module, W.XiclSpec, &Registry, &Files,
                            makeEvolveConfig(Config));
     VM.setTracer(Tracer);
+    VM.setLedger(Ledger, W.Name);
     assert(VM.specError().empty() && "workload XICL spec failed to parse");
 
     store::KnowledgeStore Loaded;

@@ -117,6 +117,12 @@ public:
   /// before the first run; may be null.
   void setTracer(TraceRecorder *T) { Tracer = T; }
 
+  /// Attaches a decision ledger to every evolvable VM the runner creates;
+  /// each Evolve run then appends one DecisionRecord (tagged with the
+  /// workload name, BaselineCycles backfilled from the default-time cache).
+  /// Observation only — see EvolvableVM::setLedger.  May be null.
+  void setLedger(DecisionLedger *L) { Ledger = L; }
+
   const wl::Workload &workload() const { return W; }
   const ExperimentConfig &config() const { return Config; }
 
@@ -149,6 +155,7 @@ private:
   xicl::FileStore Files;
   std::vector<uint64_t> DefaultCache; ///< 0 = not yet measured
   TraceRecorder *Tracer = nullptr;
+  DecisionLedger *Ledger = nullptr;
 };
 
 } // namespace harness

@@ -178,17 +178,46 @@ ClassificationTree ClassificationTree::build(const Dataset &D,
   return Tree;
 }
 
-int ClassificationTree::predict(const Example &E) const {
+int ClassificationTree::predict(const Example &E, TreePath *Path) const {
   assert(Root && "predicting with an unbuilt tree");
+  if (Path) {
+    Path->Steps.clear();
+    Path->Leaf = 0;
+  }
   const Node *N = Root.get();
   while (!N->IsLeaf) {
     double V = N->FeatureIndex < E.Values.size()
                    ? E.Values[N->FeatureIndex]
                    : 0;
     bool GoLeft = N->Categorical ? V == N->CategoryId : V < N->Threshold;
+    if (Path) {
+      TreePathStep Step;
+      Step.FeatureIndex = N->FeatureIndex;
+      Step.Categorical = N->Categorical;
+      Step.Threshold = N->Threshold;
+      Step.CategoryId = N->CategoryId;
+      Step.WentLeft = GoLeft;
+      Path->Steps.push_back(Step);
+    }
     N = GoLeft ? N->Left.get() : N->Right.get();
   }
+  if (Path)
+    Path->Leaf = N->Label;
   return N->Label;
+}
+
+std::string TreePath::str() const {
+  std::string Out;
+  for (const TreePathStep &S : Steps) {
+    if (S.Categorical)
+      Out += formatString("C%zu:%d:%c|", S.FeatureIndex, S.CategoryId,
+                          S.WentLeft ? 'L' : 'R');
+    else
+      Out += formatString("N%zu:%.17g:%c|", S.FeatureIndex, S.Threshold,
+                          S.WentLeft ? 'L' : 'R');
+  }
+  Out += formatString("L%d", Leaf);
+  return Out;
 }
 
 std::set<size_t> ClassificationTree::usedFeatures() const {

@@ -42,6 +42,28 @@ struct TreeParams {
 /// Shannon entropy (bits) of the label distribution of \p Rows over \p D.
 double labelEntropy(const Dataset &D, const std::vector<size_t> &Rows);
 
+/// One split decision along a root-to-leaf walk.
+struct TreePathStep {
+  size_t FeatureIndex = 0;
+  bool Categorical = false;
+  double Threshold = 0; ///< numeric: went left when value < Threshold
+  int CategoryId = 0;   ///< categorical: went left when value == CategoryId
+  bool WentLeft = false;
+};
+
+/// The full walk one prediction took — the decision ledger's "why" record
+/// for a tree-model prediction.
+struct TreePath {
+  std::vector<TreePathStep> Steps;
+  int Leaf = 0; ///< the label the walk arrived at
+
+  /// Canonical text, '|'-joined: numeric steps "N<feat>:<threshold>:<L|R>"
+  /// (threshold as %.17g, like serialize()), categorical steps
+  /// "C<feat>:<catid>:<L|R>", then the terminal leaf "L<label>" — e.g.
+  /// "N3:114.5:L|C0:2:R|L2".  A degenerate (leaf-only) tree renders "L0".
+  std::string str() const;
+};
+
 /// A trained classification tree.
 class ClassificationTree {
 public:
@@ -50,8 +72,10 @@ public:
   static ClassificationTree build(const Dataset &D,
                                   const TreeParams &Params = TreeParams());
 
-  /// Predicts the label of an encoded example.
-  int predict(const Example &E) const;
+  /// Predicts the label of an encoded example.  \p Path, when given, is
+  /// overwritten with the walk taken (same label in Path->Leaf); capturing
+  /// it never changes the prediction or the metered work.
+  int predict(const Example &E, TreePath *Path = nullptr) const;
 
   /// Indices of features actually used in split nodes (automatic feature
   /// selection).

@@ -50,6 +50,7 @@ public:
   }
 
   double value() const { return Conf; }
+  double gamma() const { return Gamma; }
   double threshold() const { return Threshold; }
 
   /// The discriminative gate: predict only when confident.

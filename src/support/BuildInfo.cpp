@@ -1,0 +1,44 @@
+//===- support/BuildInfo.cpp ----------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+#include "support/Format.h"
+
+// The build stamps these per-source (see src/support/CMakeLists.txt);
+// fall back to "unknown" for out-of-tree compiles of this file.
+#ifndef EVM_BUILD_GIT_SHA
+#define EVM_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef EVM_BUILD_COMPILER
+#define EVM_BUILD_COMPILER "unknown"
+#endif
+#ifndef EVM_BUILD_COMPILER_VERSION
+#define EVM_BUILD_COMPILER_VERSION "unknown"
+#endif
+#ifndef EVM_BUILD_TYPE
+#define EVM_BUILD_TYPE "unknown"
+#endif
+
+using namespace evm;
+
+namespace {
+
+/// Empty stamps (e.g. the default no-CMAKE_BUILD_TYPE configure) read as
+/// "unknown", matching run_all.sh's `${V:-unknown}`.
+const char *orUnknown(const char *S) { return S && *S ? S : "unknown"; }
+
+} // namespace
+
+const BuildInfo &evm::buildInfo() {
+  static const BuildInfo Info = {
+      orUnknown(EVM_BUILD_GIT_SHA), orUnknown(EVM_BUILD_COMPILER),
+      orUnknown(EVM_BUILD_COMPILER_VERSION), orUnknown(EVM_BUILD_TYPE)};
+  return Info;
+}
+
+std::string BuildInfo::renderJson() const {
+  return formatString("{\"git_sha\":\"%s\",\"compiler\":\"%s\","
+                      "\"compiler_version\":\"%s\",\"build_type\":\"%s\"}",
+                      GitSha.c_str(), Compiler.c_str(),
+                      CompilerVersion.c_str(), BuildType.c_str());
+}

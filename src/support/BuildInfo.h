@@ -1,0 +1,41 @@
+//===- support/BuildInfo.h - Build provenance stamped at compile time -----===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The provenance fields bench/run_all.sh stamps into BENCH_results.json
+/// (git SHA, compiler id/version, build type), baked into the binary at
+/// configure time so `evm_cli --version` and exported decision ledgers are
+/// attributable to a build without shelling out to git.  Every field
+/// degrades to "unknown" when configure could not determine it (no git,
+/// empty CMAKE_BUILD_TYPE) — matching run_all.sh's `${V:-unknown}`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SUPPORT_BUILDINFO_H
+#define EVM_SUPPORT_BUILDINFO_H
+
+#include <string>
+
+namespace evm {
+
+/// Compile-time build provenance.
+struct BuildInfo {
+  std::string GitSha;
+  std::string Compiler;
+  std::string CompilerVersion;
+  std::string BuildType;
+
+  /// One-line JSON with run_all.sh's field names:
+  /// {"git_sha":...,"compiler":...,"compiler_version":...,"build_type":...}
+  std::string renderJson() const;
+};
+
+/// The provenance this binary was built with.
+const BuildInfo &buildInfo();
+
+} // namespace evm
+
+#endif // EVM_SUPPORT_BUILDINFO_H

@@ -16,6 +16,7 @@
 #ifndef EVM_XICL_FEATUREVECTOR_H
 #define EVM_XICL_FEATUREVECTOR_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,10 @@ struct FeatureVector {
 
   /// Renders "name=value, ..." for diagnostics and examples.
   std::string str() const;
+
+  /// Stable 64-bit FNV-1a over str() — the deterministic feature-vector id
+  /// the evolve.predict trace event and the decision ledger both carry.
+  uint64_t hash() const;
 };
 
 } // namespace xicl

@@ -43,6 +43,15 @@ std::string FeatureVector::str() const {
   return Out;
 }
 
+uint64_t FeatureVector::hash() const {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : str()) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
 XICLTranslator::XICLTranslator(Spec TheSpec, const XFMethodRegistry *Registry,
                                const FileStore *Files)
     : TheSpec(std::move(TheSpec)), Registry(Registry), Files(Files) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace evm;
 using namespace evm::ml;
@@ -352,4 +353,93 @@ TEST(ConfidenceTest, ConvergesToSteadyAccuracy) {
   for (int I = 0; I != 50; ++I)
     C.update(0.85);
   EXPECT_NEAR(C.value(), 0.85, 1e-6);
+}
+
+TEST(ConfidenceTest, ColdStateClosedEvenAtZeroThreshold) {
+  // Before any run has been scored (RunsSeen = 0) the guard must stay
+  // closed even with the threshold floored: the gate is strict (>), so a
+  // fresh tracker never opens on equality with a zero threshold.
+  ConfidenceTracker C(0.7, 0.0);
+  EXPECT_DOUBLE_EQ(C.value(), 0.0);
+  EXPECT_FALSE(C.confident());
+  C.update(1e-12); // any positive accuracy signal opens it
+  EXPECT_TRUE(C.confident());
+}
+
+TEST(ConfidenceTest, GammaZeroNeverMoves) {
+  ConfidenceTracker C(0.0, 0.7);
+  EXPECT_DOUBLE_EQ(C.gamma(), 0.0);
+  for (int I = 0; I != 10; ++I)
+    C.update(1.0);
+  EXPECT_DOUBLE_EQ(C.value(), 0.0); // (1-0)*conf + 0*acc = conf
+  EXPECT_FALSE(C.confident());
+}
+
+TEST(ConfidenceTest, GammaOneTracksLastAccuracyExactly) {
+  ConfidenceTracker C(1.0, 0.7);
+  EXPECT_DOUBLE_EQ(C.gamma(), 1.0);
+  C.update(0.25);
+  EXPECT_DOUBLE_EQ(C.value(), 0.25); // no memory at gamma = 1
+  C.update(0.9);
+  EXPECT_DOUBLE_EQ(C.value(), 0.9);
+  C.update(0.0);
+  EXPECT_DOUBLE_EQ(C.value(), 0.0);
+}
+
+TEST(ConfidenceTest, LongAllWrongStreakDecaysTowardZero) {
+  ConfidenceTracker C(0.7, 0.7);
+  C.update(1.0);
+  C.update(1.0); // 0.91, confident
+  ASSERT_TRUE(C.confident());
+  // Every all-wrong run multiplies confidence by (1 - gamma) = 0.3, so
+  // 14 wrong runs shrink 0.91 below 1e-7 without ever going negative.
+  for (int I = 0; I != 14; ++I) {
+    C.update(0.0);
+    EXPECT_GE(C.value(), 0.0);
+  }
+  EXPECT_LT(C.value(), 1e-7);
+  EXPECT_FALSE(C.confident());
+}
+
+TEST(ConfidenceTest, RestoreClampsDamagedStoreBytes) {
+  ConfidenceTracker C(0.7, 0.7);
+  C.restore(2.0); // out of range high
+  EXPECT_DOUBLE_EQ(C.value(), 1.0);
+  C.restore(-1.0); // out of range low
+  EXPECT_DOUBLE_EQ(C.value(), 0.0);
+  C.restore(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(C.value(), 0.0);
+  C.restore(0.85); // in range passes through
+  EXPECT_DOUBLE_EQ(C.value(), 0.85);
+  EXPECT_TRUE(C.confident());
+}
+
+TEST(ConfidenceTest, CrossValidationAndDecayedGuardsCanDisagree) {
+  // The two guard modes answer different questions and can split: k-fold
+  // accuracy scores the *model* on its training set, the decayed tracker
+  // scores the model's *production* record.  A separable dataset with a
+  // cold (or recently-wrong) tracker opens the crossval guard while the
+  // decayed guard stays shut — and random labels with a lucky production
+  // streak split the other way.
+  const double Threshold = 0.7;
+
+  Dataset Separable;
+  for (int I = 0; I != 12; ++I)
+    Separable.addExample(fv2(I, I), I < 6 ? 0 : 1);
+  Rng R1(20090301);
+  double CvSeparable = kFoldAccuracy(Separable, 5, R1);
+  ConfidenceTracker Cold(0.7, Threshold);
+  EXPECT_GT(CvSeparable, Threshold); // crossval guard: open
+  EXPECT_FALSE(Cold.confident());    // decayed guard: closed
+
+  Dataset Random;
+  for (int I = 0; I != 12; ++I)
+    Random.addExample(fv2(I, (I * 7) % 5), I % 2);
+  Rng R2(20090301);
+  double CvRandom = kFoldAccuracy(Random, 5, R2);
+  ConfidenceTracker Streak(0.7, Threshold);
+  for (int I = 0; I != 5; ++I)
+    Streak.update(1.0);
+  EXPECT_LT(CvRandom, Threshold); // crossval guard: closed
+  EXPECT_TRUE(Streak.confident()); // decayed guard: open
 }

@@ -1,29 +1,36 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Threads-matrix smoke for fleet mode: runs the same fleet at several
-# --threads values and fails unless every aggregate JSON is byte-identical
-# to the T=1 document.  Meant for the sanitizer lanes —
+# --threads values and fails unless every aggregate JSON — and every
+# decision-ledger JSONL — is byte-identical to the T=1 document.  Meant
+# for the sanitizer lanes —
 #
 #   cmake -B build-tsan -S . -DEVM_SANITIZE=thread
 #   cmake --build build-tsan -j
 #   tools/fleet-smoke.sh build-tsan
 #
 # — where it drives the real evm_cli binary (tenant threads, shard
-# checkpoints, global-store folds) through TSan, but it is just as useful
-# as a quick local determinism check on a plain build.
+# checkpoints, global-store folds, per-tenant ledgers) through TSan, but
+# it is just as useful as a quick local determinism check on a plain
+# build.
 #
 #   tools/fleet-smoke.sh [BUILD_DIR] [THREADS...]
 #
 #   BUILD_DIR  CMake build tree holding examples/evm_cli (default: build)
 #   THREADS    thread counts to sweep (default: 1 2 4 8)
-set -eu
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-[ $# -gt 0 ] && shift
-THREADS="${*:-1 2 4 8}"
+if [ "$#" -gt 0 ]; then
+  shift
+fi
+THREADS=("$@")
+if [ "${#THREADS[@]}" -eq 0 ]; then
+  THREADS=(1 2 4 8)
+fi
 
 CLI="$BUILD_DIR/examples/evm_cli"
 if [ ! -x "$CLI" ]; then
-  echo "error: $CLI not found (build first: cmake --build $BUILD_DIR)" >&2
+  echo "error: $CLI not found (build first: cmake --build \"$BUILD_DIR\")" >&2
   exit 2
 fi
 
@@ -31,23 +38,37 @@ WORK="$(mktemp -d /tmp/fleet-smoke.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
 
 BASELINE=""
-for T in $THREADS; do
+BASELINE_DECISIONS=""
+for T in "${THREADS[@]}"; do
   OUT="$WORK/t$T.json"
+  DECISIONS="$WORK/t$T.decisions.jsonl"
   # Fresh shard dir per thread count: launch-vs-launch, not warm-start.
-  "$CLI" --fleet 6 --threads "$T" --fleet-runs 5 --merge-every 2 \
-    --shard-dir "$WORK/shards-t$T" --seed 20090301 \
-    > "$OUT" 2> "$WORK/t$T.err"
+  # Fail the whole matrix on the first broken cell, with its stderr.
+  if ! "$CLI" --fleet 6 --threads "$T" --fleet-runs 5 --merge-every 2 \
+      --shard-dir "$WORK/shards-t$T" --seed 20090301 \
+      --decisions-out "$DECISIONS" \
+      > "$OUT" 2> "$WORK/t$T.err"; then
+    echo "FAIL: evm_cli exited nonzero at T=$T" >&2
+    cat "$WORK/t$T.err" >&2
+    exit 1
+  fi
   if [ -z "$BASELINE" ]; then
     BASELINE="$OUT"
-    echo "T=$T: baseline ($(wc -c < "$OUT") bytes)"
+    BASELINE_DECISIONS="$DECISIONS"
+    echo "T=$T: baseline ($(wc -c < "$OUT") bytes aggregate," \
+      "$(wc -c < "$DECISIONS") bytes ledger)"
     continue
   fi
-  if cmp -s "$BASELINE" "$OUT"; then
-    echo "T=$T: byte-identical"
-  else
-    echo "FAIL: aggregate JSON at T=$T differs from T=1" >&2
+  if ! cmp -s "$BASELINE" "$OUT"; then
+    echo "FAIL: aggregate JSON at T=$T differs from T=${THREADS[0]}" >&2
     cmp "$BASELINE" "$OUT" >&2 || true
     exit 1
   fi
+  if ! cmp -s "$BASELINE_DECISIONS" "$DECISIONS"; then
+    echo "FAIL: decision ledger at T=$T differs from T=${THREADS[0]}" >&2
+    cmp "$BASELINE_DECISIONS" "$DECISIONS" >&2 || true
+    exit 1
+  fi
+  echo "T=$T: byte-identical (aggregate + ledger)"
 done
-echo "fleet threads-matrix smoke: OK ($THREADS)"
+echo "fleet threads-matrix smoke: OK (${THREADS[*]})"
