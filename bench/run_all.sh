@@ -56,6 +56,7 @@ ablation:bench_ablation:
 crossrun:bench_crossrun:
 fleet:bench_fleet:
 openworld:bench_openworld:
+serve:bench_serve:
 "
 FULL_BENCHES="
 fig10:bench_fig10:

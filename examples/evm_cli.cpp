@@ -32,8 +32,12 @@
 #include "bytecode/Assembler.h"
 #include "evolve/EvolvableVM.h"
 #include "harness/Fleet.h"
+#include "server/Protocol.h"
+#include "store/Json.h"
 #include "store/KnowledgeStore.h"
+#include "support/ArgParse.h"
 #include "support/BuildInfo.h"
+#include "support/Format.h"
 #include "support/DecisionLedger.h"
 #include "support/Profiler.h"
 #include "support/StringUtils.h"
@@ -44,13 +48,17 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace evm;
 
@@ -107,6 +115,11 @@ struct CliOptions {
   std::string ShardDir;        ///< --shard-dir= (per-tenant shard stores)
   std::string FleetWorkloads;  ///< --fleet-workloads=a,b,c
   std::string FleetOutPath;    ///< --fleet-out= (aggregate JSON copy)
+
+  // Client mode (--connect=SOCKET selects it; see runConnect).
+  std::string ConnectPath; ///< --connect= (evm-served socket path)
+  std::string ConnectApp = "route"; ///< --app= (lane id on the daemon)
+  std::string InputOrder;  ///< --input-order=0,1,2 (built-in input indices)
 
   bool wantsTrace() const {
     return !TraceOutPath.empty() || !TraceJsonlPath.empty();
@@ -550,39 +563,145 @@ int runGenerated(const CliOptions &Options) {
                 G.W.Name);
 }
 
-/// Matches `--NAME=VALUE` or the two-token form `--NAME VALUE` (consuming
-/// the next argv element).  Returns true when \p Arg is this option;
-/// \p HasVal tells whether a value was actually present.
-bool matchValueFlag(const std::string &Arg, const std::string &Name,
-                    int Argc, char **Argv, int &I, std::string &Val,
-                    bool &HasVal) {
-  if (Arg.rfind(Name + "=", 0) == 0) {
-    Val = Arg.substr(Name.size() + 1);
-    HasVal = true;
-    return true;
+/// Connects to an evm-served Unix-domain socket; -1 with \p Err set on
+/// failure.
+int connectDaemon(const std::string &Path, std::string &Err) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = formatString("socket: %s", std::strerror(errno));
+    return -1;
   }
-  if (Arg == Name) {
-    HasVal = I + 1 < Argc;
-    if (HasVal)
-      Val = Argv[++I];
-    return true;
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    ::close(Fd);
+    return -1;
   }
-  return false;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Err = formatString("connect %s: %s", Path.c_str(), std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
 }
 
-/// Parses an integer option value with a lower bound; prints the error.
-bool parseIntOption(const char *Name, const std::string &Val, bool HasVal,
-                    int64_t Min, int64_t &Dest) {
-  std::optional<int64_t> N;
-  if (HasVal)
-    N = parseInteger(Val);
-  if (!N || *N < Min) {
-    std::fprintf(stderr, "error: bad %s value '%s'\n", Name,
-                 HasVal ? Val.c_str() : "(missing)");
-    return false;
+/// Client mode: sends a serial request stream to a running evm-served
+/// daemon and prints one table row per response.  Requests come either
+/// from --input-order=I,J,... (the daemon workload's built-in inputs) or
+/// from one positional RUNS.txt (raw cmdline/args, same grammar as replay
+/// mode).  Serial send-then-receive keeps the stream inside the daemon's
+/// determinism pin: responses arrive in request order, byte-identical to
+/// the equivalent batch launch.
+int runConnect(const CliOptions &Options,
+               const std::vector<std::string> &Positional) {
+  std::vector<std::string> Requests;
+  uint64_t NextId = 1;
+  if (!Options.InputOrder.empty()) {
+    if (!Positional.empty()) {
+      std::fprintf(stderr, "error: --input-order conflicts with positional "
+                           "file arguments\n");
+      return ExitUsage;
+    }
+    for (const std::string &Tok : splitString(Options.InputOrder, ',')) {
+      auto N = parseInteger(Tok);
+      if (!N || *N < 0) {
+        std::fprintf(stderr, "error: bad --input-order entry '%s'\n",
+                     Tok.c_str());
+        return ExitUsage;
+      }
+      Requests.push_back(server::renderRunInputRequest(
+          NextId++, Options.ConnectApp, static_cast<uint64_t>(*N)));
+    }
+  } else if (Positional.size() == 1) {
+    std::string RunsText;
+    if (!readFile(Positional[0], RunsText)) {
+      std::fprintf(stderr, "error: cannot read '%s'\n",
+                   Positional[0].c_str());
+      return ExitIo;
+    }
+    bool Ok = true;
+    std::vector<RunLine> Runs = parseRuns(RunsText, Ok);
+    if (!Ok || Runs.empty()) {
+      std::fprintf(stderr, "error: no usable runs\n");
+      return ExitFailure;
+    }
+    for (const RunLine &R : Runs)
+      Requests.push_back(server::renderRunRawRequest(
+          NextId++, Options.ConnectApp, R.CommandLine, R.Args));
+  } else {
+    std::fprintf(stderr, "error: --connect needs --input-order=I,J,... or "
+                         "one RUNS.txt positional argument\n");
+    return ExitUsage;
   }
-  Dest = *N;
-  return true;
+
+  std::string Err;
+  int Fd = connectDaemon(Options.ConnectPath, Err);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return ExitIo;
+  }
+
+  std::printf("%-4s %-10s %-5s %-5s %-10s %-7s %-9s %s\n", "id", "status",
+              "run", "used", "conf", "acc", "cycles", "ret");
+  size_t NumOk = 0, NumRejected = 0, NumErrors = 0;
+  for (const std::string &Req : Requests) {
+    if (!server::writeFrame(Fd, Req)) {
+      std::fprintf(stderr, "error: request write failed\n");
+      ::close(Fd);
+      return ExitIo;
+    }
+    std::string Payload;
+    server::FrameStatus S = server::readFrame(Fd, Payload, Err);
+    if (S != server::FrameStatus::Ok) {
+      std::fprintf(stderr, "error: %s\n",
+                   S == server::FrameStatus::Eof ? "daemon closed the stream"
+                                                 : Err.c_str());
+      ::close(Fd);
+      return ExitIo;
+    }
+    auto Doc = store::JsonValue::parse(Payload);
+    if (!Doc || !Doc->isObject()) {
+      std::fprintf(stderr, "error: malformed response frame\n");
+      ::close(Fd);
+      return ExitIo;
+    }
+    auto U64 = [&](const char *Name) -> unsigned long long {
+      const store::JsonValue *F = Doc->field(Name);
+      return F ? F->asU64() : 0;
+    };
+    auto Dbl = [&](const char *Name) {
+      const store::JsonValue *F = Doc->field(Name);
+      return F ? F->asDouble() : 0.0;
+    };
+    auto Str = [&](const char *Name) -> std::string {
+      const store::JsonValue *F = Doc->field(Name);
+      return F ? F->str() : std::string("?");
+    };
+    std::string Status = Str("status");
+    if (Status == "ok") {
+      ++NumOk;
+      std::printf("%-4llu %-10s %-5llu %-5llu %-10.4f %-7.2f %-9llu %s\n",
+                  U64("id"), Status.c_str(), U64("run"), U64("used"),
+                  Dbl("conf_after"), Dbl("acc"), U64("cycles"),
+                  Str("ret").c_str());
+    } else if (Status == "rejected") {
+      ++NumRejected;
+      std::printf("%-4llu %-10s %s\n", U64("id"), Status.c_str(),
+                  Str("reason").c_str());
+    } else {
+      ++NumErrors;
+      std::printf("%-4llu %-10s %s\n", U64("id"), Status.c_str(),
+                  Str("error").c_str());
+    }
+  }
+  ::close(Fd);
+  std::fprintf(stderr, "%zu ok, %zu rejected, %zu errors\n", NumOk,
+               NumRejected, NumErrors);
+  return (NumRejected || NumErrors) ? ExitFailure : ExitSuccess;
 }
 
 void printUsage(const char *Argv0, std::FILE *To) {
@@ -646,6 +765,17 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "                             runs (default 0 = once at the end)\n"
       "  --seed=S                   fleet seed (default 1)\n"
       "  --fleet-out=FILE           also write the aggregate JSON to FILE\n"
+      "client mode (talks to a running tools/evm-served daemon; all value\n"
+      "options also accept the two-token form `--opt VALUE`):\n"
+      "  --connect=SOCKET           send requests to the daemon listening\n"
+      "                             on this Unix socket, one table row per\n"
+      "                             response\n"
+      "  --app=NAME[:K]             daemon lane to run on (a workload name\n"
+      "                             plus optional instance; default route)\n"
+      "  --input-order=I,J,...      request the lane workload's built-in\n"
+      "                             inputs in this order; alternatively one\n"
+      "                             positional RUNS.txt sends raw\n"
+      "                             cmdline/args lines\n"
       "exit codes: 0 success; 1 scenario failure (assembly error, unusable\n"
       "runs, trapped run); 2 usage error; 3 file I/O error (unreadable or\n"
       "unwritable input, output, or store file)\n");
@@ -670,12 +800,10 @@ int main(int argc, char **argv) {
       return 0;
     }
     if (matchValueFlag(Arg, "--gen-workload", argc, argv, I, Val, HasVal)) {
-      if (!HasVal || Val.empty()) {
-        std::fprintf(stderr,
-                     "error: --gen-workload needs a key=value,... spec\n");
+      if (!parseStringOption("--gen-workload", Val, HasVal,
+                             "a key=value,... spec",
+                             Options.GenWorkloadSpec))
         return 2;
-      }
-      Options.GenWorkloadSpec = Val;
     } else if (matchValueFlag(Arg, "--gen-runs", argc, argv, I, Val,
                               HasVal)) {
       if (!parseIntOption("--gen-runs", Val, HasVal, 1, Options.GenRuns))
@@ -706,28 +834,37 @@ int main(int argc, char **argv) {
       FleetFlagSeen = true;
     } else if (matchValueFlag(Arg, "--shard-dir", argc, argv, I, Val,
                               HasVal)) {
-      if (!HasVal || Val.empty()) {
-        std::fprintf(stderr, "error: --shard-dir needs a directory\n");
+      if (!parseStringOption("--shard-dir", Val, HasVal, "a directory",
+                             Options.ShardDir))
         return 2;
-      }
-      Options.ShardDir = Val;
       FleetFlagSeen = true;
     } else if (matchValueFlag(Arg, "--fleet-workloads", argc, argv, I, Val,
                               HasVal)) {
-      if (!HasVal || Val.empty()) {
-        std::fprintf(stderr, "error: --fleet-workloads needs names\n");
+      if (!parseStringOption("--fleet-workloads", Val, HasVal, "names",
+                             Options.FleetWorkloads))
         return 2;
-      }
-      Options.FleetWorkloads = Val;
       FleetFlagSeen = true;
     } else if (matchValueFlag(Arg, "--fleet-out", argc, argv, I, Val,
                               HasVal)) {
-      if (!HasVal || Val.empty()) {
-        std::fprintf(stderr, "error: --fleet-out needs a file\n");
+      if (!parseStringOption("--fleet-out", Val, HasVal, "a file",
+                             Options.FleetOutPath))
         return 2;
-      }
-      Options.FleetOutPath = Val;
       FleetFlagSeen = true;
+    } else if (matchValueFlag(Arg, "--connect", argc, argv, I, Val,
+                              HasVal)) {
+      if (!parseStringOption("--connect", Val, HasVal, "a socket path",
+                             Options.ConnectPath))
+        return 2;
+    } else if (matchValueFlag(Arg, "--app", argc, argv, I, Val, HasVal)) {
+      if (!parseStringOption("--app", Val, HasVal, "a lane id",
+                             Options.ConnectApp))
+        return 2;
+    } else if (matchValueFlag(Arg, "--input-order", argc, argv, I, Val,
+                              HasVal)) {
+      if (!parseStringOption("--input-order", Val, HasVal,
+                             "a comma-separated index list",
+                             Options.InputOrder))
+        return 2;
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       Options.TraceOutPath = Arg.substr(12);
     } else if (Arg.rfind("--trace-jsonl=", 0) == 0) {
@@ -742,11 +879,9 @@ int main(int argc, char **argv) {
       Options.ProfileSpeedPath = Arg.substr(21);
     } else if (matchValueFlag(Arg, "--decisions-out", argc, argv, I, Val,
                               HasVal)) {
-      if (!HasVal || Val.empty()) {
-        std::fprintf(stderr, "error: --decisions-out needs a file\n");
+      if (!parseStringOption("--decisions-out", Val, HasVal, "a file",
+                             Options.DecisionsOutPath))
         return 2;
-      }
-      Options.DecisionsOutPath = Val;
     } else if (Arg.rfind("--store=", 0) == 0) {
       Options.StorePath = Arg.substr(8);
     } else if (Arg == "--store-readonly") {
@@ -779,6 +914,26 @@ int main(int argc, char **argv) {
   if (Options.StoreReadonly && Options.StoreReset) {
     std::fprintf(stderr,
                  "error: --store-readonly and --store-reset conflict\n");
+    return 2;
+  }
+
+  if (!Options.ConnectPath.empty()) {
+    if (Options.FleetTenants > 0 || FleetFlagSeen ||
+        !Options.GenWorkloadSpec.empty()) {
+      std::fprintf(stderr,
+                   "error: --connect conflicts with fleet/gen modes\n");
+      return 2;
+    }
+    if (!Options.StorePath.empty() || Options.wantsTrace() ||
+        Options.wantsProfile()) {
+      std::fprintf(stderr, "error: --connect runs on the daemon; local "
+                           "store/trace/profile outputs conflict\n");
+      return 2;
+    }
+    return runConnect(Options, Positional);
+  }
+  if (!Options.InputOrder.empty()) {
+    std::fprintf(stderr, "error: --input-order needs --connect=SOCKET\n");
     return 2;
   }
 

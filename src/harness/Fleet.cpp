@@ -29,15 +29,14 @@ std::string FleetRunner::globalStorePath(const std::string &Dir,
   return Dir + "/global-" + App + ".store";
 }
 
-namespace {
-
-/// Builds tenant workloads: any paper benchmark by name, plus "route" (the
-/// running example — small enough for tests and the soak lane).
-wl::Workload buildFleetWorkload(const std::string &Name, uint64_t Seed) {
+wl::Workload evm::harness::buildFleetWorkload(const std::string &Name,
+                                              uint64_t Seed) {
   if (Name == "route")
     return wl::buildRouteExample(Seed, 24);
   return wl::buildWorkload(Name, Seed);
 }
+
+namespace {
 
 /// Loads \p Path, treating NotFound/IoError as an empty store (fleet
 /// startup must never abort on a damaged or missing shard; the loader's

@@ -54,6 +54,12 @@
 namespace evm {
 namespace harness {
 
+/// Builds tenant workloads: any paper benchmark by name, plus "route" (the
+/// running example — small enough for tests and the soak lane).  Shared
+/// with the prediction server's per-app lanes, which must realize exactly
+/// the fleet's name -> workload mapping for the determinism pin to hold.
+wl::Workload buildFleetWorkload(const std::string &Name, uint64_t Seed);
+
 /// Fleet-level knobs.  Everything except NumThreads changes the result;
 /// NumThreads only changes how fast it arrives.
 struct FleetConfig {

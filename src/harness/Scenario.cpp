@@ -181,9 +181,8 @@ void ScenarioRunner::runEvolveSpan(evolve::EvolvableVM &VM,
   }
 }
 
-namespace {
-
-evolve::EvolveConfig makeEvolveConfig(const ExperimentConfig &Config) {
+evolve::EvolveConfig
+evm::harness::makeEvolveConfig(const ExperimentConfig &Config) {
   evolve::EvolveConfig EC;
   EC.Timing = Config.Timing;
   EC.Gamma = Config.Gamma;
@@ -191,8 +190,6 @@ evolve::EvolveConfig makeEvolveConfig(const ExperimentConfig &Config) {
   EC.MaxCyclesPerRun = Config.MaxCyclesPerRun;
   return EC;
 }
-
-} // namespace
 
 ScenarioResult ScenarioRunner::runEvolve(const std::vector<size_t> &Order) {
   ScenarioResult Result;

@@ -74,6 +74,12 @@ struct ExperimentConfig {
   uint64_t MaxCyclesPerRun = 4ULL << 32;
 };
 
+/// The EvolveConfig every harness-created EvolvableVM runs under.  Shared
+/// with the prediction server's lanes, whose determinism pin (serial
+/// request stream == runEvolveLaunches batch) requires the identical
+/// configuration mapping.
+evolve::EvolveConfig makeEvolveConfig(const ExperimentConfig &Config);
+
 /// Runs all three scenarios for one workload over one input sequence.
 class ScenarioRunner {
 public:

@@ -1,0 +1,88 @@
+//===- server/Batcher.cpp -------------------------------------------------===//
+
+#include "server/Batcher.h"
+
+using namespace evm;
+using namespace evm::server;
+
+RequestBatcher::RequestBatcher(Config C, FlushFn Flush)
+    : C(C), Flush(std::move(Flush)) {
+  if (this->C.BatchSize == 0)
+    this->C.BatchSize = 1;
+  Thread = std::thread([this] { loop(); });
+}
+
+RequestBatcher::~RequestBatcher() { drain(); }
+
+bool RequestBatcher::submit(BatchItem Item) {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    if (Stopping)
+      return false;
+    Pending.push_back(std::move(Item));
+  }
+  CV.notify_all();
+  return true;
+}
+
+void RequestBatcher::drain() {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    Stopping = true;
+  }
+  CV.notify_all();
+  if (Thread.joinable())
+    Thread.join();
+}
+
+size_t RequestBatcher::pending() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return Pending.size();
+}
+
+void RequestBatcher::loop() {
+  std::unique_lock<std::mutex> L(Mutex);
+  while (true) {
+    if (Pending.empty()) {
+      if (Stopping)
+        return;
+      CV.wait(L);
+      continue;
+    }
+
+    FlushReason Reason;
+    if (Pending.size() >= C.BatchSize) {
+      Reason = FlushReason::Size;
+    } else if (Stopping) {
+      Reason = FlushReason::Drain;
+    } else {
+      // Wait for the batch to fill, but no longer than the oldest item's
+      // deadline — tail latency under light load is bounded by it.
+      auto Deadline =
+          Pending.front().Enqueued + std::chrono::microseconds(C.DeadlineMicros);
+      bool Filled = CV.wait_until(L, Deadline, [&] {
+        return Pending.size() >= C.BatchSize || Stopping;
+      });
+      if (Filled)
+        continue; // re-evaluate: size or drain flush on the next pass
+      Reason = FlushReason::Deadline;
+    }
+
+    std::vector<BatchItem> Batch;
+    Batch.swap(Pending);
+    switch (Reason) {
+    case FlushReason::Size:
+      ++SizeFlushes;
+      break;
+    case FlushReason::Deadline:
+      ++DeadlineFlushes;
+      break;
+    case FlushReason::Drain:
+      ++DrainFlushes;
+      break;
+    }
+    L.unlock();
+    Flush(std::move(Batch), Reason);
+    L.lock();
+  }
+}

@@ -1,0 +1,100 @@
+//===- server/Batcher.h - Adaptive request batcher ------------------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission-to-execution coupling stage: accepted run requests queue
+/// here and are flushed to the worker lanes in batches — when the pending
+/// count reaches the batch size, or when the oldest pending request has
+/// waited out the flush deadline, whichever comes first.  Batching trades a
+/// bounded latency penalty (the deadline) for fewer lane wakeups under
+/// load; under light traffic the deadline dominates and requests flow
+/// almost immediately.
+///
+/// One batcher thread owns the queue; the flush callback runs on it, so a
+/// single flush sees its batch in admission order.  Per-item ordering per
+/// client is preserved end-to-end: readers submit in read order, flushes
+/// preserve queue order, and each lane executes its items FIFO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SERVER_BATCHER_H
+#define EVM_SERVER_BATCHER_H
+
+#include "server/Protocol.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evm {
+namespace server {
+
+class ClientConn;
+
+/// One accepted request in flight: what to run, whom to answer, and when
+/// it was admitted (the latency histogram measures admission-to-response).
+struct BatchItem {
+  RunRequest Req;
+  uint64_t Id = 0;
+  std::shared_ptr<ClientConn> Client;
+  std::chrono::steady_clock::time_point Enqueued;
+};
+
+class RequestBatcher {
+public:
+  struct Config {
+    size_t BatchSize = 4;
+    uint64_t DeadlineMicros = 1000;
+  };
+
+  /// Why a flush fired (metrics labels).
+  enum class FlushReason { Size, Deadline, Drain };
+
+  using FlushFn = std::function<void(std::vector<BatchItem>, FlushReason)>;
+
+  /// Starts the batcher thread.  \p Flush runs on it.
+  RequestBatcher(Config C, FlushFn Flush);
+  ~RequestBatcher();
+
+  /// Enqueues one item.  False once drain() has begun (the caller turns
+  /// that into an explicit "draining" rejection).
+  bool submit(BatchItem Item);
+
+  /// Flushes everything pending and stops the thread.  Idempotent; after
+  /// it returns, every submitted item has been handed to the flush
+  /// callback.
+  void drain();
+
+  size_t pending() const;
+  uint64_t sizeFlushes() const { return SizeFlushes.load(); }
+  uint64_t deadlineFlushes() const { return DeadlineFlushes.load(); }
+  uint64_t drainFlushes() const { return DrainFlushes.load(); }
+
+private:
+  void loop();
+
+  Config C;
+  FlushFn Flush;
+  mutable std::mutex Mutex;
+  std::condition_variable CV;
+  std::vector<BatchItem> Pending;
+  bool Stopping = false;
+  std::atomic<uint64_t> SizeFlushes{0};
+  std::atomic<uint64_t> DeadlineFlushes{0};
+  std::atomic<uint64_t> DrainFlushes{0};
+  std::thread Thread;
+};
+
+} // namespace server
+} // namespace evm
+
+#endif // EVM_SERVER_BATCHER_H

@@ -1,0 +1,283 @@
+//===- server/Protocol.cpp ------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "store/Json.h"
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace evm;
+using namespace evm::server;
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reads exactly \p Len bytes (EINTR-safe).  Returns the byte count read,
+/// which is < Len only on EOF or error (errno set).
+size_t readFull(int Fd, void *Buf, size_t Len) {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::read(Fd, static_cast<char *>(Buf) + Done, Len - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Done;
+    }
+    if (N == 0)
+      return Done;
+    Done += static_cast<size_t>(N);
+  }
+  return Done;
+}
+
+} // namespace
+
+FrameStatus server::readFrame(int Fd, std::string &Payload,
+                              std::string &Error) {
+  unsigned char Header[4];
+  size_t Got = readFull(Fd, Header, sizeof(Header));
+  if (Got == 0) {
+    // Clean EOF between frames: the peer closed the stream.
+    return FrameStatus::Eof;
+  }
+  if (Got != sizeof(Header)) {
+    Error = "truncated frame header";
+    return FrameStatus::Error;
+  }
+  uint32_t Len = (uint32_t(Header[0]) << 24) | (uint32_t(Header[1]) << 16) |
+                 (uint32_t(Header[2]) << 8) | uint32_t(Header[3]);
+  if (Len > MaxFramePayload) {
+    Error = formatString("frame payload %u exceeds limit %u", Len,
+                         MaxFramePayload);
+    return FrameStatus::Error;
+  }
+  Payload.resize(Len);
+  if (Len != 0 && readFull(Fd, &Payload[0], Len) != Len) {
+    Error = "truncated frame payload";
+    return FrameStatus::Error;
+  }
+  return FrameStatus::Ok;
+}
+
+bool server::writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFramePayload)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Header[4] = {
+      static_cast<unsigned char>(Len >> 24),
+      static_cast<unsigned char>(Len >> 16),
+      static_cast<unsigned char>(Len >> 8),
+      static_cast<unsigned char>(Len),
+  };
+  std::string Wire(reinterpret_cast<char *>(Header), sizeof(Header));
+  Wire += Payload;
+  size_t Done = 0;
+  while (Done < Wire.size()) {
+    ssize_t N = ::write(Fd, Wire.data() + Done, Wire.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Request parsing
+//===----------------------------------------------------------------------===//
+
+std::optional<Request> server::parseRequest(const std::string &Text,
+                                            std::string &Error) {
+  auto Doc = store::JsonValue::parse(Text);
+  if (!Doc || !Doc->isObject()) {
+    Error = "request is not a JSON object";
+    return std::nullopt;
+  }
+  const store::JsonValue *Op = Doc->field("op");
+  if (!Op || !Op->isString()) {
+    Error = "missing \"op\"";
+    return std::nullopt;
+  }
+  Request R;
+  if (const store::JsonValue *Id = Doc->field("id"))
+    R.Id = Id->asU64();
+
+  if (Op->str() == "ping") {
+    R.TheOp = Request::Op::Ping;
+    return R;
+  }
+  if (Op->str() == "stats") {
+    R.TheOp = Request::Op::Stats;
+    return R;
+  }
+  if (Op->str() != "run") {
+    Error = formatString("unknown op \"%s\"", Op->str().c_str());
+    return std::nullopt;
+  }
+
+  R.TheOp = Request::Op::Run;
+  const store::JsonValue *App = Doc->field("app");
+  if (!App || !App->isString() || App->str().empty()) {
+    Error = "run request missing \"app\"";
+    return std::nullopt;
+  }
+  R.Run.App = App->str();
+
+  if (const store::JsonValue *Input = Doc->field("input")) {
+    if (!Input->isNumber()) {
+      Error = "\"input\" must be a number";
+      return std::nullopt;
+    }
+    R.Run.HasInput = true;
+    R.Run.Input = Input->asU64();
+    return R;
+  }
+
+  const store::JsonValue *Cmd = Doc->field("cmdline");
+  if (!Cmd || !Cmd->isString()) {
+    Error = "run request needs \"input\" or \"cmdline\"";
+    return std::nullopt;
+  }
+  R.Run.CommandLine = Cmd->str();
+  if (const store::JsonValue *Args = Doc->field("args")) {
+    if (!Args->isArray()) {
+      Error = "\"args\" must be an array";
+      return std::nullopt;
+    }
+    for (const store::JsonValue &A : Args->array()) {
+      if (!A.isNumber()) {
+        Error = "\"args\" entries must be numbers";
+        return std::nullopt;
+      }
+      // Mirror evm_cli's RUNS.txt typing: a '.' or exponent in the raw
+      // spelling makes a float, everything else an int (JsonValue keeps
+      // the raw number text for exactly this).
+      const std::string &Raw = A.numberText();
+      bool Float = Raw.find('.') != std::string::npos ||
+                   Raw.find('e') != std::string::npos ||
+                   Raw.find('E') != std::string::npos;
+      R.Run.Args.push_back(Float ? bc::Value::makeFloat(A.asDouble())
+                                 : bc::Value::makeInt(A.asI64()));
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Renders one Value the way evm_cli's RUNS.txt parser would read it back:
+/// ints as decimal, floats with a guaranteed '.' or exponent so the float
+/// kind survives the round trip.
+std::string renderArg(const bc::Value &V) {
+  if (V.isInt())
+    return formatString("%lld", static_cast<long long>(V.asInt()));
+  std::string S = formatString("%.17g", V.asFloat());
+  if (S.find('.') == std::string::npos &&
+      S.find('e') == std::string::npos &&
+      S.find('E') == std::string::npos &&
+      S.find("inf") == std::string::npos &&
+      S.find("nan") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+} // namespace
+
+std::string server::renderRunInputRequest(uint64_t Id, const std::string &App,
+                                          uint64_t Input) {
+  return formatString("{\"op\":\"run\",\"id\":%llu,\"app\":\"%s\","
+                      "\"input\":%llu}",
+                      static_cast<unsigned long long>(Id),
+                      store::jsonEscape(App).c_str(),
+                      static_cast<unsigned long long>(Input));
+}
+
+std::string server::renderRunRawRequest(uint64_t Id, const std::string &App,
+                                        const std::string &CommandLine,
+                                        const std::vector<bc::Value> &Args) {
+  std::string Out = formatString(
+      "{\"op\":\"run\",\"id\":%llu,\"app\":\"%s\",\"cmdline\":\"%s\","
+      "\"args\":[",
+      static_cast<unsigned long long>(Id), store::jsonEscape(App).c_str(),
+      store::jsonEscape(CommandLine).c_str());
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += renderArg(Args[I]);
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string server::renderPingRequest(uint64_t Id) {
+  return formatString("{\"op\":\"ping\",\"id\":%llu}",
+                      static_cast<unsigned long long>(Id));
+}
+
+std::string server::renderStatsRequest(uint64_t Id) {
+  return formatString("{\"op\":\"stats\",\"id\":%llu}",
+                      static_cast<unsigned long long>(Id));
+}
+
+std::string server::renderRunResponse(uint64_t Id, const std::string &App,
+                                      uint64_t Run,
+                                      const evolve::EvolveRunRecord &Record) {
+  // Canonical rendering: fixed key order, %.17g doubles, the metrics
+  // snapshot embedded verbatim.  This is the byte stream the determinism
+  // pin compares against batch-mode records, so every field must be a pure
+  // function of the EvolveRunRecord (no wall-clock, no queue state).
+  std::string Out = formatString(
+      "{\"id\":%llu,\"status\":\"ok\",\"app\":\"%s\",\"run\":%llu,"
+      "\"used\":%d,\"had\":%d,\"conf_before\":%.17g,\"conf_after\":%.17g,"
+      "\"cv\":%.17g,\"acc\":%.17g,\"cycles\":%llu,\"extract_cycles\":%llu,"
+      "\"predict_cycles\":%llu,\"ret\":\"%s\",\"fv\":\"%s\",\"stats\":",
+      static_cast<unsigned long long>(Id), store::jsonEscape(App).c_str(),
+      static_cast<unsigned long long>(Run), Record.UsedPrediction ? 1 : 0,
+      Record.HadPrediction ? 1 : 0, Record.ConfidenceBefore,
+      Record.ConfidenceAfter, Record.CvConfidence, Record.Accuracy,
+      static_cast<unsigned long long>(Record.Result.Cycles),
+      static_cast<unsigned long long>(Record.ExtractionCycles),
+      static_cast<unsigned long long>(Record.PredictionCycles),
+      store::jsonEscape(Record.Result.ReturnValue.str()).c_str(),
+      store::jsonEscape(Record.Features.str()).c_str());
+  Out += Record.Result.Metrics.renderJson();
+  Out += '}';
+  return Out;
+}
+
+std::string server::renderRejectedResponse(uint64_t Id, const char *Reason) {
+  return formatString(
+      "{\"id\":%llu,\"status\":\"rejected\",\"reason\":\"%s\"}",
+      static_cast<unsigned long long>(Id), Reason);
+}
+
+std::string server::renderErrorResponse(uint64_t Id, const std::string &What) {
+  return formatString("{\"id\":%llu,\"status\":\"error\",\"error\":\"%s\"}",
+                      static_cast<unsigned long long>(Id),
+                      store::jsonEscape(What).c_str());
+}
+
+std::string server::renderPongResponse(uint64_t Id) {
+  return formatString("{\"id\":%llu,\"status\":\"ok\",\"pong\":1}",
+                      static_cast<unsigned long long>(Id));
+}
+
+std::string server::renderStatsResponse(uint64_t Id,
+                                        const std::string &MetricsJson) {
+  return formatString("{\"id\":%llu,\"status\":\"ok\",\"stats\":%s}",
+                      static_cast<unsigned long long>(Id),
+                      MetricsJson.c_str());
+}

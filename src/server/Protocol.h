@@ -1,0 +1,123 @@
+//===- server/Protocol.h - Serving wire protocol --------------------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The prediction service's wire protocol: length-prefixed JSON frames over
+/// a Unix-domain stream socket.  A frame is a 4-byte big-endian payload
+/// length followed by that many bytes of UTF-8 JSON — one request or one
+/// response per frame, no framing inside the payload.
+///
+/// Requests (client -> server):
+///
+///   {"op":"run","id":N,"app":"route[:K]","input":I}
+///   {"op":"run","id":N,"app":"route[:K]","cmdline":"...","args":[..]}
+///   {"op":"ping","id":N}
+///   {"op":"stats","id":N}
+///
+/// "app" names a worker lane: a workload name (wl::workloadNames() or
+/// "route", realized through harness::buildFleetWorkload) plus an optional
+/// ":instance" suffix so independent lanes can serve the same program.
+/// "input" indexes the lane workload's built-in input set; the raw
+/// "cmdline"/"args" form mirrors evm_cli's RUNS.txt lines (numbers with a
+/// '.', 'e', or 'E' in their spelling become floats, everything else ints).
+///
+/// Responses (server -> client) always carry "id" (echoed) and "status":
+///
+///   {"id":N,"status":"ok","app":...,"run":N,<run record>}     completed run
+///   {"id":N,"status":"ok","pong":1}                           ping
+///   {"id":N,"status":"ok","stats":{"metrics":[..]}}           stats
+///   {"id":N,"status":"rejected","reason":"overload|client_inflight|
+///                                         draining|lanes"}    admission
+///   {"id":N,"status":"error","error":"..."}                   bad request
+///
+/// The run record rendering is canonical (fixed key order, %.17g doubles,
+/// the RunResult metrics snapshot embedded verbatim), which is what the
+/// determinism pin compares: a serial single-client request stream must be
+/// byte-identical to rendering the equivalent batch-mode EvolveRunRecords
+/// through the same renderRunResponse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SERVER_PROTOCOL_H
+#define EVM_SERVER_PROTOCOL_H
+
+#include "bytecode/Value.h"
+#include "evolve/EvolvableVM.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace server {
+
+/// Frames larger than this are a protocol error (the service exchanges
+/// small JSON documents; a huge length prefix is garbage or abuse).
+constexpr uint32_t MaxFramePayload = 1u << 20;
+
+/// One readFrame outcome.
+enum class FrameStatus {
+  Ok,    ///< a complete frame was read
+  Eof,   ///< clean end-of-stream before a header byte
+  Error, ///< I/O error, oversized length, or mid-frame truncation
+};
+
+/// Reads one length-prefixed frame from \p Fd (blocking, EINTR-safe).
+/// On Error, \p Error describes the failure.
+FrameStatus readFrame(int Fd, std::string &Payload, std::string &Error);
+
+/// Writes one length-prefixed frame to \p Fd (blocking, EINTR-safe).
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// A parsed run request.
+struct RunRequest {
+  std::string App;          ///< lane id: "workload" or "workload:instance"
+  bool HasInput = false;    ///< "input" form
+  uint64_t Input = 0;       ///< index into the lane workload's Inputs
+  std::string CommandLine;  ///< raw form (when !HasInput)
+  std::vector<bc::Value> Args;
+};
+
+/// Any parsed request.
+struct Request {
+  enum class Op { Run, Ping, Stats };
+  Op TheOp = Op::Ping;
+  uint64_t Id = 0;
+  RunRequest Run; ///< meaningful when TheOp == Op::Run
+};
+
+/// Parses one request payload.  nullopt on malformed input, with \p Error
+/// describing what was wrong.
+std::optional<Request> parseRequest(const std::string &Text,
+                                    std::string &Error);
+
+/// Renders the request forms (the client side of the protocol).
+std::string renderRunInputRequest(uint64_t Id, const std::string &App,
+                                  uint64_t Input);
+std::string renderRunRawRequest(uint64_t Id, const std::string &App,
+                                const std::string &CommandLine,
+                                const std::vector<bc::Value> &Args);
+std::string renderPingRequest(uint64_t Id);
+std::string renderStatsRequest(uint64_t Id);
+
+/// Canonical "ok" response for one completed run.  \p Run is the lane's
+/// 1-based run ordinal (the VM's RunsSeen after the run).  Byte-
+/// deterministic — the determinism pin's comparison format.
+std::string renderRunResponse(uint64_t Id, const std::string &App,
+                              uint64_t Run,
+                              const evolve::EvolveRunRecord &Record);
+
+/// The non-run responses.
+std::string renderRejectedResponse(uint64_t Id, const char *Reason);
+std::string renderErrorResponse(uint64_t Id, const std::string &What);
+std::string renderPongResponse(uint64_t Id);
+std::string renderStatsResponse(uint64_t Id, const std::string &MetricsJson);
+
+} // namespace server
+} // namespace evm
+
+#endif // EVM_SERVER_PROTOCOL_H

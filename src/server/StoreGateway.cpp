@@ -1,0 +1,101 @@
+//===- server/StoreGateway.cpp --------------------------------------------===//
+
+#include "server/StoreGateway.h"
+
+#include "harness/Fleet.h"
+
+#include <cerrno>
+
+#include <sys/stat.h>
+
+using namespace evm;
+using namespace evm::server;
+
+StoreGateway::StoreGateway(std::string StoreDir) : Dir(std::move(StoreDir)) {
+  if (!Dir.empty())
+    if (mkdir(Dir.c_str(), 0777) != 0 && errno != EEXIST)
+      Dir.clear(); // degrade to memory-only; callers see dir().empty()
+}
+
+std::string StoreGateway::globalPath(const std::string &App) const {
+  // Lane ids may carry a ":instance" suffix; keep the store filename
+  // shell-friendly.
+  std::string Safe = App;
+  for (char &C : Safe)
+    if (C == ':' || C == '/')
+      C = '.';
+  return harness::FleetRunner::globalStorePath(Dir, Safe);
+}
+
+StoreGateway::Snapshot StoreGateway::snapshotLocked(const std::string &App) {
+  auto It = Snapshots.find(App);
+  if (It != Snapshots.end())
+    return It->second;
+  auto Loaded = std::make_shared<store::KnowledgeStore>();
+  if (!Dir.empty()) {
+    store::StoreReadStats Stats;
+    store::loadStoreFile(globalPath(App), *Loaded, Stats);
+  }
+  Snapshot S = std::move(Loaded);
+  Snapshots.emplace(App, S);
+  return S;
+}
+
+StoreGateway::Snapshot StoreGateway::snapshot(const std::string &App) {
+  std::lock_guard<std::mutex> L(Mutex);
+  return snapshotLocked(App);
+}
+
+bool StoreGateway::publish(const std::string &App, size_t Lane,
+                           const store::KnowledgeStore &KS) {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    Snapshot Cur = snapshotLocked(App);
+    // Merge into a fresh document and swap the pointer: readers holding
+    // Cur keep a complete, immutable view — no torn merges by
+    // construction.
+    Snapshots[App] =
+        std::make_shared<const store::KnowledgeStore>(mergeStores(*Cur, KS));
+  }
+  ++NumPublishes;
+  if (Dir.empty())
+    return true;
+  // The fleet's shard machinery: each lane owns its shard file, newest
+  // checkpoint wins (generations stripe per lane, so folds are
+  // permutation-invariant).
+  return store::saveStoreFile(harness::FleetRunner::shardPath(Dir, Lane),
+                              KS);
+}
+
+bool StoreGateway::fold(const std::string &App) {
+  Snapshot S;
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    S = snapshotLocked(App);
+  }
+  ++NumFolds;
+  if (Dir.empty() || S->empty())
+    return true;
+  // Read-modify-write, same shape as ScenarioRunner's checkpoints: an
+  // external writer may have advanced the file since we loaded it.
+  store::KnowledgeStore Disk;
+  store::StoreReadStats Stats;
+  store::loadStoreFile(globalPath(App), Disk, Stats);
+  return store::saveStoreFile(globalPath(App), mergeStores(Disk, *S));
+}
+
+size_t StoreGateway::foldAll() {
+  size_t Failures = 0;
+  for (const std::string &App : apps())
+    if (!fold(App))
+      ++Failures;
+  return Failures;
+}
+
+std::vector<std::string> StoreGateway::apps() const {
+  std::vector<std::string> Out;
+  std::lock_guard<std::mutex> L(Mutex);
+  for (const auto &KV : Snapshots)
+    Out.push_back(KV.first);
+  return Out;
+}

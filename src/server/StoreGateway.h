@@ -1,0 +1,107 @@
+//===- server/StoreGateway.h - Snapshot-isolated shared KnowledgeStore ----===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's view of the shared KnowledgeStore: per-app immutable
+/// snapshots behind shared_ptr, so worker lanes read without locks and
+/// without ever observing a half-merged document.
+///
+/// Concurrency model (read-mostly, snapshot-isolated):
+///
+///   - snapshot(app) hands out `shared_ptr<const KnowledgeStore>`.  Readers
+///     keep using the document they were handed for as long as they like;
+///     publication never mutates a document a reader can see.
+///   - publish(app, lane, checkpoint) merges a lane's checkpoint into a
+///     *fresh copy* under the existing generation-keyed newest-wins
+///     store::mergeStores policy and swaps the app's snapshot pointer under
+///     a short mutex.  Readers on the stale snapshot simply keep the old
+///     shared_ptr — a torn merge is unobservable by construction.
+///   - Lane checkpoints stripe their generations exactly like fleet shards
+///     (lane index i writes generations in ((i+1)*Stride, (i+2)*Stride),
+///     harness::FleetRunner::GenerationStride), so concurrent publishers
+///     merge under a total order and fold permutation-invariantly.
+///   - publish also writes the lane's shard file
+///     (FleetRunner::shardPath(dir, lane)) when a store directory is
+///     configured, reusing the fleet's shard machinery — `evm-store merge`
+///     and `evm-store validate` work on a serving directory unchanged.
+///   - fold(app) read-modify-writes the app's global store on disk
+///     (FleetRunner-style global-<app>.store path, atomic tmp+rename save),
+///     merging disk and snapshot so concurrent external writers lose
+///     nothing.  The drain path folds every app as the final checkpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SERVER_STOREGATEWAY_H
+#define EVM_SERVER_STOREGATEWAY_H
+
+#include "store/KnowledgeStore.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace evm {
+namespace server {
+
+class StoreGateway {
+public:
+  /// An immutable published document.  Never mutated after publication.
+  using Snapshot = std::shared_ptr<const store::KnowledgeStore>;
+
+  /// \p StoreDir holds shard-<lane>.store and global-<app>.store files;
+  /// empty = memory-only (snapshots still work, nothing persists).  The
+  /// directory is created if missing.
+  explicit StoreGateway(std::string StoreDir);
+
+  /// The app's current snapshot.  First touch loads global-<app>.store
+  /// from disk (missing or damaged files degrade to an empty store, the
+  /// loader's usual recovery semantics).  Never null.
+  Snapshot snapshot(const std::string &App);
+
+  /// Publishes a lane checkpoint: snapshot := mergeStores(snapshot, KS),
+  /// swapped atomically under the mutex; the previous snapshot stays valid
+  /// for readers that hold it.  Also writes shard-<lane>.store when a
+  /// store directory is configured (false on that save failing).
+  bool publish(const std::string &App, size_t Lane,
+               const store::KnowledgeStore &KS);
+
+  /// Read-modify-writes global-<app>.store from the current snapshot.
+  /// True when written (or when there is no store directory / nothing to
+  /// persist — not an error).
+  bool fold(const std::string &App);
+
+  /// Folds every touched app; returns the number of failed saves.
+  size_t foldAll();
+
+  /// Apps touched so far (snapshot/publish), sorted.
+  std::vector<std::string> apps() const;
+
+  const std::string &dir() const { return Dir; }
+  uint64_t publishes() const { return NumPublishes.load(); }
+  uint64_t folds() const { return NumFolds.load(); }
+
+  /// global-<app>.store inside the gateway's directory, with lane ids
+  /// (":" instances) made filename-safe.
+  std::string globalPath(const std::string &App) const;
+
+private:
+  Snapshot snapshotLocked(const std::string &App);
+
+  std::string Dir;
+  mutable std::mutex Mutex;
+  std::map<std::string, Snapshot> Snapshots;
+  std::atomic<uint64_t> NumPublishes{0};
+  std::atomic<uint64_t> NumFolds{0};
+};
+
+} // namespace server
+} // namespace evm
+
+#endif // EVM_SERVER_STOREGATEWAY_H

@@ -44,6 +44,9 @@ public:
   const JsonValue *field(std::string_view Name) const;
 
   const std::string &str() const { return Str; }
+  /// Raw spelling of a number value ("3", "3.0", "1e6"); empty otherwise.
+  /// Lets callers distinguish integer from float spellings exactly.
+  const std::string &numberText() const { return NumText; }
   const std::vector<JsonValue> &array() const { return Arr; }
   const std::vector<std::pair<std::string, JsonValue>> &members() const {
     return Obj;

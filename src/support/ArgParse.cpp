@@ -1,0 +1,52 @@
+//===- support/ArgParse.cpp -----------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <optional>
+
+using namespace evm;
+
+bool evm::matchValueFlag(const std::string &Arg, const std::string &Name,
+                         int Argc, char **Argv, int &I, std::string &Val,
+                         bool &HasVal) {
+  if (Arg.rfind(Name + "=", 0) == 0) {
+    Val = Arg.substr(Name.size() + 1);
+    HasVal = true;
+    return true;
+  }
+  if (Arg == Name) {
+    HasVal = I + 1 < Argc;
+    if (HasVal)
+      Val = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+bool evm::parseIntOption(const char *Name, const std::string &Val,
+                         bool HasVal, int64_t Min, int64_t &Dest) {
+  std::optional<int64_t> N;
+  if (HasVal)
+    N = parseInteger(Val);
+  if (!N || *N < Min) {
+    std::fprintf(stderr, "error: bad %s value '%s'\n", Name,
+                 HasVal ? Val.c_str() : "(missing)");
+    return false;
+  }
+  Dest = *N;
+  return true;
+}
+
+bool evm::parseStringOption(const char *Name, const std::string &Val,
+                            bool HasVal, const char *What,
+                            std::string &Dest) {
+  if (!HasVal || Val.empty()) {
+    std::fprintf(stderr, "error: %s needs %s\n", Name, What);
+    return false;
+  }
+  Dest = Val;
+  return true;
+}

@@ -1,0 +1,58 @@
+//===- support/ArgParse.h - Shared command-line option helpers ------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The option-matching helpers every CLI in this repo shares (evm_cli,
+/// evm-served): value options accept both the `--opt=VALUE` and the
+/// two-token `--opt VALUE` spelling, and parse errors print a uniform
+/// message on stderr so callers can simply `return 2`.
+///
+/// All tools follow one exit-code contract:
+///
+///   0  success
+///   1  scenario/finding failure (assembly error, trapped run, failed gate)
+///   2  usage error (bad or unknown flag, wrong positional arguments)
+///   3  file I/O error (unreadable input, unwritable output or store)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_SUPPORT_ARGPARSE_H
+#define EVM_SUPPORT_ARGPARSE_H
+
+#include <cstdint>
+#include <string>
+
+namespace evm {
+
+/// The documented exit-code contract (see file comment).
+enum ExitCode : int {
+  ExitSuccess = 0,
+  ExitFailure = 1,
+  ExitUsage = 2,
+  ExitIo = 3,
+};
+
+/// Matches `--NAME=VALUE` or the two-token form `--NAME VALUE` (consuming
+/// the next argv element).  Returns true when \p Arg is this option;
+/// \p HasVal tells whether a value was actually present.
+bool matchValueFlag(const std::string &Arg, const std::string &Name,
+                    int Argc, char **Argv, int &I, std::string &Val,
+                    bool &HasVal);
+
+/// Parses an integer option value with a lower bound; prints the error
+/// ("error: bad NAME value '...'") on stderr when the value is missing,
+/// malformed, or below \p Min.
+bool parseIntOption(const char *Name, const std::string &Val, bool HasVal,
+                    int64_t Min, int64_t &Dest);
+
+/// Requires a non-empty string value; prints "error: NAME needs WHAT" on
+/// stderr otherwise (\p What reads like "a file" or "a directory").
+bool parseStringOption(const char *Name, const std::string &Val, bool HasVal,
+                       const char *What, std::string &Dest);
+
+} // namespace evm
+
+#endif // EVM_SUPPORT_ARGPARSE_H

@@ -126,7 +126,7 @@ evm::renderJsonlDecisions(const std::vector<DecisionRecord> &Records,
         "\"fv\":\"%s\",\"fvhash\":%llu,\"guard\":\"%s\",\"open\":%d,"
         "\"used\":%d,\"had\":%d,\"conf_before\":%.17g,\"conf_after\":%.17g,"
         "\"cv\":%.17g,\"thr\":%.17g,\"acc\":%.17g,\"cycles\":%llu,"
-        "\"baseline\":%llu}\n",
+        "\"baseline\":%llu",
         escapeJson(R.App).c_str(), static_cast<long long>(R.Tenant),
         static_cast<unsigned long long>(R.Run),
         escapeJson(R.Features).c_str(),
@@ -135,6 +135,11 @@ evm::renderJsonlDecisions(const std::vector<DecisionRecord> &Records,
         R.Had ? 1 : 0, R.ConfBefore, R.ConfAfter, R.CvConf, R.Threshold,
         R.Accuracy, static_cast<unsigned long long>(R.Cycles),
         static_cast<unsigned long long>(R.BaselineCycles));
+    // Only rejected records carry the extra field, keeping ordinary run
+    // lines byte-identical to the pre-serving JSONL format.
+    if (R.Rejected)
+      Out += ",\"rejected\":1";
+    Out += "}\n";
     for (const MethodDecision &M : R.Methods)
       Out += formatString(
           "{\"kind\":\"method\",\"app\":\"%s\",\"tenant\":%lld,\"run\":%llu,"
@@ -267,6 +272,9 @@ void LedgerReader::addLine(const std::string &RawLine) {
     doubleField(Line, "thr", R.Threshold);
     doubleField(Line, "acc", R.Accuracy);
     u64Field(Line, "baseline", R.BaselineCycles);
+    uint64_t Rejected = 0;
+    u64Field(Line, "rejected", Rejected);
+    R.Rejected = Rejected != 0;
     R.GuardOpen = Open != 0;
     R.Used = Used != 0;
     R.Had = Had != 0;

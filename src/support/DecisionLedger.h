@@ -44,7 +44,7 @@
 ///   {"kind":"run","app":...,"tenant":N,"run":N,"fv":...,"fvhash":N,
 ///    "guard":"decayed|crossval|always","open":0|1,"used":0|1,"had":0|1,
 ///    "conf_before":X,"conf_after":X,"cv":X,"thr":X,"acc":X,
-///    "cycles":N,"baseline":N}                            (one per run)
+///    "cycles":N,"baseline":N[,"rejected":1]}             (one per run)
 ///   {"kind":"method","app":...,"tenant":N,"run":N,"method":N,"pred":N,
 ///    "ideal":N,"agree":0|1,"const":0|1,"rescues":N,"path":...}
 ///                               (one per method, after its run line)
@@ -100,6 +100,13 @@ struct DecisionRecord {
   double Accuracy = 0;   ///< acc(predicted, ideal); 0 without a prediction
   uint64_t Cycles = 0;   ///< the run's virtual-clock cycles
   uint64_t BaselineCycles = 0; ///< default-optimizer cycles; 0 = unknown
+  /// Admission control dropped the request before any run happened (the
+  /// prediction server's overload path).  Rejected records carry the
+  /// admission reason in Guard ("overload", "client_inflight", "draining",
+  /// "lanes") and zero run state; `evm-explain` folds them into per-app
+  /// drop rates.  Rendered as `"rejected":1` only when set, so ordinary
+  /// run lines are byte-identical to the pre-serving format.
+  bool Rejected = false;
   std::vector<MethodDecision> Methods; ///< empty when !Had
 };
 

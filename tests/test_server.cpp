@@ -1,0 +1,466 @@
+//===- tests/test_server.cpp - The online prediction service --------------===//
+//
+// The serving subsystem's contract:
+//
+//   * the determinism pin: a serial single-client request stream over the
+//     socket is byte-identical to rendering the equivalent batch-mode run
+//     records, and its per-run cycles match runEvolveLaunches exactly —
+//     promoting the VM from batch launches to a daemon changes nothing
+//     about what it computes;
+//   * admission control: bounded queues answer overload with explicit
+//     rejections (never by stalling the socket), per-client caps reject
+//     pipelined floods, a serial stream is never rejected;
+//   * graceful drain: every admitted request is answered, the final
+//     checkpoint folds into a loadable, clean global store;
+//   * the RequestBatcher's flush triggers (size, deadline, drain);
+//   * the wire protocol's parse/render round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Fleet.h"
+#include "harness/Scenario.h"
+#include "server/PredictionServer.h"
+#include "store/Json.h"
+#include "store/StoreFile.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace evm;
+using namespace evm::server;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "evm_server_" + Name;
+}
+
+/// A minimal blocking test client over the daemon socket.
+class TestClient {
+public:
+  explicit TestClient(const std::string &SocketPath) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(Fd, 0);
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    EXPECT_LT(SocketPath.size(), sizeof(Addr.sun_path));
+    std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size());
+    EXPECT_EQ(
+        ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0)
+        << std::strerror(errno);
+  }
+  ~TestClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool send(const std::string &Payload) { return writeFrame(Fd, Payload); }
+
+  std::string recv() {
+    std::string Payload, Err;
+    FrameStatus S = readFrame(Fd, Payload, Err);
+    EXPECT_EQ(S, FrameStatus::Ok) << Err;
+    return Payload;
+  }
+
+  /// Serial request/response.
+  std::string roundTrip(const std::string &Payload) {
+    EXPECT_TRUE(send(Payload));
+    return recv();
+  }
+
+private:
+  int Fd = -1;
+};
+
+std::string statusOf(const std::string &Response) {
+  auto Doc = store::JsonValue::parse(Response);
+  if (!Doc || !Doc->isObject())
+    return "<unparseable>";
+  const store::JsonValue *F = Doc->field("status");
+  return F ? F->str() : "<missing>";
+}
+
+uint64_t u64Of(const std::string &Response, const char *Name) {
+  auto Doc = store::JsonValue::parse(Response);
+  if (!Doc || !Doc->isObject())
+    return 0;
+  const store::JsonValue *F = Doc->field(Name);
+  return F ? F->asU64() : 0;
+}
+
+ServerConfig baseConfig(const std::string &Tag) {
+  ServerConfig C;
+  C.SocketPath = tempPath(Tag + ".sock");
+  ::unlink(C.SocketPath.c_str());
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The determinism pin
+//===----------------------------------------------------------------------===//
+
+TEST(PredictionServerTest, SerialStreamMatchesBatchByteForByte) {
+  const uint64_t Seed = 1;
+  const std::vector<size_t> Order = {0, 1, 2, 3, 0, 1, 2, 3, 1, 0, 3, 2};
+
+  // The batch side: the exact lane recipe, run locally.
+  wl::Workload W = harness::buildFleetWorkload("route", Seed);
+  harness::ExperimentConfig Exp;
+  std::vector<std::string> Expected;
+  {
+    xicl::XFMethodRegistry Registry;
+    W.registerMethods(Registry);
+    xicl::FileStore Files;
+    W.populateFileStore(Files);
+    evolve::EvolvableVM VM(W.Module, W.XiclSpec, &Registry, &Files,
+                           harness::makeEvolveConfig(Exp));
+    // The lane warm-starts from the gateway snapshot (empty here — a cold
+    // start by contract); mirror that so store.* metrics agree too.
+    store::KnowledgeStore Empty;
+    VM.warmStart(Empty);
+    uint64_t Id = 1, Run = 0;
+    for (size_t Input : Order) {
+      auto Rec =
+          VM.runOnce(W.Inputs[Input].CommandLine, W.Inputs[Input].VmArgs);
+      ASSERT_TRUE(static_cast<bool>(Rec)) << Rec.getError().message();
+      Expected.push_back(renderRunResponse(Id++, "route", ++Run, *Rec));
+    }
+  }
+
+  // The scenario harness side: per-run cycles from runEvolveLaunches over
+  // the same order (one launch, cold store) must agree too.
+  std::string StorePath = tempPath("pin.store");
+  ::unlink(StorePath.c_str());
+  harness::ScenarioRunner Runner(W, Exp);
+  harness::ScenarioResult Batch = Runner.runEvolveLaunches(Order, 1, StorePath);
+  ASSERT_EQ(Batch.Runs.size(), Order.size());
+  ::unlink(StorePath.c_str());
+
+  // The served side: one serial client.
+  ServerConfig C = baseConfig("pin");
+  C.Seed = Seed;
+  C.Experiment = Exp;
+  C.BatchSize = 3; // batching knobs must not affect a serial stream
+  C.BatchDeadlineMicros = 200;
+  PredictionServer Server(C);
+  ASSERT_TRUE(Server.start()) << Server.error();
+  {
+    TestClient Client(C.SocketPath);
+    for (size_t I = 0; I != Order.size(); ++I) {
+      std::string Response = Client.roundTrip(renderRunInputRequest(
+          I + 1, "route", static_cast<uint64_t>(Order[I])));
+      EXPECT_EQ(Response, Expected[I]) << "request " << I;
+      EXPECT_EQ(u64Of(Response, "cycles"), Batch.Runs[I].Cycles)
+          << "request " << I;
+    }
+  }
+  EXPECT_EQ(Server.drainAndWait(), 0);
+
+  // Sanity on the serving metrics: every request ran, nothing rejected.
+  MetricsSnapshot M = Server.metricsSnapshot();
+  std::string Json = M.renderJson();
+  EXPECT_NE(Json.find("\"server.responses.ok\""), std::string::npos);
+  EXPECT_EQ(Json.find("\"server.rejected."), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control
+//===----------------------------------------------------------------------===//
+
+TEST(PredictionServerTest, PipelinedFloodGetsExplicitRejections) {
+  ServerConfig C = baseConfig("flood");
+  C.MaxQueue = 2;
+  C.MaxInflightPerClient = 1;
+  C.BatchDeadlineMicros = 50000; // hold batches so the flood piles up
+  C.BatchSize = 64;
+  C.CaptureDecisions = true;
+  PredictionServer Server(C);
+  ASSERT_TRUE(Server.start()) << Server.error();
+
+  size_t NumOk = 0, NumRejected = 0;
+  {
+    TestClient Client(C.SocketPath);
+    const size_t N = 8;
+    // Pipeline: send everything before reading anything.  With a
+    // per-client cap of 1, most must come back "rejected".
+    for (size_t I = 0; I != N; ++I)
+      ASSERT_TRUE(Client.send(renderRunInputRequest(I + 1, "route", 0)));
+    for (size_t I = 0; I != N; ++I) {
+      std::string Status = statusOf(Client.recv());
+      if (Status == "ok")
+        ++NumOk;
+      else if (Status == "rejected")
+        ++NumRejected;
+    }
+  }
+  EXPECT_GE(NumOk, 1u);
+  EXPECT_GE(NumRejected, 1u);
+  EXPECT_EQ(NumOk + NumRejected, 8u);
+  EXPECT_EQ(Server.drainAndWait(), 0);
+
+  // Rejections leave ledger records with the `rejected` verdict and the
+  // reason in Guard — evm-explain's drop-rate source.
+  size_t LedgerRejected = 0;
+  for (const DecisionRecord &R : Server.decisions())
+    if (R.Rejected) {
+      ++LedgerRejected;
+      EXPECT_EQ(R.App, "route");
+      EXPECT_FALSE(R.Guard.empty());
+    }
+  EXPECT_EQ(LedgerRejected, NumRejected);
+}
+
+TEST(PredictionServerTest, UnknownAppIsAnErrorNotADrop) {
+  ServerConfig C = baseConfig("unknown");
+  PredictionServer Server(C);
+  ASSERT_TRUE(Server.start()) << Server.error();
+  {
+    TestClient Client(C.SocketPath);
+    EXPECT_EQ(statusOf(Client.roundTrip(
+                  renderRunInputRequest(1, "no_such_workload", 0))),
+              "error");
+    EXPECT_EQ(statusOf(Client.roundTrip(renderPingRequest(2))), "ok");
+  }
+  EXPECT_EQ(Server.drainAndWait(), 0);
+}
+
+TEST(PredictionServerTest, PingAndStatsAnswerWithoutRunning) {
+  ServerConfig C = baseConfig("ping");
+  PredictionServer Server(C);
+  ASSERT_TRUE(Server.start()) << Server.error();
+  {
+    TestClient Client(C.SocketPath);
+    std::string Pong = Client.roundTrip(renderPingRequest(7));
+    EXPECT_EQ(statusOf(Pong), "ok");
+    EXPECT_EQ(u64Of(Pong, "id"), 7u);
+    EXPECT_EQ(u64Of(Pong, "pong"), 1u);
+    std::string Stats = Client.roundTrip(renderStatsRequest(8));
+    EXPECT_EQ(statusOf(Stats), "ok");
+    EXPECT_NE(Stats.find("server.requests.ping"), std::string::npos);
+  }
+  EXPECT_EQ(Server.drainAndWait(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST(PredictionServerTest, DrainAnswersEveryAdmittedRequest) {
+  std::string StoreDir = tempPath("drain_stores");
+  ::system(("rm -rf " + StoreDir).c_str());
+
+  ServerConfig C = baseConfig("drain");
+  C.StoreDir = StoreDir;
+  C.BatchDeadlineMicros = 20000; // likely still queued when drain begins
+  C.BatchSize = 64;
+  C.MaxInflightPerClient = 64;
+  PredictionServer Server(C);
+  ASSERT_TRUE(Server.start()) << Server.error();
+
+  const size_t N = 6;
+  size_t NumOk = 0;
+  {
+    TestClient Client(C.SocketPath);
+    for (size_t I = 0; I != N; ++I)
+      ASSERT_TRUE(
+          Client.send(renderRunInputRequest(I + 1, "route", I % 4)));
+    // Wait until all N requests are admitted (they sit in the batcher —
+    // its deadline is far away), then drain: every admitted request must
+    // still be answered "ok".
+    for (int Spin = 0; Spin != 1000; ++Spin) {
+      if (Server.metricsSnapshot().counter("server.requests.run") >= N)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(Server.metricsSnapshot().counter("server.requests.run"), N);
+    Server.requestDrain();
+    EXPECT_EQ(Server.drainAndWait(), 0);
+    for (size_t I = 0; I != N; ++I)
+      if (statusOf(Client.recv()) == "ok")
+        ++NumOk;
+  }
+  EXPECT_EQ(NumOk, N);
+
+  // The final fold's global store is loadable and clean.
+  store::KnowledgeStore KS;
+  store::StoreReadStats Stats;
+  ASSERT_EQ(store::loadStoreFile(StoreDir + "/global-route.store", KS, Stats),
+            store::LoadStatus::Loaded);
+  EXPECT_TRUE(Stats.clean());
+  EXPECT_FALSE(KS.empty());
+  EXPECT_EQ(KS.Header.App, "route");
+}
+
+TEST(PredictionServerTest, RequestsAfterDrainAreRejectedAsDraining) {
+  ServerConfig C = baseConfig("late");
+  C.CaptureDecisions = true;
+  PredictionServer Server(C);
+  ASSERT_TRUE(Server.start()) << Server.error();
+  TestClient Client(C.SocketPath);
+  // Prove the connection works, then drain and send another request on
+  // the still-open connection: it must get an explicit "draining".
+  EXPECT_EQ(statusOf(Client.roundTrip(renderPingRequest(1))), "ok");
+  Server.requestDrain();
+  std::string Response =
+      Client.roundTrip(renderRunInputRequest(2, "route", 0));
+  EXPECT_EQ(statusOf(Response), "rejected");
+  EXPECT_NE(Response.find("draining"), std::string::npos);
+  EXPECT_EQ(Server.drainAndWait(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// RequestBatcher
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+BatchItem makeItem(uint64_t Id) {
+  BatchItem Item;
+  Item.Id = Id;
+  Item.Req.App = "route";
+  Item.Req.HasInput = true;
+  Item.Req.Input = 0;
+  Item.Enqueued = std::chrono::steady_clock::now();
+  return Item;
+}
+
+} // namespace
+
+TEST(RequestBatcherTest, FlushesOnBatchSize) {
+  std::mutex M;
+  std::condition_variable CV;
+  std::vector<std::pair<size_t, RequestBatcher::FlushReason>> Flushes;
+  RequestBatcher B(
+      {/*BatchSize=*/3, /*DeadlineMicros=*/60 * 1000 * 1000},
+      [&](std::vector<BatchItem> Items, RequestBatcher::FlushReason R) {
+        std::lock_guard<std::mutex> L(M);
+        Flushes.emplace_back(Items.size(), R);
+        CV.notify_all();
+      });
+  for (uint64_t I = 0; I != 3; ++I)
+    ASSERT_TRUE(B.submit(makeItem(I)));
+  {
+    std::unique_lock<std::mutex> L(M);
+    ASSERT_TRUE(CV.wait_for(L, std::chrono::seconds(30),
+                            [&] { return !Flushes.empty(); }));
+    EXPECT_EQ(Flushes[0].first, 3u);
+    EXPECT_EQ(Flushes[0].second, RequestBatcher::FlushReason::Size);
+  }
+  EXPECT_EQ(B.sizeFlushes(), 1u);
+  B.drain();
+  EXPECT_FALSE(B.submit(makeItem(9))); // post-drain submits are refused
+}
+
+TEST(RequestBatcherTest, FlushesOnDeadlineForShortBatches) {
+  std::mutex M;
+  std::condition_variable CV;
+  size_t FlushedItems = 0;
+  RequestBatcher B(
+      {/*BatchSize=*/100, /*DeadlineMicros=*/2000},
+      [&](std::vector<BatchItem> Items, RequestBatcher::FlushReason R) {
+        std::lock_guard<std::mutex> L(M);
+        FlushedItems += Items.size();
+        EXPECT_EQ(R, RequestBatcher::FlushReason::Deadline);
+        CV.notify_all();
+      });
+  ASSERT_TRUE(B.submit(makeItem(1)));
+  std::unique_lock<std::mutex> L(M);
+  ASSERT_TRUE(CV.wait_for(L, std::chrono::seconds(30),
+                          [&] { return FlushedItems == 1; }));
+  EXPECT_GE(B.deadlineFlushes(), 1u);
+}
+
+TEST(RequestBatcherTest, DrainFlushesEverythingPending) {
+  size_t Flushed = 0;
+  {
+    RequestBatcher B(
+        {/*BatchSize=*/100, /*DeadlineMicros=*/60 * 1000 * 1000},
+        [&](std::vector<BatchItem> Items, RequestBatcher::FlushReason) {
+          Flushed += Items.size();
+        });
+    for (uint64_t I = 0; I != 5; ++I)
+      ASSERT_TRUE(B.submit(makeItem(I)));
+    B.drain(); // must hand all 5 to the callback before returning
+    EXPECT_EQ(Flushed, 5u);
+  }
+  EXPECT_EQ(Flushed, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, RunRequestRoundTripsBothForms) {
+  std::string Err;
+  auto Indexed = parseRequest(renderRunInputRequest(42, "route:3", 7), Err);
+  ASSERT_TRUE(Indexed.has_value()) << Err;
+  EXPECT_EQ(Indexed->TheOp, Request::Op::Run);
+  EXPECT_EQ(Indexed->Id, 42u);
+  EXPECT_EQ(Indexed->Run.App, "route:3");
+  ASSERT_TRUE(Indexed->Run.HasInput);
+  EXPECT_EQ(Indexed->Run.Input, 7u);
+
+  // Raw cmdline form: arg spelling decides int vs float, exactly like
+  // evm_cli's RUNS.txt grammar — including float zero.
+  std::vector<bc::Value> Args = {bc::Value::makeInt(3),
+                                 bc::Value::makeFloat(0.0),
+                                 bc::Value::makeFloat(2.5)};
+  auto Raw = parseRequest(
+      renderRunRawRequest(43, "route", "prog -n 3 \"x y\"", Args), Err);
+  ASSERT_TRUE(Raw.has_value()) << Err;
+  ASSERT_FALSE(Raw->Run.HasInput);
+  EXPECT_EQ(Raw->Run.CommandLine, "prog -n 3 \"x y\"");
+  ASSERT_EQ(Raw->Run.Args.size(), 3u);
+  EXPECT_TRUE(Raw->Run.Args[0].isInt());
+  EXPECT_EQ(Raw->Run.Args[0].asInt(), 3);
+  EXPECT_TRUE(Raw->Run.Args[1].isFloat());
+  EXPECT_TRUE(Raw->Run.Args[2].isFloat());
+  EXPECT_DOUBLE_EQ(Raw->Run.Args[2].asFloat(), 2.5);
+}
+
+TEST(ProtocolTest, MalformedRequestsAreRejectedWithReasons) {
+  std::string Err;
+  EXPECT_FALSE(parseRequest("not json", Err).has_value());
+  EXPECT_FALSE(parseRequest("{}", Err).has_value());
+  EXPECT_FALSE(parseRequest("{\"op\":\"run\",\"id\":1}", Err).has_value())
+      << "run without app must not parse";
+  EXPECT_FALSE(
+      parseRequest("{\"op\":\"frobnicate\",\"id\":1}", Err).has_value());
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ProtocolTest, FramesSurviveASocketPair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Payload(100000, 'x'); // bigger than any single read
+  Payload += "tail";
+  ASSERT_TRUE(writeFrame(Fds[0], Payload));
+  std::string Got, Err;
+  ASSERT_EQ(readFrame(Fds[1], Got, Err), FrameStatus::Ok) << Err;
+  EXPECT_EQ(Got, Payload);
+
+  // Clean EOF when the peer closes between frames.
+  ::close(Fds[0]);
+  EXPECT_EQ(readFrame(Fds[1], Got, Err), FrameStatus::Eof);
+  ::close(Fds[1]);
+
+  // An oversized length prefix is a protocol error, not an allocation.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  unsigned char Huge[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(Fds[0], Huge, 4), 4);
+  EXPECT_EQ(readFrame(Fds[1], Got, Err), FrameStatus::Error);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}

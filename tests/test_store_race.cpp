@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "harness/Fleet.h"
+#include "server/StoreGateway.h"
 #include "store/KnowledgeStore.h"
 
 #include <gtest/gtest.h>
@@ -189,4 +191,107 @@ TEST(StoreRaceTest, KilledCheckpointRecoversOnNextLoad) {
   EXPECT_EQ(KS.Header.Generation, 7u);
   EXPECT_EQ(KS.serialize(), Full.serialize());
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// The serving layer's StoreGateway on top of the same contract: snapshot
+// isolation must make torn merges unobservable even while many lanes
+// publish concurrently, and a kill racing the drain-time fold must leave
+// the global store loadable.
+//===----------------------------------------------------------------------===//
+
+TEST(StoreRaceTest, GatewaySnapshotsNeverExposeATornMerge) {
+  // Memory-only gateway: 4 "lanes" publish striped-generation checkpoints
+  // into one app while readers continuously take snapshots.  Every
+  // publisher writes internally consistent documents (CvConfidence is
+  // always Confidence/2), so a reader seeing CvConfidence != Confidence/2
+  // would have caught a half-merged document.  Snapshot generations must
+  // also be monotone per reader: newest-wins merge never goes backwards.
+  server::StoreGateway GW("");
+  constexpr size_t Lanes = 4;
+  constexpr uint64_t Publishes = 30;
+  constexpr uint64_t Stride = harness::FleetRunner::GenerationStride;
+
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Readers;
+  for (int R = 0; R != 2; ++R)
+    Readers.emplace_back([&] {
+      uint64_t LastGen = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        server::StoreGateway::Snapshot S = GW.snapshot("served");
+        ASSERT_NE(S, nullptr);
+        if (S->empty())
+          continue;
+        ASSERT_TRUE(S->HasConfidence);
+        ASSERT_EQ(S->CvConfidence, S->Confidence / 2)
+            << "torn merge: fields from different publications";
+        ASSERT_GE(S->Header.Generation, LastGen)
+            << "snapshot went backwards";
+        LastGen = S->Header.Generation;
+      }
+    });
+
+  std::vector<std::thread> Publishers;
+  for (size_t L = 0; L != Lanes; ++L)
+    Publishers.emplace_back([&, L] {
+      for (uint64_t K = 1; K <= Publishes; ++K) {
+        KnowledgeStore KS = makeDoc((L + 1) * Stride + K, 0.1 * (L + 1));
+        KS.Header.App = "served";
+        ASSERT_TRUE(GW.publish("served", L, KS));
+      }
+    });
+  for (std::thread &T : Publishers)
+    T.join();
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Readers)
+    T.join();
+
+  // All publications merged: the final snapshot carries the highest stripe
+  // (lane 3's last generation wins newest-wins) and every lane's rep runs.
+  server::StoreGateway::Snapshot Final = GW.snapshot("served");
+  EXPECT_EQ(GW.publishes(), Lanes * Publishes);
+  EXPECT_EQ(Final->Header.Generation, Lanes * Stride + Publishes);
+  EXPECT_EQ(Final->Confidence, 0.1 * Lanes);
+  EXPECT_EQ(Final->CvConfidence, Final->Confidence / 2);
+}
+
+TEST(StoreRaceTest, KilledGatewayFoldLeavesGlobalStoreLoadable) {
+  // A SIGKILL racing the drain-time fold (simulated by the SaveKillHook
+  // truncating the fold's write at a record boundary) must leave
+  // global-<app>.store loadable — degraded, never bricked — and the next
+  // clean fold heals it completely.
+  std::string Dir = ::testing::TempDir() + "evm_race_gateway";
+  {
+    server::StoreGateway GW(Dir);
+    KnowledgeStore KS = makeDoc(harness::FleetRunner::GenerationStride + 1,
+                                0.5);
+    KS.Header.App = "served";
+    KS.Models.push_back(StoredMethodModel{true, 2, "", 7});
+    ASSERT_TRUE(GW.publish("served", 0, KS));
+
+    KillAtLine.store(2); // cut mid-document, past the header
+    setSaveKillHook(killHook);
+    GW.fold("served");
+    KillAtLine.store(-1);
+    setSaveKillHook(nullptr);
+
+    KnowledgeStore Loaded;
+    StoreReadStats Stats;
+    ASSERT_NE(loadStoreFile(GW.globalPath("served"), Loaded, Stats),
+              LoadStatus::IoError)
+        << "killed fold bricked the global store";
+
+    // The snapshot is unaffected by the disk kill; a clean fold heals.
+    ASSERT_TRUE(GW.fold("served"));
+    Stats = StoreReadStats();
+    ASSERT_EQ(loadStoreFile(GW.globalPath("served"), Loaded, Stats),
+              LoadStatus::Loaded);
+    EXPECT_TRUE(Stats.clean());
+    EXPECT_EQ(Loaded.Header.App, "served");
+    EXPECT_EQ(Loaded.Header.Generation,
+              harness::FleetRunner::GenerationStride + 1);
+    EXPECT_EQ(Loaded.Models.size(), 1u);
+    std::remove(GW.globalPath("served").c_str());
+    std::remove(harness::FleetRunner::shardPath(Dir, 0).c_str());
+  }
 }

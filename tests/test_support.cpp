@@ -1,5 +1,6 @@
 //===- tests/test_support.cpp - support library unit tests ----------------==//
 
+#include "support/ArgParse.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
@@ -11,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <initializer_list>
 #include <thread>
+#include <vector>
 
 using namespace evm;
 
@@ -371,4 +374,118 @@ TEST(MetricsTest, SnapshotDuringProductionIsConsistent) {
   }
   Producer.join();
   EXPECT_EQ(Reg.snapshot().counter("produced"), Produced);
+}
+
+//===----------------------------------------------------------------------===//
+// ArgParse (the shared --opt=V / --opt V matcher and the exit-code
+// contract every tool in the repo documents)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a mutable argv from string literals (matchValueFlag consumes
+/// the next token in the two-token spelling, so it needs real argv).
+struct FakeArgv {
+  std::vector<std::string> Storage;
+  std::vector<char *> Ptrs;
+  explicit FakeArgv(std::initializer_list<const char *> Args) {
+    for (const char *A : Args)
+      Storage.emplace_back(A);
+    for (std::string &S : Storage)
+      Ptrs.push_back(S.data());
+  }
+  int argc() const { return static_cast<int>(Ptrs.size()); }
+  char **argv() { return Ptrs.data(); }
+};
+
+} // namespace
+
+TEST(ArgParseTest, MatchesEqualsForm) {
+  FakeArgv A({"tool", "--seed=42"});
+  int I = 1;
+  std::string Val;
+  bool HasVal = false;
+  ASSERT_TRUE(matchValueFlag(A.Storage[1], "--seed", A.argc(), A.argv(), I,
+                             Val, HasVal));
+  EXPECT_TRUE(HasVal);
+  EXPECT_EQ(Val, "42");
+  EXPECT_EQ(I, 1); // equals form consumes nothing extra
+}
+
+TEST(ArgParseTest, MatchesTwoTokenForm) {
+  FakeArgv A({"tool", "--seed", "42", "extra"});
+  int I = 1;
+  std::string Val;
+  bool HasVal = false;
+  ASSERT_TRUE(matchValueFlag(A.Storage[1], "--seed", A.argc(), A.argv(), I,
+                             Val, HasVal));
+  EXPECT_TRUE(HasVal);
+  EXPECT_EQ(Val, "42");
+  EXPECT_EQ(I, 2); // consumed the value token
+}
+
+TEST(ArgParseTest, TrailingFlagReportsMissingValue) {
+  FakeArgv A({"tool", "--seed"});
+  int I = 1;
+  std::string Val;
+  bool HasVal = true;
+  ASSERT_TRUE(matchValueFlag(A.Storage[1], "--seed", A.argc(), A.argv(), I,
+                             Val, HasVal));
+  EXPECT_FALSE(HasVal); // --seed at argv end: matched, but no value
+}
+
+TEST(ArgParseTest, DoesNotMatchOtherFlagsOrPrefixes) {
+  FakeArgv A({"tool", "--seeds=1", "--seed"});
+  int I = 1;
+  std::string Val;
+  bool HasVal = false;
+  // "--seeds=1" must not match "--seed" (prefix confusion).
+  EXPECT_FALSE(matchValueFlag(A.Storage[1], "--seed", A.argc(), A.argv(), I,
+                              Val, HasVal));
+  EXPECT_FALSE(matchValueFlag(A.Storage[1], "--lanes", A.argc(), A.argv(), I,
+                              Val, HasVal));
+}
+
+TEST(ArgParseTest, EqualsFormMayCarryEmptyValue) {
+  // `--out=` is matched with HasVal=true and an empty string; it is the
+  // per-type parsers' job to reject it (parseStringOption does).
+  FakeArgv A({"tool", "--out="});
+  int I = 1;
+  std::string Val = "sentinel";
+  bool HasVal = false;
+  ASSERT_TRUE(matchValueFlag(A.Storage[1], "--out", A.argc(), A.argv(), I,
+                             Val, HasVal));
+  EXPECT_TRUE(HasVal);
+  EXPECT_TRUE(Val.empty());
+  std::string Dest;
+  EXPECT_FALSE(parseStringOption("--out", Val, HasVal, "a file", Dest));
+}
+
+TEST(ArgParseTest, ParseIntOptionEnforcesBoundAndSyntax) {
+  int64_t Dest = -1;
+  EXPECT_TRUE(parseIntOption("--lanes", "8", true, 1, Dest));
+  EXPECT_EQ(Dest, 8);
+  Dest = -1;
+  EXPECT_FALSE(parseIntOption("--lanes", "0", true, 1, Dest)); // below Min
+  EXPECT_FALSE(parseIntOption("--lanes", "eight", true, 1, Dest));
+  EXPECT_FALSE(parseIntOption("--lanes", "", false, 1, Dest)); // missing
+  EXPECT_EQ(Dest, -1); // failures never write through
+}
+
+TEST(ArgParseTest, ParseStringOptionRequiresNonEmpty) {
+  std::string Dest;
+  EXPECT_TRUE(parseStringOption("--socket", "/tmp/s", true, "a path", Dest));
+  EXPECT_EQ(Dest, "/tmp/s");
+  EXPECT_FALSE(parseStringOption("--socket", "", true, "a path", Dest));
+  EXPECT_FALSE(parseStringOption("--socket", "x", false, "a path", Dest));
+  EXPECT_EQ(Dest, "/tmp/s"); // failures never write through
+}
+
+TEST(ArgParseTest, ExitCodeContractIsStable) {
+  // The 0/1/2/3 contract is documented in every tool's usage text; these
+  // values are load-bearing for scripts (run_all.sh, fleet-smoke.sh).
+  EXPECT_EQ(ExitSuccess, 0);
+  EXPECT_EQ(ExitFailure, 1);
+  EXPECT_EQ(ExitUsage, 2);
+  EXPECT_EQ(ExitIo, 3);
 }

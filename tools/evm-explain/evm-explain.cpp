@@ -42,6 +42,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/BuildInfo.h"
 #include "support/DecisionLedger.h"
 #include "support/Format.h"
 #include "support/StringUtils.h"
@@ -75,14 +76,25 @@ const char *const LevelNames[NumLevels] = {"base", "O0", "O1", "O2"};
 
 // --- Aggregate analytics -------------------------------------------------
 
-/// Per-app run-level rollup, in first-seen (ledger) order.
+/// Per-app run-level rollup, in first-seen (ledger) order.  Rejected
+/// records (admission drops from a serving daemon, see evm-served
+/// --decisions-out) count toward the drop rate only — they never ran.
 struct AppSummary {
   std::string App;
   size_t Runs = 0;
   size_t Had = 0;
   size_t Used = 0;
   size_t Open = 0;
-  double AccSum = 0; ///< over Had runs
+  size_t Rejected = 0; ///< admission-control drops (no run state)
+  double AccSum = 0;   ///< over Had runs
+
+  /// Fraction of this app's requests the daemon shed.
+  double dropRate() const {
+    return Runs + Rejected
+               ? static_cast<double>(Rejected) /
+                     static_cast<double>(Runs + Rejected)
+               : 0.0;
+  }
 };
 
 std::vector<AppSummary> summarizeApps(const std::vector<DecisionRecord> &Rs) {
@@ -96,6 +108,10 @@ std::vector<AppSummary> summarizeApps(const std::vector<DecisionRecord> &Rs) {
       Out.back().App = R.App;
     }
     AppSummary &A = Out[It->second];
+    if (R.Rejected) {
+      ++A.Rejected;
+      continue;
+    }
     ++A.Runs;
     if (R.Had) {
       ++A.Had;
@@ -231,6 +247,8 @@ DriftReport analyzeDriftRecords(const std::vector<DecisionRecord> &Rs,
   DriftReport Rep;
   std::map<std::string, size_t> Index;
   for (const DecisionRecord &R : Rs) {
+    if (R.Rejected) // admission drops never ran; no drift signal
+      continue;
     auto It = Index.find(R.App);
     if (It == Index.end()) {
       It = Index.emplace(R.App, Rep.Apps.size()).first;
@@ -432,6 +450,16 @@ std::vector<DecisionRecord> makeSelfTestRecords() {
   Rs.back().Methods.push_back(Method(0, 0, 0, true, ""));
   Rs.push_back(Run("B", 3, true, true, true, 0.95, 0.9, 80, 100));
   Rs.back().Methods.push_back(Method(0, 1, 1, false, "L1"));
+  // Two admission drops from a serving daemon (evm-served): reason in
+  // Guard, `rejected` verdict, no run state.  They feed the drop-rate
+  // column and must stay invisible to every run-level analytic.
+  for (const char *Reason : {"overload", "client_inflight"}) {
+    DecisionRecord Rej;
+    Rej.App = "A";
+    Rej.Guard = Reason;
+    Rej.Rejected = true;
+    Rs.push_back(Rej);
+  }
   return Rs;
 }
 
@@ -483,6 +511,20 @@ int selfTest() {
   Check(Near(G.precision(), 2.0 / 3.0) && Near(G.recall(), 1.0),
         "guard precision/recall");
 
+  // Rejected records: the flag round-trips, the drop rate counts them,
+  // and (asserted by the unchanged totals above) run-level analytics
+  // never see them.
+  Check(Reader.records()[5].Rejected &&
+            Reader.records()[5].Guard == "overload" &&
+            Reader.records()[6].Guard == "client_inflight",
+        "rejected round-trips");
+  std::vector<AppSummary> Apps = summarizeApps(Reader.records());
+  Check(Apps.size() == 2 && Apps[0].Runs == 4 && Apps[0].Rejected == 2 &&
+            Apps[1].Rejected == 0,
+        "rejected feeds per-app drop counts");
+  Check(Near(Apps[0].dropRate(), 2.0 / 6.0) && Near(Apps[1].dropRate(), 0.0),
+        "drop rate");
+
   DriftReport D = analyzeDriftRecords(Reader.records(), 2);
   Check(D.Apps.size() == 2, "drift app count");
   Check(D.Apps[0].Post == 2 && D.Apps[0].Harmful == 1 &&
@@ -529,7 +571,8 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "  --max-exposure=X strict exposure ceiling (default 0.10)\n"
       "  --min-fallback=X strict fallback-fraction floor (default 0.5)\n"
       "  --diff OLD NEW   compare two ledgers' aggregate analytics\n"
-      "  --self-test      run the built-in regression check\n",
+      "  --self-test      run the built-in regression check\n"
+      "  --version        print build provenance JSON and exit\n",
       Argv0, Argv0);
 }
 
@@ -549,6 +592,10 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg == "-h" || Arg == "--help") {
       printUsage(argv[0], stdout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      std::printf("%s\n", buildInfo().renderJson().c_str());
       return 0;
     }
     if (Arg == "--self-test")
@@ -669,18 +716,28 @@ int main(int argc, char **argv) {
                 P.CompilerVersion.c_str(), P.BuildType.c_str());
   }
 
-  // Per-app decision summary.
+  // Per-app decision summary.  Rejected records feed the drop% column
+  // only; every run-level analytic below sees completed runs.
   std::vector<AppSummary> Apps = summarizeApps(Records);
-  std::printf("Decision summary: %zu records across %zu apps\n",
-              Records.size(), Apps.size());
+  size_t TotalRejected = 0;
+  for (const AppSummary &A : Apps)
+    TotalRejected += A.Rejected;
+  if (TotalRejected)
+    std::printf("Decision summary: %zu records across %zu apps "
+                "(%zu rejected by admission control)\n",
+                Records.size(), Apps.size(), TotalRejected);
+  else
+    std::printf("Decision summary: %zu records across %zu apps\n",
+                Records.size(), Apps.size());
   {
-    TextTable Table({"app", "runs", "had", "used", "open%", "mean acc"});
+    TextTable Table(
+        {"app", "runs", "had", "used", "open%", "drop%", "mean acc"});
     size_t Shown = 0;
     for (const AppSummary &A : Apps) {
       if (++Shown > 20 && Apps.size() > 24) {
         Table.beginRow();
         Table.addCell(formatString("... %zu more apps", Apps.size() - 20));
-        for (int K = 0; K != 5; ++K)
+        for (int K = 0; K != 6; ++K)
           Table.addCell("");
         break;
       }
@@ -693,6 +750,7 @@ int main(int argc, char **argv) {
                                  static_cast<double>(A.Runs)
                            : 0.0,
                     1);
+      Table.addCell(100.0 * A.dropRate(), 1);
       Table.addCell(A.Had ? A.AccSum / static_cast<double>(A.Had) : 0.0, 3);
     }
     std::printf("%s\n", Table.render().c_str());
@@ -702,6 +760,8 @@ int main(int argc, char **argv) {
   Confusion Total;
   std::map<std::string, Confusion> ByApp;
   for (const DecisionRecord &R : Records) {
+    if (R.Rejected)
+      continue;
     Total.add(R);
     if (PerApp)
       ByApp[R.App].add(R);
@@ -716,6 +776,8 @@ int main(int argc, char **argv) {
   Calibration Cal(static_cast<size_t>(Bins));
   GuardQuality Guard;
   for (const DecisionRecord &R : Records) {
+    if (R.Rejected)
+      continue;
     Cal.add(R);
     Guard.add(R);
   }

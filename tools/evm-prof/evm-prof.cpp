@@ -23,6 +23,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/BuildInfo.h"
 #include "support/Profiler.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -52,7 +53,8 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "  --diff           phase-by-phase diff (requires two profiles)\n"
       "  --flame          emit collapsed stacks (flamegraph.pl format)\n"
       "  --speedscope     emit speedscope JSON\n"
-      "  --latency        p50/p90/p99 of embedded histogram metrics\n",
+      "  --latency        p50/p90/p99 of embedded histogram metrics\n"
+      "  --version        print build provenance JSON and exit\n",
       Argv0);
 }
 
@@ -241,6 +243,10 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg == "-h" || Arg == "--help") {
       printUsage(argv[0], stdout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      std::printf("%s\n", buildInfo().renderJson().c_str());
       return 0;
     }
     if (Arg == "--top" || startsWith(Arg, "--top=")) {

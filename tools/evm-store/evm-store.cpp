@@ -28,6 +28,7 @@
 #include "ml/ClassificationTree.h"
 #include "ml/Dataset.h"
 #include "store/KnowledgeStore.h"
+#include "support/BuildInfo.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -53,6 +54,7 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "name) is folded, so `merge OUT SHARD_DIR` folds a whole fleet shard\n"
       "directory.  Newest-wins makes the fold order-insensitive whenever\n"
       "generations are distinct (fleet shards stripe them).\n"
+      "--version prints build provenance JSON and exits.\n"
       "exit codes: 0 success/clean/equal; 1 damage, non-canonical form, or\n"
       "differences found; 2 usage error; 3 file I/O error\n",
       Argv0, Argv0, Argv0, Argv0);
@@ -309,6 +311,10 @@ int main(int argc, char **argv) {
   std::vector<std::string> Args(argv + 1, argv + argc);
   if (!Args.empty() && (Args[0] == "-h" || Args[0] == "--help")) {
     printUsage(argv[0], stdout);
+    return 0;
+  }
+  if (!Args.empty() && Args[0] == "--version") {
+    std::printf("%s\n", evm::buildInfo().renderJson().c_str());
     return 0;
   }
   if (Args.empty()) {

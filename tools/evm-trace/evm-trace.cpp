@@ -20,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/BuildInfo.h"
 #include "support/TraceAnalysis.h"
 
 #include <cstdio>
@@ -36,7 +37,8 @@ void printUsage(const char *Argv0, std::FILE *To) {
   std::fprintf(To,
                "usage: %s [--timeline] [--compiles] [--evolve] TRACE.jsonl\n"
                "Analyses a JSONL VM trace (evm_cli --trace-jsonl=FILE).\n"
-               "With no report flags, prints all three reports.\n",
+               "With no report flags, prints all three reports.\n"
+               "--version prints build provenance JSON and exits.\n",
                Argv0);
 }
 
@@ -49,6 +51,10 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg == "-h" || Arg == "--help") {
       printUsage(argv[0], stdout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      std::printf("%s\n", buildInfo().renderJson().c_str());
       return 0;
     }
     if (Arg == "--timeline") {

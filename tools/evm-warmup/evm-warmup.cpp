@@ -24,6 +24,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/BuildInfo.h"
 #include "support/Format.h"
 #include "support/Stats.h"
 #include "support/StringUtils.h"
@@ -130,7 +131,8 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "Reports steady-state classifications of the per-iteration series\n"
       "embedded in bench --json documents (or an aggregated\n"
       "BENCH_results.json).  --strict exits 1 when any series has no\n"
-      "steady state; --self-test runs the stats module regression check.\n",
+      "steady state; --self-test runs the stats module regression check;\n"
+      "--version prints build provenance JSON and exits.\n",
       Argv0);
 }
 
@@ -143,6 +145,10 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg == "-h" || Arg == "--help") {
       printUsage(argv[0], stdout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      std::printf("%s\n", buildInfo().renderJson().c_str());
       return 0;
     }
     if (Arg == "--self-test")

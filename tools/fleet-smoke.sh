@@ -72,3 +72,63 @@ for T in "${THREADS[@]}"; do
   echo "T=$T: byte-identical (aggregate + ledger)"
 done
 echo "fleet threads-matrix smoke: OK (${THREADS[*]})"
+
+# Daemon smoke cell: boot the real evm-served, drive it with evm_cli
+# --connect, SIGTERM it, and require a clean graceful drain — exit 0 and a
+# final global store that evm-store validate accepts.  Under the TSan lane
+# this exercises the whole serving stack (reader threads, batcher, lanes,
+# gateway folds) against the race detector.
+SERVED="$BUILD_DIR/tools/evm-served"
+STORE_TOOL="$BUILD_DIR/tools/evm-store"
+if [ ! -x "$SERVED" ] || [ ! -x "$STORE_TOOL" ]; then
+  echo "note: evm-served or evm-store not built, skipping daemon smoke"
+  exit 0
+fi
+
+SOCK="$WORK/served.sock"
+SERVE_DIR="$WORK/served-store"
+"$SERVED" --socket "$SOCK" --store-dir "$SERVE_DIR" --batch 2 \
+  --deadline-us 500 --decisions-out "$WORK/served.decisions.jsonl" \
+  > "$WORK/served.log" 2>&1 &
+SERVED_PID=$!
+
+# Readiness signal: the socket file exists once start() returns.
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SERVED_PID" 2>/dev/null || {
+    echo "FAIL: evm-served died before binding $SOCK" >&2
+    cat "$WORK/served.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: $SOCK never appeared" >&2; exit 1; }
+
+if ! "$CLI" --connect "$SOCK" --app route --input-order 0,1,2,3,0,1 \
+    > "$WORK/served.client.txt" 2> "$WORK/served.client.err"; then
+  echo "FAIL: evm_cli --connect against evm-served exited nonzero" >&2
+  cat "$WORK/served.client.err" >&2
+  kill -9 "$SERVED_PID" 2>/dev/null || true
+  exit 1
+fi
+
+# Graceful drain: SIGTERM must complete in-flight work, fold the final
+# checkpoint, and exit 0.
+kill -TERM "$SERVED_PID"
+SERVED_RC=0
+wait "$SERVED_PID" || SERVED_RC=$?
+if [ "$SERVED_RC" -ne 0 ]; then
+  echo "FAIL: evm-served drain exited $SERVED_RC" >&2
+  cat "$WORK/served.log" >&2
+  exit 1
+fi
+
+# The drain-time fold's global store must be clean and canonical.
+# (Gateway filenames sanitize lane ids: app "route" -> global-route.store.)
+if ! "$STORE_TOOL" validate "$SERVE_DIR/global-route.store" \
+    > "$WORK/served.validate.txt"; then
+  echo "FAIL: evm-store validate rejects the drain checkpoint" >&2
+  cat "$WORK/served.validate.txt" >&2
+  exit 1
+fi
+echo "daemon smoke: OK ($(tail -n1 "$WORK/served.validate.txt"))"
