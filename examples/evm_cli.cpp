@@ -42,6 +42,7 @@
 #include "support/Profiler.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
+#include "vm/Dispatch.h"
 #include "workloads/Generator.h"
 #include "workloads/Workload.h"
 
@@ -730,6 +731,10 @@ void printUsage(const char *Argv0, std::FILE *To) {
       "engine options:\n"
       "  --workers=N                background compile workers (0 =\n"
       "                             synchronous compilation)\n"
+      "  --dispatch=MODE            interpreter dispatch: switch, threaded,\n"
+      "                             or fused (default; also settable via\n"
+      "                             EVM_DISPATCH).  Virtual-clock behavior\n"
+      "                             is identical in every mode\n"
       "knowledge-store options:\n"
       "  --store=FILE               cross-run knowledge store: warm-start\n"
       "                             the VM from FILE before the first run\n"
@@ -896,6 +901,16 @@ int main(int argc, char **argv) {
         return 2;
       }
       Options.Workers = *N;
+    } else if (Arg.rfind("--dispatch=", 0) == 0) {
+      auto Mode = vm::parseDispatchMode(Arg.substr(11));
+      if (!Mode) {
+        std::fprintf(stderr,
+                     "error: bad --dispatch mode '%s' (want switch, "
+                     "threaded, or fused)\n",
+                     Arg.substr(11).c_str());
+        return 2;
+      }
+      vm::setProcessDispatchMode(*Mode);
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       printUsage(argv[0], stderr);

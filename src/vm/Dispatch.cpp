@@ -1,0 +1,63 @@
+//===- vm/Dispatch.cpp ----------------------------------------------------===//
+
+#include "vm/Dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace evm;
+using namespace evm::vm;
+
+const char *evm::vm::dispatchModeName(DispatchMode Mode) {
+  switch (Mode) {
+  case DispatchMode::Switch:
+    return "switch";
+  case DispatchMode::Threaded:
+    return "threaded";
+  case DispatchMode::Fused:
+    return "fused";
+  }
+  return "fused";
+}
+
+std::optional<DispatchMode> evm::vm::parseDispatchMode(std::string_view Name) {
+  if (Name == "switch")
+    return DispatchMode::Switch;
+  if (Name == "threaded")
+    return DispatchMode::Threaded;
+  if (Name == "fused")
+    return DispatchMode::Fused;
+  return std::nullopt;
+}
+
+bool evm::vm::threadedDispatchCompiledIn() {
+#if EVM_THREADED_DISPATCH && (defined(__GNUC__) || defined(__clang__))
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+DispatchMode initialMode() {
+  if (const char *Env = std::getenv("EVM_DISPATCH"))
+    if (std::optional<DispatchMode> M = parseDispatchMode(Env))
+      return *M;
+  return DispatchMode::Fused;
+}
+
+std::atomic<DispatchMode> &processMode() {
+  static std::atomic<DispatchMode> Mode{initialMode()};
+  return Mode;
+}
+
+} // namespace
+
+DispatchMode evm::vm::processDispatchMode() {
+  return processMode().load(std::memory_order_relaxed);
+}
+
+void evm::vm::setProcessDispatchMode(DispatchMode Mode) {
+  processMode().store(Mode, std::memory_order_relaxed);
+}

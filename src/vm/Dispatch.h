@@ -1,0 +1,79 @@
+//===- vm/Dispatch.h - Interpreter dispatch-mode selection ----------------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selects how ExecutionEngine::interpret walks bytecode.  All three modes
+/// issue the identical sequence of virtual-clock charge() calls, so every
+/// virtual observable — RunResult bytes, traces, profiles, policy
+/// decisions — is bit-identical across modes; only host wall-clock differs
+/// (pinned by tests/test_dispatch.cpp and the differential fuzzer's
+/// dispatch axis):
+///
+///   Switch    the original one-switch-per-instruction loop, kept verbatim
+///             as the semantic reference.
+///   Threaded  a predecoded instruction stream (per-instruction charges and
+///             branch targets resolved at decode time) driven by
+///             computed-goto threading where the compiler supports GNU
+///             label-values, and by a dense switch over decoded handlers
+///             otherwise (the `EVM_THREADED_DISPATCH=OFF` fallback build).
+///   Fused     Threaded plus superinstruction fusion: hot adjacent opcode
+///             pairs (vm/Superinst.h) execute as one combined handler that
+///             charges each constituent separately.
+///
+/// The mode is process-wide: engines are constructed deep inside scenarios,
+/// fleets and the serving daemon, so a global (env `EVM_DISPATCH`, or
+/// `setProcessDispatchMode`, e.g. from evm_cli --dispatch=MODE) reaches
+/// every engine without threading a parameter through each layer.  Engines
+/// read it once at construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_DISPATCH_H
+#define EVM_VM_DISPATCH_H
+
+#include <optional>
+#include <string_view>
+
+/// Compile-time gate (cmake -DEVM_THREADED_DISPATCH=OFF): with it off, the
+/// Threaded/Fused modes run the decoded stream through a portable switch
+/// instead of computed goto.  Decoding, fusion, and all virtual-clock
+/// behavior are unchanged — only the jump strategy differs.
+#ifndef EVM_THREADED_DISPATCH
+#define EVM_THREADED_DISPATCH 1
+#endif
+
+namespace evm {
+namespace vm {
+
+enum class DispatchMode : uint8_t {
+  Switch,   ///< reference interpreter, undecoded
+  Threaded, ///< decoded stream, no fusion
+  Fused,    ///< decoded stream with superinstruction fusion (default)
+};
+
+/// Stable wire name ("switch" | "threaded" | "fused").
+const char *dispatchModeName(DispatchMode Mode);
+
+/// Inverse of dispatchModeName; nullopt for unknown names.
+std::optional<DispatchMode> parseDispatchMode(std::string_view Name);
+
+/// True when the build uses computed-goto threading for the decoded modes
+/// (EVM_THREADED_DISPATCH=ON and the compiler supports label-values).
+bool threadedDispatchCompiledIn();
+
+/// The process-wide mode new engines adopt.  First read consults the
+/// EVM_DISPATCH environment variable ("switch" | "threaded" | "fused";
+/// unset or unknown values mean Fused — safe because fusion is pinned
+/// cycle-identical).
+DispatchMode processDispatchMode();
+
+/// Overrides the process-wide mode for engines constructed afterwards.
+void setProcessDispatchMode(DispatchMode Mode);
+
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_DISPATCH_H

@@ -1,0 +1,218 @@
+//===- vm/Superinst.cpp ---------------------------------------------------===//
+
+#include "vm/Superinst.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace evm;
+using namespace evm::vm;
+using bc::Instr;
+using bc::Opcode;
+
+const std::array<OpcodePair, NumSuperinstPairs> &
+evm::vm::supportedSuperinstPairs() {
+  static const std::array<OpcodePair, NumSuperinstPairs> Pairs = {{
+#define EVM_SUPERINST_PAIR_INIT(A, B) {Opcode::A, Opcode::B},
+      EVM_SUPERINST_PAIRS(EVM_SUPERINST_PAIR_INIT)
+#undef EVM_SUPERINST_PAIR_INIT
+  }};
+  return Pairs;
+}
+
+int evm::vm::supportedPairIndex(Opcode A, Opcode B) {
+  // Dense lookup built once; NumOpcodes^2 int16s (~3.5 KiB).
+  static const auto Table = [] {
+    std::array<int16_t, bc::NumOpcodes * bc::NumOpcodes> T;
+    T.fill(-1);
+    const auto &Pairs = supportedSuperinstPairs();
+    for (size_t I = 0; I != Pairs.size(); ++I)
+      T[static_cast<size_t>(Pairs[I].First) * bc::NumOpcodes +
+        static_cast<size_t>(Pairs[I].Second)] = static_cast<int16_t>(I);
+    return T;
+  }();
+  return Table[static_cast<size_t>(A) * bc::NumOpcodes +
+               static_cast<size_t>(B)];
+}
+
+std::string evm::vm::superinstPairName(size_t Index) {
+  assert(Index < NumSuperinstPairs && "pair index out of range");
+  const OpcodePair &P = supportedSuperinstPairs()[Index];
+  std::string Name(bc::getOpcodeInfo(P.First).Mnemonic);
+  Name += '+';
+  Name += bc::getOpcodeInfo(P.Second).Mnemonic;
+  return Name;
+}
+
+bool evm::vm::isFusableHead(Opcode Op) {
+  const bc::OpcodeInfo &Info = bc::getOpcodeInfo(Op);
+  return !Info.IsBranch && !Info.IsTerminator && Op != Opcode::Call;
+}
+
+bool evm::vm::isFusableTail(Opcode Op) { return Op != Opcode::Call; }
+
+uint64_t SuperinstTable::enabledMask() const {
+  uint64_t Mask = 0;
+  for (const OpcodePair &P : Pairs) {
+    int Idx = supportedPairIndex(P.First, P.Second);
+    assert(Idx >= 0 && "table contains an unsupported pair");
+    Mask |= uint64_t(1) << Idx;
+  }
+  return Mask;
+}
+
+SuperinstTable evm::vm::defaultSuperinstTable() {
+  SuperinstTable T;
+  const auto &Pairs = supportedSuperinstPairs();
+  T.Pairs.assign(Pairs.begin(), Pairs.end());
+  return T;
+}
+
+uint64_t evm::vm::interpChargeCycles(const TimingModel &TM, Opcode Op) {
+  return TM.InterpDispatchCycles + scalarOpCost(Op);
+}
+
+namespace {
+
+/// Pcs that some branch in \p Code jumps to; a pair's second instruction
+/// must not be one (control would land mid-pair).
+std::vector<bool> branchTargets(const std::vector<Instr> &Code) {
+  std::vector<bool> Target(Code.size(), false);
+  for (const Instr &I : Code)
+    if (bc::getOpcodeInfo(I.Op).IsBranch) {
+      assert(static_cast<size_t>(I.Operand) < Code.size() &&
+             "branch target out of range (verifier?)");
+      Target[static_cast<size_t>(I.Operand)] = true;
+    }
+  return Target;
+}
+
+bool isBranchOpcode(Opcode Op) { return bc::getOpcodeInfo(Op).IsBranch; }
+
+} // namespace
+
+DecodedFunction evm::vm::decodeFunction(const bc::Function &F,
+                                        const TimingModel &TM,
+                                        uint64_t EnabledMask) {
+  const std::vector<Instr> &Code = F.Code;
+  std::vector<bool> Target = branchTargets(Code);
+
+  DecodedFunction D;
+  D.Code.reserve(Code.size());
+  // Original pc -> decoded index, for branch remapping.  A fused second
+  // instruction is never a branch target, so mapping both constituent pcs
+  // to the pair's slot is safe (only the head's entry is ever consulted).
+  std::vector<uint32_t> Pc2D(Code.size(), 0);
+
+  for (size_t Pc = 0; Pc != Code.size();) {
+    DecodedInstr DI;
+    DI.OrigPc = static_cast<uint32_t>(Pc);
+    DI.Operand = Code[Pc].Operand;
+    DI.Charge = interpChargeCycles(TM, Code[Pc].Op);
+    Pc2D[Pc] = static_cast<uint32_t>(D.Code.size());
+
+    int PairIdx = -1;
+    if (Pc + 1 < Code.size() && !Target[Pc + 1] &&
+        isFusableHead(Code[Pc].Op) && isFusableTail(Code[Pc + 1].Op))
+      PairIdx = supportedPairIndex(Code[Pc].Op, Code[Pc + 1].Op);
+    if (PairIdx >= 0 && (EnabledMask & (uint64_t(1) << PairIdx))) {
+      DI.Handler = static_cast<uint16_t>(bc::NumOpcodes + PairIdx);
+      DI.Operand2 = Code[Pc + 1].Operand;
+      DI.Charge2 = interpChargeCycles(TM, Code[Pc + 1].Op);
+      Pc2D[Pc + 1] = static_cast<uint32_t>(D.Code.size());
+      ++D.FusedSites;
+      Pc += 2;
+    } else {
+      DI.Handler = static_cast<uint16_t>(Code[Pc].Op);
+      Pc += 1;
+    }
+    D.Code.push_back(DI);
+  }
+
+  // Remap branch operands (original pc -> decoded index).  Only a fused
+  // *second* can be a branch — heads are never branches.
+  for (DecodedInstr &DI : D.Code) {
+    if (DI.Handler < bc::NumOpcodes) {
+      if (isBranchOpcode(static_cast<Opcode>(DI.Handler)))
+        DI.Operand = Pc2D[static_cast<size_t>(DI.Operand)];
+    } else {
+      const OpcodePair &P =
+          supportedSuperinstPairs()[DI.Handler - bc::NumOpcodes];
+      if (isBranchOpcode(P.Second))
+        DI.Operand2 = Pc2D[static_cast<size_t>(DI.Operand2)];
+    }
+  }
+  return D;
+}
+
+std::vector<Instr> evm::vm::defuseFunction(const DecodedFunction &D) {
+  std::vector<Instr> Code;
+  for (const DecodedInstr &DI : D.Code) {
+    auto origTarget = [&](int64_t DecodedIdx) {
+      assert(static_cast<size_t>(DecodedIdx) < D.Code.size() &&
+             "decoded branch target out of range");
+      return static_cast<int64_t>(D.Code[static_cast<size_t>(DecodedIdx)]
+                                      .OrigPc);
+    };
+    if (DI.Handler < bc::NumOpcodes) {
+      Opcode Op = static_cast<Opcode>(DI.Handler);
+      Code.push_back(
+          Instr{Op, isBranchOpcode(Op) ? origTarget(DI.Operand) : DI.Operand});
+    } else {
+      const OpcodePair &P =
+          supportedSuperinstPairs()[DI.Handler - bc::NumOpcodes];
+      Code.push_back(Instr{P.First, DI.Operand});
+      Code.push_back(Instr{P.Second, isBranchOpcode(P.Second)
+                                         ? origTarget(DI.Operand2)
+                                         : DI.Operand2});
+    }
+  }
+  return Code;
+}
+
+std::vector<MinedPair>
+evm::vm::mineAdjacentPairs(const bc::Module &M,
+                           const std::vector<uint64_t> &MethodWeights) {
+  // (First, Second) -> weighted count; std::map keys give the deterministic
+  // opcode-order tiebreak for free.
+  std::map<std::pair<uint8_t, uint8_t>, uint64_t> Counts;
+  for (size_t Id = 0; Id != M.numFunctions(); ++Id) {
+    uint64_t W = Id < MethodWeights.size() ? MethodWeights[Id] : 1;
+    if (!W)
+      continue;
+    const std::vector<Instr> &Code =
+        M.function(static_cast<bc::MethodId>(Id)).Code;
+    std::vector<bool> Target = branchTargets(Code);
+    for (size_t Pc = 0; Pc + 1 < Code.size(); ++Pc)
+      if (!Target[Pc + 1] && isFusableHead(Code[Pc].Op) &&
+          isFusableTail(Code[Pc + 1].Op))
+        Counts[{static_cast<uint8_t>(Code[Pc].Op),
+                static_cast<uint8_t>(Code[Pc + 1].Op)}] += W;
+  }
+  std::vector<MinedPair> Mined;
+  Mined.reserve(Counts.size());
+  for (const auto &[Key, Count] : Counts)
+    Mined.push_back(MinedPair{{static_cast<Opcode>(Key.first),
+                               static_cast<Opcode>(Key.second)},
+                              Count});
+  std::stable_sort(Mined.begin(), Mined.end(),
+                   [](const MinedPair &A, const MinedPair &B) {
+                     return A.Count > B.Count;
+                   });
+  return Mined;
+}
+
+SuperinstTable
+evm::vm::mineSuperinstTable(const bc::Module &M,
+                            const std::vector<uint64_t> &MethodWeights,
+                            size_t TopN) {
+  SuperinstTable T;
+  for (const MinedPair &P : mineAdjacentPairs(M, MethodWeights)) {
+    if (T.Pairs.size() >= TopN)
+      break;
+    if (supportedPairIndex(P.Pair.First, P.Pair.Second) >= 0)
+      T.Pairs.push_back(P.Pair);
+  }
+  return T;
+}

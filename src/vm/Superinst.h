@@ -1,0 +1,218 @@
+//===- vm/Superinst.h - Superinstruction fusion for the interpreter -------===//
+//
+// Part of the EVM project (CGO 2009 evolvable-VM reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Superinstruction support for the decoded (threaded/fused) interpreter
+/// modes (vm/Dispatch.h).  A bytecode function is predecoded into a stream
+/// of DecodedInstr — per-instruction virtual-clock charges computed once,
+/// branch targets resolved to decoded indices — and, in Fused mode, hot
+/// adjacent opcode pairs are rewritten into single decoded slots that a
+/// combined handler executes.
+///
+/// Fusion is a pure host-side rewrite.  A fused slot carries *both*
+/// constituents' operands and charges, and the combined handler replays the
+/// reference interpreter's exact sequence — charge(first), execute first,
+/// pending-trap check, charge(second), execute second — so the virtual
+/// clock, profiler sample timing, trace timestamps and policy inputs are
+/// bit-identical to unfused execution (`defuse(decode(f)) == f` and the
+/// charge-sum property are pinned by tests/test_dispatch.cpp).
+///
+/// The candidate pair set is fixed at compile time (the X-macro below) so
+/// each pair gets a real computed-goto handler; it was chosen by running
+/// the miner (mineAdjacentPairs) over the 11 paper workloads and the test
+/// corpus.  A SuperinstTable enables a subset of the candidates — by
+/// default all of them, or the top-N mined from a specific module and the
+/// per-method weights of a recorded trace (methodWeightsFromTrace in
+/// support/TraceAnalysis.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_VM_SUPERINST_H
+#define EVM_VM_SUPERINST_H
+
+#include "bytecode/Module.h"
+#include "vm/Timing.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace evm {
+namespace vm {
+
+/// The compiled-in superinstruction candidates: `X(First, Second)` per
+/// fusable pair, in rank order (hottest first) from mining the paper
+/// workloads + test corpus.  Every pair needs First fusable as a head
+/// (not a branch/terminator/call) and Second fusable as a tail (not a
+/// call); Second may be a branch or ret — compare-and-branch is the
+/// hottest pattern in loop-heavy stack code.  Capped at 64 so an enabled
+/// set fits one mask word.
+#define EVM_SUPERINST_PAIRS(X)                                                 \
+  X(LoadLocal, LoadLocal)                                                      \
+  X(LoadLocal, ConstInt)                                                       \
+  X(StoreLocal, LoadLocal)                                                     \
+  X(Add, StoreLocal)                                                           \
+  X(ConstInt, Add)                                                             \
+  X(ConstInt, StoreLocal)                                                      \
+  X(StoreLocal, ConstInt)                                                      \
+  X(StoreLocal, Br)                                                            \
+  X(Lt, BrFalse)                                                               \
+  X(LoadLocal, Lt)                                                             \
+  X(LoadLocal, Ret)                                                            \
+  X(ConstInt, And)                                                             \
+  X(LoadLocal, Add)                                                            \
+  X(Add, LoadLocal)                                                            \
+  X(ConstInt, Mul)                                                             \
+  X(HStore, LoadLocal)                                                         \
+  X(ConstFloat, Mul)                                                           \
+  X(LoadLocal, ConstFloat)                                                     \
+  X(Add, HLoad)                                                                \
+  X(Mul, Add)                                                                  \
+  X(Mul, LoadLocal)                                                            \
+  X(LoadLocal, StoreLocal)                                                     \
+  X(LoadLocal, Mul)                                                            \
+  X(LoadLocal, Sub)                                                            \
+  X(ConstInt, LoadLocal)                                                       \
+  X(ConstInt, Sub)                                                             \
+  X(ConstInt, Lt)                                                              \
+  X(Sub, StoreLocal)                                                           \
+  X(Mul, StoreLocal)                                                           \
+  X(Add, HStore)                                                               \
+  X(LoadLocal, Le)                                                             \
+  X(LoadLocal, Gt)                                                             \
+  X(LoadLocal, Ge)                                                             \
+  X(LoadLocal, Eq)                                                             \
+  X(LoadLocal, HLoad)                                                          \
+  X(LoadLocal, BrFalse)                                                        \
+  X(Le, BrFalse)                                                               \
+  X(Gt, BrFalse)                                                               \
+  X(Ge, BrFalse)                                                               \
+  X(Eq, BrFalse)                                                               \
+  X(Ne, BrFalse)                                                               \
+  X(Lt, BrTrue)                                                                \
+  X(Ge, BrTrue)
+
+/// Number of compiled-in candidate pairs.
+#define EVM_SUPERINST_COUNT_ONE(A, B) +1
+constexpr size_t NumSuperinstPairs = 0 EVM_SUPERINST_PAIRS(
+    EVM_SUPERINST_COUNT_ONE);
+#undef EVM_SUPERINST_COUNT_ONE
+static_assert(NumSuperinstPairs <= 64, "enabled set must fit a mask word");
+
+/// An adjacent opcode pair.
+struct OpcodePair {
+  bc::Opcode First;
+  bc::Opcode Second;
+
+  bool operator==(const OpcodePair &O) const {
+    return First == O.First && Second == O.Second;
+  }
+};
+
+/// The compiled-in candidates, in X-macro (rank) order.
+const std::array<OpcodePair, NumSuperinstPairs> &supportedSuperinstPairs();
+
+/// Index of (A, B) in supportedSuperinstPairs(), or -1 if not a candidate.
+int supportedPairIndex(bc::Opcode A, bc::Opcode B);
+
+/// "loadlocal+brfalse"-style stable label for pair \p Index (metrics keys,
+/// evm-prof tables).
+std::string superinstPairName(size_t Index);
+
+/// May \p Op start a fused pair?  Branches, terminators and calls cannot:
+/// control leaving the pair mid-way is unsupported.
+bool isFusableHead(bc::Opcode Op);
+/// May \p Op end a fused pair?  Everything but Call (whose body re-enters
+/// the engine) — branches and Ret are the hottest tails.
+bool isFusableTail(bc::Opcode Op);
+
+/// An enabled subset of the candidates.  Engines decode against the mask.
+struct SuperinstTable {
+  std::vector<OpcodePair> Pairs; ///< each must be a supported candidate
+
+  /// Bit i set iff supported candidate i is enabled.
+  uint64_t enabledMask() const;
+};
+
+/// All compiled-in candidates enabled (the default engine table).
+SuperinstTable defaultSuperinstTable();
+
+/// One slot of a predecoded function.  `Handler < bc::NumOpcodes` is a
+/// single instruction (Handler == opcode); `Handler >= bc::NumOpcodes`
+/// executes supported pair `Handler - bc::NumOpcodes`, whose constituents'
+/// operands/charges sit in (Operand, Charge) / (Operand2, Charge2) and
+/// whose original pcs are OrigPc / OrigPc + 1.  Branch operands hold
+/// *decoded* indices; OrigPc preserves the original pc for trap locations
+/// and defusing.
+struct DecodedInstr {
+  int64_t Operand = 0;
+  int64_t Operand2 = 0;
+  uint64_t Charge = 0;  ///< dispatch + scalar cost of the (first) opcode
+  uint64_t Charge2 = 0; ///< same for the fused second; 0 in single slots
+  uint32_t OrigPc = 0;
+  uint16_t Handler = 0;
+};
+
+/// A predecoded function body.
+struct DecodedFunction {
+  std::vector<DecodedInstr> Code;
+  uint32_t FusedSites = 0; ///< fused slots (static count)
+};
+
+/// The reference interpreter's per-instruction charge for \p Op.
+uint64_t interpChargeCycles(const TimingModel &TM, bc::Opcode Op);
+
+/// Predecodes \p F: resolves charges, remaps branch targets, and greedily
+/// fuses adjacent pairs whose candidate bit is set in \p EnabledMask (a
+/// second instruction that is a branch target never fuses).  Greedy
+/// left-to-right, non-overlapping — deterministic for fixed inputs.
+DecodedFunction decodeFunction(const bc::Function &F, const TimingModel &TM,
+                               uint64_t EnabledMask);
+
+/// Exact inverse of decodeFunction: reconstructs the original instruction
+/// stream, fused slots expanded and branch targets mapped back to original
+/// pcs.  `defuseFunction(decodeFunction(F, TM, Mask)) == F.Code` for every
+/// function and mask (pinned by test_dispatch).
+std::vector<bc::Instr> defuseFunction(const DecodedFunction &D);
+
+/// One mined pair with its (weighted) static-adjacency count.
+struct MinedPair {
+  OpcodePair Pair;
+  uint64_t Count;
+};
+
+/// Counts every fusable adjacent pair in \p M (all pairs, not just
+/// compiled-in candidates), each occurrence weighted by its method's entry
+/// in \p MethodWeights (missing/empty entries weigh 1; a 0 weight skips
+/// the method).  Sorted by count descending, ties broken by opcode order —
+/// deterministic for fixed inputs.
+std::vector<MinedPair>
+mineAdjacentPairs(const bc::Module &M,
+                  const std::vector<uint64_t> &MethodWeights = {});
+
+/// Mines a SuperinstTable for \p M: the top \p TopN supported candidates
+/// by weighted adjacency count.  Weights typically come from a recorded
+/// trace via methodWeightsFromTrace (support/TraceAnalysis.h), closing the
+/// loop the issue describes: trace -> hot methods -> fusion table.
+SuperinstTable
+mineSuperinstTable(const bc::Module &M,
+                   const std::vector<uint64_t> &MethodWeights = {},
+                   size_t TopN = NumSuperinstPairs);
+
+/// Host-side execution counters for the decoded modes.  Never part of
+/// RunResult (which must stay byte-identical across modes); read them via
+/// ExecutionEngine::dispatchStats for coverage reporting (bench_dispatch,
+/// evm-prof --fusion).
+struct DispatchStats {
+  uint64_t Instrs = 0;     ///< bytecode instructions retired (pairs count 2)
+  uint64_t FusedExecs = 0; ///< fused slots executed
+  std::array<uint64_t, NumSuperinstPairs> PairExecs{}; ///< per candidate
+};
+
+} // namespace vm
+} // namespace evm
+
+#endif // EVM_VM_SUPERINST_H

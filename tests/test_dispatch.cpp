@@ -1,0 +1,450 @@
+//===- tests/test_dispatch.cpp - Dispatch-mode identity matrix ------------==//
+//
+// The threaded/fused interpreter (vm/Dispatch.h, vm/Superinst.h) is a
+// host-speed overhaul that must be invisible to the modeled machine.  This
+// suite pins that the same way the profiler's ON/OFF gate is pinned:
+//
+//   * identity matrix — for every corpus program, generated workload and a
+//     sample of random modules, across every JIT tier and the background
+//     pipeline, the full RunResult (return value, cycles, metrics JSON,
+//     per-method stats, compile events) is identical in switch, threaded
+//     and fused modes, and traced runs produce byte-identical JSONL;
+//   * superinstruction properties — fusion is a pure rewrite
+//     (defuse(decode(f)) == f for every mask), a fused slot's charges are
+//     exactly its constituents' interpreter charges, and table mining is
+//     deterministic for a fixed module + trace;
+//   * host-side counters — instruction counts agree across modes and the
+//     fused mode actually executes fused pairs on the corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+#include "support/TraceAnalysis.h"
+#include "vm/AOS.h"
+#include "vm/Engine.h"
+#include "vm/Policy.h"
+#include "workloads/Generator.h"
+
+#include "RandomModule.h"
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace evm;
+using namespace evm::vm;
+
+namespace {
+
+constexpr uint64_t MaxCycles = 500000000ULL;
+
+const DispatchMode AllModes[] = {DispatchMode::Switch, DispatchMode::Threaded,
+                                 DispatchMode::Fused};
+
+class ForceLevelPolicy : public CompilationPolicy {
+public:
+  explicit ForceLevelPolicy(OptLevel L) : Level(L) {}
+  std::optional<OptLevel>
+  onFirstInvocation(const MethodRuntimeInfo &) override {
+    if (Level == OptLevel::Baseline)
+      return std::nullopt;
+    return Level;
+  }
+
+private:
+  OptLevel Level;
+};
+
+/// Serializes everything a RunResult carries (sans phases, which need an
+/// installed profiler; sample timing is covered through cycles + metrics
+/// + the trace test) so cross-mode comparison is one string compare.
+std::string fingerprint(const RunResult &R) {
+  std::string S = R.ReturnValue.str();
+  S += "|cycles=" + std::to_string(R.Cycles);
+  S += "|metrics=" + R.Metrics.renderJson();
+  for (const MethodStats &MS : R.PerMethod) {
+    S += "|m:" + std::to_string(MS.Samples) + "," +
+         std::to_string(MS.Invocations) + "," + std::to_string(MS.NumCompiles) +
+         "," + std::to_string(levelIndex(MS.FinalLevel));
+    for (uint64_t C : MS.CyclesByLevel)
+      S += "," + std::to_string(C);
+  }
+  for (const CompileEvent &CE : R.Compiles)
+    S += "|c:" + std::to_string(CE.Method) + "," +
+         std::to_string(levelIndex(CE.Level)) + "," +
+         std::to_string(CE.AtCycle) + "," + std::to_string(CE.CostCycles) +
+         "," + std::to_string(CE.RequestedAtCycle) + "," +
+         std::to_string(CE.Background ? 1 : 0);
+  return S;
+}
+
+struct ModeRun {
+  ErrorOr<RunResult> Result;
+  DispatchStats Stats;
+
+  ModeRun(ErrorOr<RunResult> R, const DispatchStats &S)
+      : Result(std::move(R)), Stats(S) {}
+};
+
+/// One run of \p M under \p Mode with a fresh engine.  \p Workers > 0 uses
+/// the background compile pipeline; \p Policy may be null.
+ModeRun runWithMode(const bc::Module &M, DispatchMode Mode,
+                    CompilationPolicy *Policy, uint64_t Workers,
+                    const std::vector<bc::Value> &Args) {
+  TimingModel TM;
+  TM.NumCompileWorkers = Workers;
+  ExecutionEngine Engine(M, TM, Policy);
+  Engine.setDispatchMode(Mode);
+  auto R = Engine.run(Args, MaxCycles);
+  return ModeRun(std::move(R), Engine.dispatchStats());
+}
+
+/// Policy configurations of the matrix: every tier pinned, plus the
+/// reactive sampler synchronous and with background workers.
+struct PolicyConfig {
+  const char *Name;
+  int ForcedLevel; ///< -2 = none, -1..2 = forced tier, 3 = adaptive
+  uint64_t Workers;
+};
+
+const PolicyConfig MatrixConfigs[] = {
+    {"nopolicy", -2, 0},      {"forced-o0", 0, 0},  {"forced-o1", 1, 0},
+    {"forced-o2", 2, 0},      {"adaptive", 3, 0},   {"adaptive-bg2", 3, 2},
+};
+
+void expectModesAgree(const bc::Module &M, const std::vector<bc::Value> &Args,
+                      const PolicyConfig &Cfg, bool *SawFusion = nullptr,
+                      bool *SawCompiles = nullptr) {
+  auto makeRun = [&](DispatchMode Mode) {
+    TimingModel TM;
+    TM.NumCompileWorkers = Cfg.Workers;
+    std::unique_ptr<CompilationPolicy> Policy;
+    if (Cfg.ForcedLevel >= 0 && Cfg.ForcedLevel <= 2)
+      Policy = std::make_unique<ForceLevelPolicy>(
+          levelFromIndex(Cfg.ForcedLevel + 1));
+    else if (Cfg.ForcedLevel == 3)
+      Policy = std::make_unique<AdaptivePolicy>(TM);
+    ExecutionEngine Engine(M, TM, Policy.get());
+    Engine.setDispatchMode(Mode);
+    auto R = Engine.run(Args, MaxCycles);
+    return ModeRun(std::move(R), Engine.dispatchStats());
+  };
+
+  ModeRun Ref = makeRun(DispatchMode::Switch);
+  for (DispatchMode Mode :
+       {DispatchMode::Threaded, DispatchMode::Fused}) {
+    SCOPED_TRACE(std::string("mode=") + dispatchModeName(Mode));
+    ModeRun Got = makeRun(Mode);
+    ASSERT_EQ(static_cast<bool>(Ref.Result), static_cast<bool>(Got.Result));
+    if (!Ref.Result) {
+      // Traps must match exactly: same kind, same method, same message.
+      EXPECT_EQ(Ref.Result.getError().message(),
+                Got.Result.getError().message());
+    } else {
+      EXPECT_EQ(fingerprint(*Ref.Result), fingerprint(*Got.Result));
+    }
+    // Host-side: both modes retire the same bytecode instruction count
+    // (fused pairs count as two).
+    EXPECT_EQ(Ref.Stats.Instrs, Got.Stats.Instrs);
+    if (Mode == DispatchMode::Fused && SawFusion && Got.Stats.FusedExecs)
+      *SawFusion = true;
+    if (SawCompiles && Got.Result && !Got.Result->Compiles.empty())
+      *SawCompiles = true;
+  }
+}
+
+} // namespace
+
+TEST(Dispatch, ModeNamesRoundTrip) {
+  for (DispatchMode Mode : AllModes) {
+    auto Parsed = parseDispatchMode(dispatchModeName(Mode));
+    ASSERT_TRUE(Parsed.has_value());
+    EXPECT_EQ(*Parsed, Mode);
+  }
+  EXPECT_FALSE(parseDispatchMode("direct").has_value());
+  EXPECT_FALSE(parseDispatchMode("").has_value());
+}
+
+TEST(Dispatch, ProcessModeReachesNewEngines) {
+  DispatchMode Before = processDispatchMode();
+  setProcessDispatchMode(DispatchMode::Threaded);
+  bc::Module M = test::assemble(test::programCorpus()[0].second);
+  TimingModel TM;
+  ExecutionEngine Engine(M, TM, nullptr);
+  EXPECT_EQ(Engine.dispatchMode(), DispatchMode::Threaded);
+  setProcessDispatchMode(Before);
+}
+
+TEST(Dispatch, CorpusIdentityMatrix) {
+  // Demo apps x tiers x pipelines x modes: the full RunResult must be
+  // identical to the switch interpreter in every cell.  Inputs are sized
+  // per program so each run does enough work to trigger sampling without
+  // fib_recursive exploding (it is exponential in its argument).
+  const int64_t Inputs[] = {5000, 18, 200, 500, 500, 300, 40};
+  const auto &Corpus = test::programCorpus();
+  ASSERT_EQ(Corpus.size(), std::size(Inputs));
+  bool SawFusion = false, SawCompiles = false;
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    SCOPED_TRACE(Corpus[I].first);
+    bc::Module M = test::assemble(Corpus[I].second);
+    for (const PolicyConfig &Cfg : MatrixConfigs) {
+      SCOPED_TRACE(Cfg.Name);
+      expectModesAgree(M, {bc::Value::makeInt(Inputs[I])}, Cfg, &SawFusion,
+                       &SawCompiles);
+    }
+  }
+  // The matrix is only meaningful if fused handlers actually ran and some
+  // cells crossed tiers (interp handing off to compiled code mid-run).
+  EXPECT_TRUE(SawFusion);
+  EXPECT_TRUE(SawCompiles);
+}
+
+TEST(Dispatch, GeneratedWorkloadIdentity) {
+  // The open-world generator's program family (deep call spines, loop
+  // nests) under the reactive sampler, across all three modes.
+  for (uint64_t Seed : {20090301ULL, 20090310ULL, 20090317ULL}) {
+    SCOPED_TRACE("genseed=" + std::to_string(Seed));
+    wl::GenSpec Spec;
+    Spec.Seed = Seed;
+    Spec.HotMethods = 2 + static_cast<int>(Seed % 3);
+    Spec.CallDepth = 2 + static_cast<int>(Seed % 3);
+    Spec.LoopDepth = 1 + static_cast<int>(Seed % 2);
+    Spec.MinWork = 16;
+    Spec.MaxWork = 128;
+    auto G = wl::generateWorkload(Spec);
+    ASSERT_TRUE(static_cast<bool>(G)) << G.getError().message();
+    const bc::Module &M = G->W.Module;
+    const std::vector<bc::Value> &Args = G->W.Inputs.front().VmArgs;
+    expectModesAgree(M, Args, PolicyConfig{"adaptive", 3, 0});
+    expectModesAgree(M, Args, PolicyConfig{"adaptive-bg2", 3, 2});
+  }
+}
+
+TEST(Dispatch, RandomModuleIdentityIncludingTraps) {
+  // Random modules trap (heap faults, div-by-zero, fuel): the trap method,
+  // location-bearing message and everything before it must agree across
+  // modes, not just clean results.
+  uint64_t Trapped = 0;
+  for (uint64_t Seed = 20090301; Seed != 20090301 + 30; ++Seed) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    auto MOrErr = test::generateRandomModule(Seed);
+    ASSERT_TRUE(static_cast<bool>(MOrErr));
+    const bc::Module &M = *MOrErr;
+    for (int64_t Input : {0, 17}) {
+      ModeRun Ref = runWithMode(M, DispatchMode::Switch, nullptr, 0,
+                                {bc::Value::makeInt(Input)});
+      if (!Ref.Result)
+        ++Trapped;
+      expectModesAgree(M, {bc::Value::makeInt(Input)},
+                       PolicyConfig{"nopolicy", -2, 0});
+    }
+  }
+  EXPECT_GT(Trapped, 0u); // the trap half of the property must be exercised
+}
+
+TEST(Dispatch, TracedRunsAreByteIdenticalAcrossModes) {
+  // Trace timestamps come from the virtual clock mid-run, so they catch
+  // any charge-granularity drift (e.g. a fused handler merging its two
+  // charges would move sample ticks).  The full JSONL must match byte for
+  // byte, switch vs fused, through the background pipeline.
+  bc::Module M = test::assemble(test::programCorpus()[6].second); // chunked
+  auto traced = [&](DispatchMode Mode) {
+    TimingModel TM;
+    TM.NumCompileWorkers = 2;
+    TraceRecorder Tracer;
+    Tracer.setEnabled(true);
+    AdaptivePolicy Policy(TM, &Tracer);
+    ExecutionEngine Engine(M, TM, &Policy);
+    Engine.setDispatchMode(Mode);
+    Engine.setTracer(&Tracer);
+    auto R = Engine.run({bc::Value::makeInt(40)}, MaxCycles);
+    EXPECT_TRUE(static_cast<bool>(R));
+    TraceMeta Meta;
+    return renderJsonlTrace(Tracer.exportOrder(), Meta);
+  };
+  std::string Switch = traced(DispatchMode::Switch);
+  EXPECT_EQ(Switch, traced(DispatchMode::Threaded));
+  EXPECT_EQ(Switch, traced(DispatchMode::Fused));
+  EXPECT_FALSE(Switch.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Superinstruction-table properties
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<uint64_t> propertyMasks() {
+  std::vector<uint64_t> Masks = {0, defaultSuperinstTable().enabledMask(),
+                                 0x5555555555555555ULL &
+                                     defaultSuperinstTable().enabledMask()};
+  for (int Bit : {0, 1, 7})
+    Masks.push_back(uint64_t(1) << Bit);
+  return Masks;
+}
+
+void expectPureRewrite(const bc::Module &M) {
+  TimingModel TM;
+  for (uint64_t Mask : propertyMasks()) {
+    for (size_t Id = 0; Id != M.numFunctions(); ++Id) {
+      const bc::Function &F = M.function(static_cast<bc::MethodId>(Id));
+      DecodedFunction D = decodeFunction(F, TM, Mask);
+      std::vector<bc::Instr> Back = defuseFunction(D);
+      ASSERT_EQ(Back.size(), F.Code.size())
+          << F.Name << " mask=" << Mask;
+      for (size_t Pc = 0; Pc != F.Code.size(); ++Pc) {
+        EXPECT_EQ(Back[Pc].Op, F.Code[Pc].Op)
+            << F.Name << " pc=" << Pc << " mask=" << Mask;
+        EXPECT_EQ(Back[Pc].Operand, F.Code[Pc].Operand)
+            << F.Name << " pc=" << Pc << " mask=" << Mask;
+      }
+    }
+  }
+}
+
+} // namespace
+
+TEST(Superinst, DefuseDecodeIsIdentityOnCorpus) {
+  for (const auto &[Name, Source] : test::programCorpus()) {
+    SCOPED_TRACE(Name);
+    expectPureRewrite(test::assemble(Source));
+  }
+}
+
+TEST(Superinst, DefuseDecodeIsIdentityOnRandomModules) {
+  for (uint64_t Seed = 20090301; Seed != 20090301 + 40; ++Seed) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    auto MOrErr = test::generateRandomModule(Seed);
+    ASSERT_TRUE(static_cast<bool>(MOrErr));
+    expectPureRewrite(*MOrErr);
+  }
+}
+
+TEST(Superinst, FusedChargeEqualsSumOfConstituents) {
+  // Every decoded slot's charge(s) must be exactly the reference
+  // interpreter's per-instruction charge, and a function's total decoded
+  // charge must equal the undecoded total — fusion never re-prices work.
+  TimingModel TM;
+  for (const auto &[Name, Source] : test::programCorpus()) {
+    SCOPED_TRACE(Name);
+    bc::Module M = test::assemble(Source);
+    for (size_t Id = 0; Id != M.numFunctions(); ++Id) {
+      const bc::Function &F = M.function(static_cast<bc::MethodId>(Id));
+      DecodedFunction D =
+          decodeFunction(F, TM, defaultSuperinstTable().enabledMask());
+      uint64_t DecodedTotal = 0, SwitchTotal = 0;
+      for (const DecodedInstr &DI : D.Code) {
+        if (DI.Handler < bc::NumOpcodes) {
+          EXPECT_EQ(DI.Charge,
+                    interpChargeCycles(TM, static_cast<bc::Opcode>(DI.Handler)));
+          EXPECT_EQ(DI.Charge2, 0u);
+        } else {
+          const OpcodePair &P =
+              supportedSuperinstPairs()[DI.Handler - bc::NumOpcodes];
+          EXPECT_EQ(DI.Charge, interpChargeCycles(TM, P.First));
+          EXPECT_EQ(DI.Charge2, interpChargeCycles(TM, P.Second));
+        }
+        DecodedTotal += DI.Charge + DI.Charge2;
+      }
+      for (const bc::Instr &I : F.Code)
+        SwitchTotal += interpChargeCycles(TM, I.Op);
+      EXPECT_EQ(DecodedTotal, SwitchTotal) << F.Name;
+    }
+  }
+}
+
+TEST(Superinst, MiningIsDeterministic) {
+  bc::Module M = test::assemble(test::programCorpus()[2].second); // heap
+  auto A = mineAdjacentPairs(M);
+  auto B = mineAdjacentPairs(M);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_TRUE(A[I].Pair == B[I].Pair);
+    EXPECT_EQ(A[I].Count, B[I].Count);
+  }
+  // Counts are sorted descending.
+  for (size_t I = 1; I < A.size(); ++I)
+    EXPECT_GE(A[I - 1].Count, A[I].Count);
+  EXPECT_FALSE(A.empty());
+}
+
+TEST(Superinst, MinedTableIsSupportedSubsetAndBounded) {
+  bc::Module M = test::assemble(test::programCorpus()[0].second);
+  SuperinstTable T = mineSuperinstTable(M, {}, 4);
+  EXPECT_LE(T.Pairs.size(), 4u);
+  EXPECT_FALSE(T.Pairs.empty());
+  for (const OpcodePair &P : T.Pairs)
+    EXPECT_GE(supportedPairIndex(P.First, P.Second), 0);
+  // Top-N nests: the 2-entry table is a prefix of the 4-entry table.
+  SuperinstTable T2 = mineSuperinstTable(M, {}, 2);
+  ASSERT_LE(T2.Pairs.size(), T.Pairs.size());
+  for (size_t I = 0; I != T2.Pairs.size(); ++I)
+    EXPECT_TRUE(T2.Pairs[I] == T.Pairs[I]);
+}
+
+TEST(Superinst, TraceMinedTableIsDeterministicForFixedTrace) {
+  // The issue's mining loop: record a trace, derive per-method weights,
+  // mine the table.  Identical runs must yield identical tables, and the
+  // weights must actually bias the ranking toward hot methods.
+  bc::Module M = test::assemble(test::programCorpus()[6].second); // chunked
+  auto mineFromRun = [&]() {
+    TimingModel TM;
+    TraceRecorder Tracer;
+    Tracer.setEnabled(true);
+    ExecutionEngine Engine(M, TM, nullptr);
+    Engine.setTracer(&Tracer);
+    auto R = Engine.run({bc::Value::makeInt(30)}, MaxCycles);
+    EXPECT_TRUE(static_cast<bool>(R));
+    std::vector<uint64_t> W =
+        methodWeightsFromTrace(Tracer.exportOrder(), M.numFunctions());
+    EXPECT_EQ(W.size(), M.numFunctions());
+    return mineSuperinstTable(M, W, 8);
+  };
+  SuperinstTable A = mineFromRun();
+  SuperinstTable B = mineFromRun();
+  ASSERT_EQ(A.Pairs.size(), B.Pairs.size());
+  for (size_t I = 0; I != A.Pairs.size(); ++I)
+    EXPECT_TRUE(A.Pairs[I] == B.Pairs[I]);
+  EXPECT_FALSE(A.Pairs.empty());
+  EXPECT_EQ(A.enabledMask(), B.enabledMask());
+}
+
+TEST(Superinst, MinedTableDrivesEngineIdentically) {
+  // A custom (trace-mined, truncated) table plugged into the engine is
+  // still cycle-identical to the switch interpreter.
+  bc::Module M = test::assemble(test::programCorpus()[0].second);
+  SuperinstTable Mined = mineSuperinstTable(M, {}, 3);
+  TimingModel TM;
+
+  ExecutionEngine Ref(M, TM, nullptr);
+  Ref.setDispatchMode(DispatchMode::Switch);
+  auto R1 = Ref.run({bc::Value::makeInt(500)}, MaxCycles);
+  ASSERT_TRUE(static_cast<bool>(R1));
+
+  ExecutionEngine Fused(M, TM, nullptr);
+  Fused.setDispatchMode(DispatchMode::Fused, &Mined);
+  auto R2 = Fused.run({bc::Value::makeInt(500)}, MaxCycles);
+  ASSERT_TRUE(static_cast<bool>(R2));
+
+  EXPECT_EQ(fingerprint(*R1), fingerprint(*R2));
+  EXPECT_EQ(Ref.dispatchStats().Instrs, Fused.dispatchStats().Instrs);
+  EXPECT_GT(Fused.dispatchStats().FusedExecs, 0u);
+}
+
+TEST(Superinst, CorpusDecodesWithFusedSites) {
+  // The compiled-in candidate set must actually cover the corpus: every
+  // program decodes with at least one fused site under the default table.
+  TimingModel TM;
+  for (const auto &[Name, Source] : test::programCorpus()) {
+    SCOPED_TRACE(Name);
+    bc::Module M = test::assemble(Source);
+    uint32_t Sites = 0;
+    for (size_t Id = 0; Id != M.numFunctions(); ++Id)
+      Sites += decodeFunction(M.function(static_cast<bc::MethodId>(Id)), TM,
+                              defaultSuperinstTable().enabledMask())
+                   .FusedSites;
+    EXPECT_GT(Sites, 0u) << Name;
+  }
+}
